@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! A Verilog abstract syntax tree with unique node numbering.
+//!
+//! The CirFix paper modified PyVerilog to attach a unique number to every
+//! AST node; patches are sequences of edits parameterized by those numbers
+//! (§3 of the paper). This crate provides the equivalent structure:
+//!
+//! * every node ([`Expr`], [`LValue`], [`Stmt`], [`Item`], [`Module`], …)
+//!   carries a [`NodeId`];
+//! * [`visit`] provides read-only traversal, node lookup by id, subtree
+//!   cloning, and in-place subtree replacement/insertion — the primitives
+//!   the repair operators are built from;
+//! * [`mod@print`] regenerates Verilog source text from the AST, used for
+//!   showing repairs to developers and for round-trip testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use cirfix_ast::{Expr, NodeIdGen};
+//!
+//! let mut ids = NodeIdGen::new();
+//! let lhs = Expr::ident(&mut ids, "counter_out");
+//! let rhs = Expr::literal_u64(&mut ids, 1, 4);
+//! let sum = Expr::binary(&mut ids, cirfix_ast::BinaryOp::Add, lhs, rhs);
+//! assert_eq!(cirfix_ast::print::expr_to_string(&sum), "counter_out + 4'd1");
+//! ```
+
+mod expr;
+mod module;
+mod node;
+pub mod print;
+mod stmt;
+pub mod visit;
+
+pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use module::{
+    Connection, Decl, DeclKind, DeclVar, Instance, Item, Module, ParamDecl, SourceFile,
+};
+pub use node::{NodeId, NodeIdGen};
+pub use stmt::{CaseArm, CaseKind, EventExpr, LValue, Sensitivity, Stmt};

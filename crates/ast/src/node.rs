@@ -1,0 +1,71 @@
+//! Node identity.
+
+/// A unique number attached to every AST node.
+///
+/// CirFix patches reference nodes by id, so ids must be unique within one
+/// design variant. The parser numbers nodes in creation order; mutation
+/// operators allocate fresh ids for inserted copies via [`NodeIdGen`].
+pub type NodeId = u32;
+
+/// Allocator for fresh [`NodeId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use cirfix_ast::NodeIdGen;
+/// let mut ids = NodeIdGen::new();
+/// let a = ids.fresh();
+/// let b = ids.fresh();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeIdGen {
+    next: NodeId,
+}
+
+impl NodeIdGen {
+    /// A generator starting at id 1 (0 is reserved as "no node").
+    pub fn new() -> NodeIdGen {
+        NodeIdGen { next: 1 }
+    }
+
+    /// A generator whose first id is `first` — used to continue numbering
+    /// past an existing AST's maximum id when applying patches.
+    pub fn starting_at(first: NodeId) -> NodeIdGen {
+        NodeIdGen { next: first }
+    }
+
+    /// Allocates the next id.
+    pub fn fresh(&mut self) -> NodeId {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// The id the next call to [`NodeIdGen::fresh`] would return.
+    pub fn peek(&self) -> NodeId {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let mut g = NodeIdGen::new();
+        let ids: Vec<_> = (0..100).map(|_| g.fresh()).collect();
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+        assert_eq!(ids[0], 1);
+    }
+
+    #[test]
+    fn starting_at_continues_numbering() {
+        let mut g = NodeIdGen::starting_at(500);
+        assert_eq!(g.fresh(), 500);
+        assert_eq!(g.peek(), 501);
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the pipeline stages: parsing,
+//! elaboration, simulation, fitness evaluation, fault localization, and
+//! patch application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cirfix::{evaluate, fault_localization, FitnessParams, Patch};
+use cirfix_benchmarks::{project, scenario};
+use cirfix_sim::{SimConfig, Simulator};
+
+fn bench_parser(c: &mut Criterion) {
+    let p = project("i2c").expect("project");
+    c.bench_function("parse_i2c_design", |b| {
+        b.iter(|| cirfix_parser::parse(black_box(p.design)).expect("parses"))
+    });
+    let counter = project("counter").expect("project");
+    c.bench_function("parse_counter_with_tb", |b| {
+        b.iter(|| {
+            let mut f = cirfix_parser::parse(black_box(counter.design)).expect("parses");
+            f.extend_from(cirfix_parser::parse(black_box(counter.testbench)).expect("parses"));
+            f
+        })
+    });
+}
+
+fn bench_elaboration(c: &mut Criterion) {
+    let p = project("tate_pairing").expect("project");
+    let file = {
+        let mut f = cirfix_parser::parse(p.design).expect("parses");
+        f.extend_from(cirfix_parser::parse(p.testbench).expect("parses"));
+        f
+    };
+    c.bench_function("elaborate_tate_pairing", |b| {
+        b.iter(|| cirfix_sim::elaborate(black_box(&file), "tate_tb").expect("elaborates"))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let p = project("counter").expect("project");
+    let file = p.golden_full().expect("parses");
+    c.bench_function("simulate_counter_testbench", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::new(black_box(&file), "counter_tb", SimConfig::default())
+                    .expect("elaborates");
+            sim.run().expect("runs")
+        })
+    });
+}
+
+fn bench_fitness_pipeline(c: &mut Criterion) {
+    let s = scenario("counter_reset").expect("scenario");
+    let problem = s.problem().expect("problem");
+    c.bench_function("evaluate_empty_patch_counter", |b| {
+        b.iter(|| {
+            evaluate(
+                black_box(&problem),
+                &Patch::empty(),
+                FitnessParams::default(),
+            )
+        })
+    });
+}
+
+fn bench_fault_localization(c: &mut Criterion) {
+    let s = scenario("counter_reset").expect("scenario");
+    let problem = s.problem().expect("problem");
+    let base = evaluate(&problem, &Patch::empty(), FitnessParams::default());
+    let faulty = s.faulty_design_file().expect("parses");
+    let module = faulty.module("counter").expect("module");
+    c.bench_function("fault_localization_counter", |b| {
+        b.iter(|| fault_localization(black_box(&[module]), black_box(&base.mismatched)))
+    });
+}
+
+fn bench_patch_application(c: &mut Criterion) {
+    let s = scenario("counter_sens_list").expect("scenario");
+    let problem = s.problem().expect("problem");
+    let faulty = s.faulty_design_file().expect("parses");
+    let module = faulty.module("counter").expect("module");
+    let stmt = cirfix_ast::visit::stmts_of_module(module)[0].id();
+    let patch = Patch::single(cirfix::Edit::DeleteStmt { target: stmt });
+    c.bench_function("apply_single_edit_patch", |b| {
+        b.iter(|| {
+            cirfix::apply_patch(
+                black_box(&problem.source),
+                &problem.design_modules,
+                black_box(&patch),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_elaboration,
+    bench_simulation,
+    bench_fitness_pipeline,
+    bench_fault_localization,
+    bench_patch_application
+);
+criterion_main!(benches);

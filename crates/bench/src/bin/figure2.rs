@@ -1,0 +1,35 @@
+//! Regenerates Figure 2: the simulation result of the faulty counter
+//! juxtaposed with the expected behaviour, highlighting the
+//! `overflow_out` mismatch from timestamp 35 onward.
+
+use cirfix::{evaluate, simulate_with_probe, FitnessParams, Patch};
+use cirfix_benchmarks::scenario;
+
+fn main() {
+    let s = scenario("counter_reset").expect("motivating example");
+    let problem = s.problem().expect("problem builds");
+    let (_, sim_trace, _) =
+        simulate_with_probe(&problem.source, &problem.top, &problem.probe, &problem.sim)
+            .expect("faulty design simulates");
+
+    println!("=== Simulation Result (faulty counter) ===");
+    println!("{}", sim_trace.to_csv());
+    println!("=== Expected Behavior (golden counter) ===");
+    println!("{}", problem.oracle.to_csv());
+
+    let report = evaluate(&problem, &Patch::empty(), FitnessParams::default());
+    println!(
+        "Mismatch on: {:?}  (fitness {:.2}; the paper reports 0.58 for this defect)",
+        report.mismatched, report.score
+    );
+    // Show the per-timestamp overflow_out comparison explicitly.
+    println!("\ntime  expected  actual");
+    for t in problem.oracle.times() {
+        let expected = problem.oracle.get(t, "overflow_out");
+        let actual = sim_trace.get(t, "overflow_out");
+        if let (Some(e), Some(a)) = (expected, actual) {
+            let marker = if e == a { " " } else { "<-- mismatch" };
+            println!("{t:<5} {e:<9} {a:<7} {marker}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! RQ1: repair rate and quality, plus the brute-force baseline
+//! comparison of §5.1.
+//!
+//! Runs every scenario through CirFix and through the unguided
+//! brute-force search with the *same* evaluation budget, then reports
+//! plausible/correct counts for both.
+
+use std::time::Duration;
+
+use cirfix::{brute_force_repair, BruteConfig};
+use cirfix_bench::{experiment_config, experiment_trials, print_table, run_scenario};
+use cirfix_benchmarks::scenarios;
+
+fn main() {
+    let config = experiment_config(11);
+    let trials = experiment_trials();
+    let mut rows = Vec::new();
+    let mut cirfix_plausible = 0;
+    let mut cirfix_correct = 0;
+    let mut brute_plausible = 0;
+    for s in scenarios() {
+        let outcome = run_scenario(s, &config, trials);
+        let problem = s.problem().expect("problem builds");
+        let brute = brute_force_repair(
+            &problem,
+            BruteConfig {
+                timeout: Duration::from_secs(20),
+                max_evals: config.max_fitness_evals,
+                seed: 11,
+                fitness: config.fitness,
+            },
+        );
+        if outcome.plausible {
+            cirfix_plausible += 1;
+        }
+        if outcome.correct {
+            cirfix_correct += 1;
+        }
+        if brute.is_plausible() {
+            brute_plausible += 1;
+        }
+        rows.push(vec![
+            s.id.to_string(),
+            s.category.to_string(),
+            if outcome.plausible { "yes" } else { "no" }.into(),
+            if outcome.correct { "yes" } else { "no" }.into(),
+            format!("{}", outcome.evals),
+            if brute.is_plausible() { "yes" } else { "no" }.into(),
+            format!("{}", brute.fitness_evals),
+        ]);
+        eprintln!("[{}] cirfix={} brute={}", s.id, outcome.plausible, brute.is_plausible());
+    }
+    println!("RQ1: CirFix vs brute-force, equal evaluation budgets\n");
+    print_table(
+        &[
+            "Scenario",
+            "Cat",
+            "CirFix plausible",
+            "CirFix correct",
+            "CirFix evals",
+            "Brute plausible",
+            "Brute evals",
+        ],
+        &rows,
+    );
+    println!(
+        "\nCirFix: {cirfix_plausible}/32 plausible, {cirfix_correct}/32 correct.  \
+         Brute force: {brute_plausible}/32 plausible."
+    );
+    println!(
+        "Paper: CirFix 21/32 plausible, 16/32 correct; brute force reported \
+         no repairs within its 12-hour bound."
+    );
+}

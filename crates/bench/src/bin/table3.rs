@@ -1,0 +1,57 @@
+//! Regenerates Table 3: repair results for all 32 defect scenarios.
+//!
+//! Scale with `CIRFIX_POP` / `CIRFIX_GENS` / `CIRFIX_TRIALS` /
+//! `CIRFIX_EVALS` / `CIRFIX_TIMEOUT_S`. Checkmarks mark repairs that
+//! pass the held-out verification bench (the paper's "correct upon
+//! manual inspection"); a bare time is plausible-but-overfitting; `-`
+//! means no repair was found.
+
+use cirfix_bench::{
+    experiment_config, experiment_trials, ours_cell, paper_cell, print_table, run_scenario,
+};
+use cirfix_benchmarks::scenarios;
+
+fn main() {
+    let config = experiment_config(42);
+    let trials = experiment_trials();
+    println!(
+        "Table 3: repair results (popn={}, gens={}, trials={}, evals<={})\n",
+        config.popn_size, config.max_generations, trials, config.max_fitness_evals
+    );
+    let mut rows = Vec::new();
+    let mut plausible = 0;
+    let mut correct = 0;
+    for s in scenarios() {
+        let outcome = run_scenario(s, &config, trials);
+        if outcome.plausible {
+            plausible += 1;
+        }
+        if outcome.correct {
+            correct += 1;
+        }
+        rows.push(vec![
+            s.project.to_string(),
+            s.description.to_string(),
+            s.category.to_string(),
+            paper_cell(s.paper),
+            ours_cell(&outcome),
+            outcome.evals.to_string(),
+        ]);
+        eprintln!(
+            "[{}] plausible={} correct={} ({:.1}s, {} evals)",
+            s.id,
+            outcome.plausible,
+            outcome.correct,
+            outcome.repair_time.as_secs_f64(),
+            outcome.evals
+        );
+    }
+    print_table(
+        &["Project", "Defect", "Cat", "Paper(s)", "Ours(s)", "Evals"],
+        &rows,
+    );
+    println!(
+        "\nOurs: {plausible}/32 plausible, {correct}/32 correct.  \
+         Paper: 21/32 plausible, 16/32 correct."
+    );
+}

@@ -1,0 +1,136 @@
+//! Statistics for the experiment harness: the two-tailed Mann-Whitney U
+//! test the paper uses for RQ2 (repair-time comparison between defect
+//! categories), with a normal approximation for the p-value.
+
+/// The result of a two-tailed Mann-Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic (minimum of U1/U2).
+    pub u: f64,
+    /// Standard-normal z-score (tie-corrected).
+    pub z: f64,
+    /// Two-tailed p-value under the normal approximation.
+    pub p: f64,
+}
+
+/// Runs a two-tailed Mann-Whitney U test on two independent samples.
+///
+/// Returns `None` when either sample is empty. Uses midranks for ties
+/// and the tie-corrected normal approximation, which is accurate for
+/// sample sizes ≥ 8 and conservative below.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|v| (*v, 0usize))
+        .chain(b.iter().map(|v| (*v, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_term = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for rank in ranks.iter_mut().take(j + 1).skip(i) {
+            *rank = midrank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, group), _)| *group == 0)
+        .map(|(_, r)| *r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let u2 = n1 * n2 - u1;
+    let u = u1.min(u2);
+    let mean = n1 * n2 / 2.0;
+    let nf = n as f64;
+    let var = n1 * n2 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)).max(1.0));
+    if var <= 0.0 {
+        return Some(MannWhitney { u, z: 0.0, p: 1.0 });
+    }
+    // Continuity correction.
+    let z = (u - mean + 0.5) / var.sqrt();
+    let p = (2.0 * normal_cdf(z)).min(1.0);
+    Some(MannWhitney { u, z, p })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p > 0.9, "p = {}", r.p);
+    }
+
+    #[test]
+    fn separated_samples_are_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [101.0, 102.0, 103.0, 104.0, 105.0, 106.0, 107.0, 108.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.u, 0.0);
+        assert!(r.p < 0.01, "p = {}", r.p);
+    }
+
+    #[test]
+    fn overlapping_samples_are_insignificant() {
+        let a = [5.0, 7.0, 9.0, 11.0, 13.0, 6.5];
+        let b = [6.0, 8.0, 10.0, 12.0, 5.5, 12.5];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p > 0.3, "p = {}", r.p);
+    }
+
+    #[test]
+    fn handles_ties_and_small_samples() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 1.0, 1.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p >= 0.99);
+        assert!(mann_whitney_u(&[], &a).is_none());
+        assert!(mann_whitney_u(&a, &[]).is_none());
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+}

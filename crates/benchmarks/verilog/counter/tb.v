@@ -1,0 +1,47 @@
+// Instrumented testbench (the paper's Figure 1b).
+module counter_tb;
+    reg clk, reset, enable;
+    wire [3:0] counter_out;
+    wire overflow_out;
+    event reset_trigger, reset_done_trigger, terminate_sim;
+
+    counter dut (clk, reset, enable, counter_out, overflow_out);
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        enable = 0;
+    end
+
+    // Set clock signal oscillations.
+    always #5 clk = !clk;
+
+    initial begin
+        #5 ;
+        forever begin
+            @(reset_trigger);
+            @(negedge clk);
+            reset = 1;
+            @(negedge clk);
+            reset = 0;
+            -> reset_done_trigger;
+        end
+    end
+
+    initial begin
+        #10 -> reset_trigger;
+        @(reset_done_trigger);
+        @(negedge clk);
+        enable = 1;
+        repeat (21) begin
+            @(negedge clk);
+        end
+        enable = 0;
+        #5 -> terminate_sim;
+    end
+
+    initial begin
+        @(terminate_sim);
+        $finish;
+    end
+endmodule

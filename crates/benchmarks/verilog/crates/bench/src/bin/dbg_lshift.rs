@@ -1,0 +1,26 @@
+fn main() {
+    let s = cirfix_benchmarks::scenario("lshift_blocking").unwrap();
+    let problem = s.problem().unwrap();
+    let eval = cirfix::evaluate(&problem, &cirfix::Patch::empty(), cirfix::FitnessParams::default());
+    println!("faulty fitness: {} mismatched: {:?}", eval.score, eval.mismatched);
+    // Try the known-correct edit directly: find the blocking stmt.
+    let faulty = s.faulty_design_file().unwrap();
+    let m = faulty.module("lshift_reg").unwrap();
+    for st in cirfix_ast::visit::stmts_of_module(m) {
+        if let cirfix_ast::Stmt::Blocking { id, lhs, .. } = st {
+            if lhs.target_names() == vec!["d1"] {
+                let patch = cirfix::Patch::single(cirfix::Edit::BlockingToNonBlocking { target: *id });
+                let e2 = cirfix::evaluate(&problem, &patch, cirfix::FitnessParams::default());
+                println!("direct fix fitness: {}", e2.score);
+            }
+        }
+    }
+    // fault localization check
+    let fl = cirfix::fault_localization(&[m], &eval.mismatched);
+    println!("fl nodes: {}, mismatch: {:?}", fl.nodes.len(), fl.mismatch);
+    for seed in 1..=5u64 {
+        let r = cirfix::repair(&problem, cirfix::RepairConfig::fast(seed));
+        println!("seed {} plausible {} best {} evals {}", seed, r.is_plausible(), r.best_fitness, r.fitness_evals);
+        if r.is_plausible() { println!("{}", r.repaired_source.unwrap()); break; }
+    }
+}

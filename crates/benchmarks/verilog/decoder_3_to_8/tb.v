@@ -1,0 +1,29 @@
+// Instrumented testbench: walks every enable/input combination.
+module decoder_tb;
+    reg en;
+    reg [2:0] in;
+    wire [7:0] out;
+    integer i;
+
+    decoder_3_to_8 dut (en, in, out);
+
+    initial begin
+        en = 0;
+        in = 3'b000;
+        #10 ;
+        for (i = 0; i < 8; i = i + 1) begin
+            in = i[2:0];
+            en = 1;
+            #10 ;
+        end
+        en = 0;
+        for (i = 0; i < 4; i = i + 1) begin
+            in = i[2:0];
+            #10 ;
+        end
+        en = 1;
+        in = 3'b101;
+        #10 ;
+        $finish;
+    end
+endmodule

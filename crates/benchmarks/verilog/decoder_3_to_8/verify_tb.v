@@ -1,0 +1,28 @@
+// Held-out verification bench: different walk order, enable glitches.
+module decoder_verify_tb;
+    reg en;
+    reg [2:0] in;
+    wire [7:0] out;
+    integer i;
+
+    decoder_3_to_8 dut (en, in, out);
+
+    initial begin
+        en = 1;
+        in = 3'b111;
+        #10 ;
+        for (i = 7; i >= 0 && i < 8; i = i - 1) begin
+            in = i[2:0];
+            #10 ;
+            en = 0;
+            #10 ;
+            en = 1;
+            #10 ;
+        end
+        in = 3'b010;
+        #10 ;
+        in = 3'b101;
+        #10 ;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,19 @@
+// T flip-flop with synchronous reset.
+module flip_flop (clk, rst, t, q);
+    input clk, rst, t;
+    output q;
+    reg q;
+
+    always @(posedge clk)
+    begin
+        if (rst == 1'b0) begin
+            q <= 1'b0;
+        end
+        else if (t == 1'b1) begin
+            q <= ~q;
+        end
+        else begin
+            q <= q;
+        end
+    end
+endmodule

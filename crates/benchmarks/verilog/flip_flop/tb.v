@@ -1,0 +1,30 @@
+// Instrumented testbench: reset, toggle bursts, hold phases.
+module flip_flop_tb;
+    reg clk, rst, t;
+    wire q;
+
+    flip_flop dut (clk, rst, t, q);
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        t = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        t = 1;
+        repeat (6) @(negedge clk);
+        t = 0;
+        repeat (3) @(negedge clk);
+        t = 1;
+        repeat (5) @(negedge clk);
+        t = 0;
+        #5 $finish;
+    end
+endmodule

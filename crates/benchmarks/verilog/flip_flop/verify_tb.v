@@ -1,0 +1,38 @@
+// Held-out verification: interleaved resets and toggles.
+module flip_flop_verify_tb;
+    reg clk, rst, t;
+    wire q;
+
+    flip_flop dut (clk, rst, t, q);
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        t = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        t = 1;
+        repeat (3) @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        repeat (4) @(negedge clk);
+        t = 0;
+        repeat (2) @(negedge clk);
+        t = 1;
+        repeat (9) @(negedge clk);
+        rst = 1;
+        t = 0;
+        @(negedge clk);
+        rst = 0;
+        repeat (3) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

@@ -1,0 +1,37 @@
+// Instrumented testbench: request handoffs between both requesters.
+module fsm_full_tb;
+    reg clock, reset, req_0, req_1;
+    wire gnt_0, gnt_1;
+
+    fsm_full dut (clock, reset, req_0, req_1, gnt_0, gnt_1);
+
+    initial begin
+        clock = 0;
+        reset = 0;
+        req_0 = 0;
+        req_1 = 0;
+    end
+
+    always #5 clock = !clock;
+
+    initial begin
+        @(negedge clock);
+        reset = 1;
+        @(negedge clock);
+        reset = 0;
+        @(negedge clock);
+        req_0 = 1;
+        repeat (4) @(negedge clock);
+        req_0 = 0;
+        repeat (2) @(negedge clock);
+        req_1 = 1;
+        repeat (4) @(negedge clock);
+        req_0 = 1;
+        repeat (3) @(negedge clock);
+        req_1 = 0;
+        repeat (3) @(negedge clock);
+        req_0 = 0;
+        repeat (3) @(negedge clock);
+        #5 $finish;
+    end
+endmodule

@@ -1,0 +1,22 @@
+// 8-bit left shift register with an input pipeline stage.
+module lshift_reg (clk, rstn, sin, q, sout);
+    input clk, rstn, sin;
+    output [7:0] q;
+    output sout;
+    reg [7:0] q;
+    reg d1;
+
+    always @(posedge clk)
+    begin
+        if (rstn == 1'b0) begin
+            q <= 8'b00000000;
+            d1 <= 1'b0;
+        end
+        else begin
+            d1 = sin;
+            q <= {q[6:0], d1};
+        end
+    end
+
+    assign sout = q[7];
+endmodule

@@ -1,0 +1,33 @@
+// Instrumented testbench: shifts a fixed pattern through the register.
+module lshift_reg_tb;
+    reg clk, rstn, sin;
+    wire [7:0] q;
+    wire sout;
+    reg [15:0] pattern;
+    integer i;
+
+    lshift_reg dut (clk, rstn, sin, q, sout);
+
+    initial begin
+        clk = 0;
+        rstn = 1;
+        sin = 0;
+        pattern = 16'b1011_0010_1110_0101;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rstn = 0;
+        @(negedge clk);
+        rstn = 1;
+        for (i = 0; i < 16; i = i + 1) begin
+            sin = pattern[i];
+            @(negedge clk);
+        end
+        sin = 0;
+        repeat (3) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

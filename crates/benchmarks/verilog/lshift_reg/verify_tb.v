@@ -1,0 +1,40 @@
+// Held-out verification: different pattern and a mid-stream reset.
+module lshift_reg_verify_tb;
+    reg clk, rstn, sin;
+    wire [7:0] q;
+    wire sout;
+    reg [19:0] pattern;
+    integer i;
+
+    lshift_reg dut (clk, rstn, sin, q, sout);
+
+    initial begin
+        clk = 0;
+        rstn = 1;
+        sin = 0;
+        pattern = 20'b1111_0000_1010_0110_1001;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rstn = 0;
+        @(negedge clk);
+        rstn = 1;
+        for (i = 0; i < 9; i = i + 1) begin
+            sin = pattern[i];
+            @(negedge clk);
+        end
+        rstn = 0;
+        @(negedge clk);
+        rstn = 1;
+        for (i = 9; i < 20; i = i + 1) begin
+            sin = pattern[i];
+            @(negedge clk);
+        end
+        sin = 1;
+        repeat (4) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

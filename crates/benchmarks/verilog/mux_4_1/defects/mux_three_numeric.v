@@ -1,0 +1,18 @@
+// 4-to-1 multiplexer, 4 bits wide.
+module mux_4_1 (sel, a, b, c, d, out);
+    input [1:0] sel;
+    input [3:0] a, b, c, d;
+    output [3:0] out;
+    reg [3:0] out;
+
+    always @(sel or a or b or c or d)
+    begin
+        case (sel)
+            2'b00: out = a;
+            2'b00: out = b;
+            2'b11: out = c;
+            2'b11: out = d;
+            default: out = 4'b0001;
+        endcase
+    end
+endmodule

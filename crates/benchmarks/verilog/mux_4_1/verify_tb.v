@@ -1,0 +1,32 @@
+// Held-out verification: changing data while selected, reverse order.
+module mux_4_1_verify_tb;
+    reg [1:0] sel;
+    reg [3:0] a, b, c, d;
+    wire [3:0] out;
+    integer i;
+
+    mux_4_1 dut (sel, a, b, c, d, out);
+
+    initial begin
+        a = 4'h9;
+        b = 4'h6;
+        c = 4'h3;
+        d = 4'hc;
+        sel = 2'b11;
+        #10 ;
+        for (i = 3; i >= 0 && i < 4; i = i - 1) begin
+            sel = i[1:0];
+            #10 ;
+            // Mutate the selected input while it is selected.
+            a = a + 1;
+            d = d - 1;
+            #10 ;
+        end
+        sel = 2'b10;
+        c = 4'h0;
+        #10 ;
+        c = 4'hf;
+        #10 ;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,85 @@
+// Simplified Reed-Solomon decoder datapath: a syndrome accumulator and
+// the output stage (error correction pipeline + error counter with a
+// decimal threshold). Both sequential blocks use asynchronous reset.
+module rs_syndrome (clk, rst, din_valid, din, syn0, syn1);
+    input clk, rst, din_valid;
+    input [7:0] din;
+    output [7:0] syn0, syn1;
+    reg [7:0] syn0, syn1;
+
+    always @(posedge clk or posedge rst)
+    begin : SYNDROME
+        if (rst == 1'b1) begin
+            syn0 <= 8'h00;
+            syn1 <= 8'h00;
+        end
+        else if (din_valid == 1'b1) begin
+            syn0 <= syn0 ^ din;
+            syn1 <= {syn1[6:0], syn1[7]} ^ din;
+        end
+    end
+endmodule
+
+module rs_out_stage (clk, rst, in_valid, din, err, dout, out_valid, err_cnt, limit_exceeded);
+    input clk, rst, in_valid;
+    input [7:0] din, err;
+    output [7:0] dout;
+    output out_valid;
+    output [9:0] err_cnt;
+    output limit_exceeded;
+    reg [7:0] dout;
+    reg out_valid;
+    reg [9:0] err_cnt;
+    reg limit_exceeded;
+    reg [7:0] stage1;
+    reg stage1_valid;
+    reg [9:0] limit;
+
+    // Two-stage corrected-byte pipeline.
+    always @(posedge clk or posedge rst)
+    begin : PIPELINE
+        if (rst == 1'b1) begin
+            stage1 <= 8'h00;
+            stage1_valid <= 1'b0;
+            dout <= 8'h00;
+            out_valid <= 1'b0;
+        end
+        else begin
+            stage1 <= din ^ err;
+            stage1_valid <= in_valid;
+            dout <= stage1;
+            out_valid <= stage1_valid;
+        end
+    end
+
+    // Error counter against a decimal threshold of 500.
+    always @(posedge clk or posedge rst)
+    begin : ERR_COUNT
+        if (rst == 1'b1) begin
+            err_cnt <= 10'd0;
+            limit_exceeded <= 1'b0;
+            limit <= 10'd500;
+        end
+        else begin
+            if (in_valid == 1'b1 && err != 8'h00) begin
+                err_cnt <= err_cnt + 1;
+            end
+            if (err_cnt >= limit) begin
+                limit_exceeded <= 1'b1;
+            end
+        end
+    end
+endmodule
+
+module reed_solomon_decoder (clk, rst, din_valid, din, err, dout, out_valid, syn0, syn1, err_cnt, limit_exceeded);
+    input clk, rst, din_valid;
+    input [7:0] din, err;
+    output [7:0] dout;
+    output out_valid;
+    output [7:0] syn0, syn1;
+    output [9:0] err_cnt;
+    output limit_exceeded;
+
+    rs_syndrome u_syn (clk, rst, din_valid, din, syn0, syn1);
+    rs_out_stage u_out (clk, rst, din_valid, din, err, dout, out_valid, err_cnt, limit_exceeded);
+endmodule

@@ -1,0 +1,55 @@
+// Instrumented testbench: a stream of codewords with injected errors,
+// plus an asynchronous reset pulse that lands between clock edges —
+// exactly the case the paper's RQ3 discussion highlights.
+module rs_tb;
+    reg clk, rst, din_valid;
+    reg [7:0] din, err;
+    wire [7:0] dout;
+    wire out_valid;
+    wire [7:0] syn0, syn1;
+    wire [9:0] err_cnt;
+    wire limit_exceeded;
+    integer i;
+
+    reed_solomon_decoder dut (clk, rst, din_valid, din, err, dout, out_valid, syn0, syn1, err_cnt, limit_exceeded);
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        din_valid = 0;
+        din = 8'h00;
+        err = 8'h00;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        din_valid = 1;
+        // 260 erroneous bytes: enough to cross a truncated 8-bit
+        // threshold (244) while staying below the real one (500).
+        for (i = 0; i < 260; i = i + 1) begin
+            din = i[7:0] ^ 8'h35;
+            err = 8'h11;
+            @(negedge clk);
+        end
+        din_valid = 0;
+        // Asynchronous reset pulse between clock edges: posedge at
+        // (negedge+2), removed before the next posedge.
+        #2 rst = 1;
+        #1 rst = 0;
+        repeat (3) @(negedge clk);
+        din_valid = 1;
+        for (i = 0; i < 10; i = i + 1) begin
+            din = i[7:0] + 8'ha0;
+            err = 8'h00;
+            @(negedge clk);
+        end
+        din_valid = 0;
+        repeat (2) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

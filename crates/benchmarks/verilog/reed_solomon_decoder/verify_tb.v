@@ -1,0 +1,61 @@
+// Held-out verification: enough errors to cross the 500 threshold in
+// the faulty 8-bit-register variant (244), two async reset pulses, and
+// valid gaps.
+module rs_verify_tb;
+    reg clk, rst, din_valid;
+    reg [7:0] din, err;
+    wire [7:0] dout;
+    wire out_valid;
+    wire [7:0] syn0, syn1;
+    wire [9:0] err_cnt;
+    wire limit_exceeded;
+    integer i;
+
+    reed_solomon_decoder dut (clk, rst, din_valid, din, err, dout, out_valid, syn0, syn1, err_cnt, limit_exceeded);
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        din_valid = 0;
+        din = 8'h00;
+        err = 8'h00;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        din_valid = 1;
+        // 520 erroneous bytes: crosses the genuine threshold of 500, so
+        // a repair that silences limit_exceeded (instead of fixing the
+        // register width) is caught here.
+        for (i = 0; i < 520; i = i + 1) begin
+            din = i[7:0];
+            err = 8'h01;
+            @(negedge clk);
+        end
+        din_valid = 0;
+        @(negedge clk);
+        // Async reset pulse between edges.
+        #2 rst = 1;
+        #1 rst = 0;
+        repeat (2) @(negedge clk);
+        din_valid = 1;
+        for (i = 0; i < 12; i = i + 1) begin
+            din = i[7:0] ^ 8'hc3;
+            if (i % 4 == 1) begin
+                err = 8'h80;
+            end
+            else begin
+                err = 8'h00;
+            end
+            @(negedge clk);
+        end
+        din_valid = 0;
+        repeat (2) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

@@ -1,0 +1,130 @@
+// Simplified synchronous DRAM controller: init sequence (NOP wait +
+// precharge), then an IDLE / ACTIVE / RW / PRECHARGE command FSM with a
+// synchronous reset, host interface registers, and a backing memory
+// array standing in for the DRAM device.
+module sdram_controller (clk, rst_n, req, wr, addr, wdata, busy, done, command, rdata);
+    input clk, rst_n, req, wr;
+    input [7:0] addr;
+    input [7:0] wdata;
+    output busy, done;
+    output [2:0] command;
+    output [7:0] rdata;
+    reg busy, done;
+    reg [2:0] command;
+
+    localparam CMD_NOP = 3'b111;
+    localparam CMD_ACTIVE = 3'b011;
+    localparam CMD_READ = 3'b101;
+    localparam CMD_WRITE = 3'b100;
+    localparam CMD_PRECHARGE = 3'b010;
+
+    localparam INIT_NOP1 = 3'd0;
+    localparam INIT_PRE1 = 3'd1;
+    localparam IDLE = 3'd2;
+    localparam ACTIVE = 3'd3;
+    localparam RW = 3'd4;
+    localparam PRECHARGE = 3'd5;
+
+    reg [2:0] state;
+    reg [3:0] state_cnt;
+    reg [7:0] haddr_r;
+    reg [7:0] rd_data_r;
+    reg [7:0] wdata_r;
+    reg wr_r;
+    reg [7:0] mem [0:255];
+
+    assign rdata = rd_data_r;
+
+    always @(posedge clk)
+    begin : MAIN
+        if (~rst_n) begin
+            state <= INIT_NOP1;
+            command <= CMD_NOP;
+            state_cnt <= 4'hf;
+            haddr_r <= 8'h00;
+            wdata_r <= 8'h00;
+            wr_r <= 1'b0;
+            done <= 1'b0;
+            rd_data_r <= 8'h00;
+            busy <= 1'b0;
+        end
+        else begin
+            done <= 1'b0;
+            case (state)
+                INIT_NOP1: begin
+                    command <= CMD_NOP;
+                    busy <= 1'b1;
+                    if (state_cnt == 4'd0) begin
+                        state <= INIT_PRE1;
+                        state_cnt <= 4'd2;
+                    end
+                    else begin
+                        state_cnt <= state_cnt - 1;
+                    end
+                end
+                INIT_PRE1: begin
+                    command <= CMD_PRECHARGE;
+                    if (state_cnt == 4'd0) begin
+                        state <= IDLE;
+                    end
+                    else begin
+                        state_cnt <= state_cnt - 1;
+                    end
+                end
+                IDLE: begin
+                    command <= CMD_NOP;
+                    busy <= 1'b0;
+                    if (req == 1'b1) begin
+                        busy <= 1'b1;
+                        haddr_r <= addr;
+                        wr_r <= wr;
+                        wdata_r <= wdata;
+                        state <= ACTIVE;
+                        state_cnt <= 4'd1;
+                    end
+                end
+                ACTIVE: begin
+                    command <= CMD_ACTIVE;
+                    if (state_cnt == 4'd0) begin
+                        state <= RW;
+                        state_cnt <= 4'd1;
+                    end
+                    else begin
+                        state_cnt <= state_cnt - 1;
+                    end
+                end
+                RW: begin
+                    if (wr_r == 1'b1) begin
+                        command <= CMD_WRITE;
+                        mem[haddr_r] <= wdata_r;
+                    end
+                    else begin
+                        command <= CMD_READ;
+                        rd_data_r <= mem[haddr_r];
+                    end
+                    if (state_cnt == 4'd0) begin
+                        state <= PRECHARGE;
+                        state_cnt <= 4'd1;
+                    end
+                    else begin
+                        state_cnt <= state_cnt - 1;
+                    end
+                end
+                PRECHARGE: begin
+                    command <= CMD_PRECHARGE;
+                    if (state_cnt == 4'd0) begin
+                        state <= IDLE;
+                        done <= 1'b1;
+                        busy <= 1'b0;
+                    end
+                    else begin
+                        state_cnt <= state_cnt - 1;
+                    end
+                end
+                default: begin
+                    state <= INIT_NOP1;
+                end
+            endcase
+        end
+    end
+endmodule

@@ -1,0 +1,59 @@
+// Instrumented testbench: init, a write, a read-back, and a second
+// write/read pair at a different address.
+module sdram_tb;
+    reg clk, rst_n, req, wr;
+    reg [7:0] addr, wdata;
+    wire busy, done;
+    wire [2:0] command;
+    wire [7:0] rdata;
+
+    sdram_controller dut (clk, rst_n, req, wr, addr, wdata, busy, done, command, rdata);
+
+    initial begin
+        clk = 0;
+        rst_n = 1;
+        req = 0;
+        wr = 0;
+        addr = 8'h00;
+        wdata = 8'h00;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst_n = 0;
+        @(negedge clk);
+        rst_n = 1;
+        // Wait out the init sequence (16 NOPs + 3 precharges).
+        repeat (21) @(negedge clk);
+        // Write 0xa5 to address 5.
+        req = 1;
+        wr = 1;
+        addr = 8'h05;
+        wdata = 8'ha5;
+        @(negedge clk);
+        req = 0;
+        repeat (7) @(negedge clk);
+        // Read it back.
+        req = 1;
+        wr = 0;
+        @(negedge clk);
+        req = 0;
+        repeat (7) @(negedge clk);
+        // Write/read at address 9.
+        req = 1;
+        wr = 1;
+        addr = 8'h09;
+        wdata = 8'h3c;
+        @(negedge clk);
+        req = 0;
+        repeat (7) @(negedge clk);
+        req = 1;
+        wr = 0;
+        @(negedge clk);
+        req = 0;
+        repeat (7) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

@@ -1,0 +1,140 @@
+// Simplified Tate bilinear pairing datapath over GF(2^8): a serial
+// shift-and-add field multiplier, an accumulator, and a Miller-loop
+// style top module chaining three multiplications.
+module gf_mul (clk, rst, start, a, b, p, done);
+    input clk, rst, start;
+    input [7:0] a, b;
+    output [7:0] p;
+    output done;
+    reg [7:0] p;
+    reg done;
+    reg [7:0] ashift, bshift;
+    reg [3:0] cnt;
+    reg busy;
+
+    always @(posedge clk)
+    begin : GF_MUL_LOOP
+        if (rst == 1'b1) begin
+            p <= 8'h00;
+            done <= 1'b0;
+            busy <= 1'b0;
+            ashift <= 8'h00;
+            bshift <= 8'h00;
+            cnt <= 4'd0;
+        end
+        else if (busy == 1'b0) begin
+            done <= 1'b0;
+            if (start == 1'b1) begin
+                ashift <= a;
+                bshift <= b;
+                p <= 8'h00;
+                cnt <= 4'd8;
+                busy <= 1'b1;
+            end
+        end
+        else begin
+            if (bshift[0] == 1'b1) begin
+                p <= p ^ ashift;
+            end
+            // xtime: multiply by x and reduce modulo x^8+x^4+x^3+x+1.
+            if (ashift[7] == 1'b1) begin
+                ashift <= {1'b0, ashift[7:1]} ^ 8'h1b;
+            end
+            else begin
+                ashift <= {1'b0, ashift[7:1]};
+            end
+            bshift <= bshift >> 1;
+            if (cnt == 4'd1) begin
+                busy <= 1'b0;
+                done <= 1'b1;
+            end
+            else begin
+                cnt <= cnt - 1;
+            end
+        end
+    end
+endmodule
+
+module gf_accum (clk, rst, en, d, acc);
+    input clk, rst, en;
+    input [7:0] d;
+    output [7:0] acc;
+    reg [7:0] acc;
+
+    always @(posedge clk)
+    begin
+        if (rst == 1'b1) begin
+            acc <= 8'h00;
+        end
+        else if (en == 1'b1) begin
+            acc <= acc ^ d;
+        end
+    end
+endmodule
+
+module tate_pairing (clk, rst, start, x, y, result, done);
+    input clk, rst, start;
+    input [7:0] x, y;
+    output [7:0] result;
+    output done;
+
+    wire [7:0] prod;
+    wire mul_done;
+    reg mul_start;
+    reg done_r;
+    reg [7:0] opa, opb;
+    reg [1:0] state;
+    reg [1:0] iter;
+
+    gf_mul mul0 (clk, rst, mul_start, opa, opb, prod, mul_done);
+    gf_accum acc0 (clk, rst, mul_done, prod, result);
+
+    assign done = done_r;
+
+    always @(posedge clk)
+    begin : MILLER_LOOP
+        if (rst == 1'b1) begin
+            state <= 2'd0;
+            iter <= 2'd0;
+            mul_start <= 1'b0;
+            done_r <= 1'b0;
+            opa <= 8'h00;
+            opb <= 8'h00;
+        end
+        else begin
+            mul_start <= 1'b0;
+            case (state)
+                2'd0: begin
+                    done_r <= 1'b0;
+                    if (start == 1'b1) begin
+                        opa <= x;
+                        opb <= y;
+                        iter <= 2'd0;
+                        mul_start <= 1'b1;
+                        state <= 2'd1;
+                    end
+                end
+                2'd1: begin
+                    if (mul_done == 1'b1) begin
+                        if (iter == 2'd2) begin
+                            state <= 2'd2;
+                        end
+                        else begin
+                            iter <= iter + 1;
+                            opa <= prod ^ x;
+                            opb <= opb ^ y;
+                            mul_start <= 1'b1;
+                        end
+                    end
+                end
+                2'd2: begin
+                    done_r <= 1'b1;
+                    state <= 2'd0;
+                end
+                default: begin
+                    state <= 2'd0;
+                end
+            endcase
+        end
+    end
+endmodule

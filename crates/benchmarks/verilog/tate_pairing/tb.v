@@ -1,0 +1,38 @@
+// Instrumented testbench: two pairing computations.
+module tate_tb;
+    reg clk, rst, start;
+    reg [7:0] x, y;
+    wire [7:0] result;
+    wire done;
+
+    tate_pairing dut (clk, rst, start, x, y, result, done);
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        start = 0;
+        x = 8'h57;
+        y = 8'h83;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        @(negedge clk);
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        repeat (40) @(negedge clk);
+        x = 8'h0f;
+        y = 8'hf0;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        repeat (40) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

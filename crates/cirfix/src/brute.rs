@@ -1,0 +1,123 @@
+//! A brute-force baseline: uniform edits, no fault localization, no
+//! fitness guidance.
+//!
+//! §5.1 of the paper compares CirFix against "a more straightforward
+//! search algorithm applying edits at uniform to a circuit design" and
+//! reports that it does not scale. This module implements that baseline:
+//! it enumerates single edits (then random multi-edit patches) in an
+//! arbitrary order and accepts only exact (fitness-1.0) matches, ignoring
+//! partial fitness signals.
+
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+
+use crate::faultloc::FaultLoc;
+use crate::fitness::FitnessParams;
+use crate::mutation::{mutate, MutationParams};
+use crate::oracle::RepairProblem;
+use crate::patch::{apply_patch, Patch};
+use crate::repair::{evaluate, RepairResult, RepairStatus};
+
+/// Resource bounds for the brute-force baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteConfig {
+    /// Wall-clock budget.
+    pub timeout: Duration,
+    /// Maximum number of design simulations.
+    pub max_evals: u64,
+    /// RNG seed for the random phases.
+    pub seed: u64,
+    /// Fitness weighting (used only for the success test).
+    pub fitness: FitnessParams,
+}
+
+impl Default for BruteConfig {
+    fn default() -> BruteConfig {
+        BruteConfig {
+            timeout: Duration::from_secs(60),
+            max_evals: 10_000,
+            seed: 1,
+            fitness: FitnessParams::default(),
+        }
+    }
+}
+
+/// Runs the brute-force baseline: random unguided 1–3-edit patches
+/// (fix localization off, no fault localization, no fitness guidance) —
+/// the paper's "edits applied at uniform to a circuit design".
+pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> RepairResult {
+    let started = Instant::now();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut evals: u64 = 0;
+    let mut best = (Patch::empty(), 0.0f64);
+    let empty_fl = FaultLoc::default();
+
+    let try_patch = |patch: Patch,
+                         evals: &mut u64,
+                         best: &mut (Patch, f64)|
+     -> Option<RepairResult> {
+        let eval = evaluate(problem, &patch, config.fitness);
+        *evals += 1;
+        if eval.score > best.1 {
+            *best = (patch.clone(), eval.score);
+        }
+        if eval.score >= 1.0 {
+            return Some(RepairResult {
+                status: RepairStatus::Plausible,
+                best_fitness: 1.0,
+                unminimized_len: patch.len(),
+                patch,
+                generations: 0,
+                fitness_evals: *evals,
+                wall_time: started.elapsed(),
+                history: Vec::new(),
+                improvement_steps: Vec::new(),
+                repaired_source: None,
+            });
+        }
+        None
+    };
+
+    // Random multi-edit patches, unguided and uniform.
+    let params = MutationParams {
+        fix_localization: false,
+        ..MutationParams::default()
+    };
+    while started.elapsed() < config.timeout && evals < config.max_evals {
+        let depth = 1 + (evals % 3) as usize;
+        let mut patch = Patch::empty();
+        for _ in 0..depth {
+            let (variant, _) =
+                apply_patch(&problem.source, &problem.design_modules, &patch);
+            if let Some(edit) = mutate(
+                &variant,
+                &problem.design_modules,
+                &empty_fl,
+                params,
+                &mut rng,
+            ) {
+                patch = patch.with(edit);
+            }
+        }
+        if patch.is_empty() {
+            break;
+        }
+        if let Some(done) = try_patch(patch, &mut evals, &mut best) {
+            return done;
+        }
+    }
+
+    RepairResult {
+        status: RepairStatus::Exhausted,
+        best_fitness: best.1,
+        unminimized_len: best.0.len(),
+        patch: best.0,
+        generations: 0,
+        fitness_evals: evals,
+        wall_time: started.elapsed(),
+        history: Vec::new(),
+        improvement_steps: Vec::new(),
+        repaired_source: None,
+    }
+}

@@ -1,0 +1,105 @@
+//! Single-point crossover over edit lists (§3.4).
+
+use rand::Rng;
+
+use crate::patch::Patch;
+
+/// Standard single-point crossover: pick a cut point in each parent and
+/// swap the suffixes, yielding two children that each carry genetic
+/// information from both parents.
+pub fn crossover(p1: &Patch, p2: &Patch, rng: &mut impl Rng) -> (Patch, Patch) {
+    let c1 = rng.gen_range(0..=p1.edits.len());
+    let c2 = rng.gen_range(0..=p2.edits.len());
+    let child1 = Patch {
+        edits: p1.edits[..c1]
+            .iter()
+            .chain(&p2.edits[c2..])
+            .cloned()
+            .collect(),
+    };
+    let child2 = Patch {
+        edits: p2.edits[..c2]
+            .iter()
+            .chain(&p1.edits[c1..])
+            .cloned()
+            .collect(),
+    };
+    (child1, child2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::Edit;
+    use rand::SeedableRng;
+
+    fn patch_of(ids: &[u32]) -> Patch {
+        Patch {
+            edits: ids.iter().map(|i| Edit::DeleteStmt { target: *i }).collect(),
+        }
+    }
+
+    #[test]
+    fn children_preserve_total_edit_count() {
+        let p1 = patch_of(&[1, 2, 3]);
+        let p2 = patch_of(&[10, 20]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let (c1, c2) = crossover(&p1, &p2, &mut rng);
+            assert_eq!(c1.len() + c2.len(), p1.len() + p2.len());
+        }
+    }
+
+    #[test]
+    fn children_mix_parent_material() {
+        let p1 = patch_of(&[1, 2, 3, 4]);
+        let p2 = patch_of(&[10, 20, 30, 40]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut mixed = false;
+        for _ in 0..100 {
+            let (c1, _) = crossover(&p1, &p2, &mut rng);
+            let has_p1 = c1
+                .edits
+                .iter()
+                .any(|e| matches!(e, Edit::DeleteStmt { target } if *target < 10));
+            let has_p2 = c1
+                .edits
+                .iter()
+                .any(|e| matches!(e, Edit::DeleteStmt { target } if *target >= 10));
+            if has_p1 && has_p2 {
+                mixed = true;
+                break;
+            }
+        }
+        assert!(mixed);
+    }
+
+    #[test]
+    fn crossover_of_empty_patches_is_empty() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (c1, c2) = crossover(&Patch::empty(), &Patch::empty(), &mut rng);
+        assert!(c1.is_empty());
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn prefix_order_is_preserved() {
+        let p1 = patch_of(&[1, 2, 3, 4, 5]);
+        let p2 = patch_of(&[9]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let (c1, _) = crossover(&p1, &p2, &mut rng);
+            let p1_targets: Vec<u32> = c1
+                .edits
+                .iter()
+                .filter_map(|e| match e {
+                    Edit::DeleteStmt { target } if *target < 9 => Some(*target),
+                    _ => None,
+                })
+                .collect();
+            let mut sorted = p1_targets.clone();
+            sorted.sort_unstable();
+            assert_eq!(p1_targets, sorted, "p1 prefix keeps its order");
+        }
+    }
+}

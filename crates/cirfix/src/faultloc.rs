@@ -1,0 +1,321 @@
+//! Dataflow-based fault localization for HDL (Algorithm 2 of the paper).
+//!
+//! Starting from the set of output variables whose simulated values
+//! mismatch the expected behaviour, a fixed-point analysis implicates:
+//!
+//! * **Impl-Data** — assignment statements (and continuous assignments)
+//!   whose left-hand side writes a mismatched variable;
+//! * **Impl-Ctrl** — conditional statements whose subtree mentions a
+//!   mismatched variable.
+//!
+//! Every implicated node and all of its descendants join the fault
+//! localization set; identifiers found inside implicated subtrees join
+//! the mismatch set (**Add-Child**), and the process repeats until no new
+//! identifiers appear. The result is a *uniformly ranked set* of node
+//! ids, not a ranked list — a deliberate fit for the parallel structure
+//! of hardware (§3.1).
+
+use std::collections::BTreeSet;
+
+use cirfix_ast::{visit, Item, Module, NodeId, Stmt};
+
+/// The result of fault localization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLoc {
+    /// Implicated node ids (statements, expressions, lvalues — the whole
+    /// implicated subtrees).
+    pub nodes: BTreeSet<NodeId>,
+    /// The final mismatch set of identifier names.
+    pub mismatch: BTreeSet<String>,
+}
+
+impl FaultLoc {
+    /// `true` when nothing was implicated.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// One implication candidate gathered from the AST.
+struct Candidate {
+    /// Names that trigger implication when they appear in the mismatch
+    /// set (LHS names for Impl-Data; all subtree identifiers for
+    /// Impl-Ctrl).
+    trigger: BTreeSet<String>,
+    /// All node ids of the candidate subtree.
+    subtree_ids: Vec<NodeId>,
+    /// All identifier names in the subtree (for Add-Child).
+    subtree_idents: BTreeSet<String>,
+    /// Already added to the FL set.
+    done: bool,
+}
+
+/// Runs Algorithm 2 over the repairable modules.
+///
+/// `mismatched_vars` contains *leaf* variable names (hierarchy stripped),
+/// as produced by [`crate::strip_hierarchy`] from the fitness report.
+pub fn fault_localization(modules: &[&Module], mismatched_vars: &BTreeSet<String>) -> FaultLoc {
+    let mut candidates = Vec::new();
+    for module in modules {
+        collect_candidates(module, &mut candidates);
+    }
+
+    let mut fl = FaultLoc {
+        nodes: BTreeSet::new(),
+        mismatch: BTreeSet::new(),
+    };
+    let mut frontier: BTreeSet<String> = mismatched_vars.clone();
+
+    // Fixed point: stop when no new identifiers enter the mismatch set.
+    while !frontier.is_subset(&fl.mismatch) {
+        fl.mismatch.extend(frontier.iter().cloned());
+        frontier.clear();
+        for cand in &mut candidates {
+            if cand.done {
+                continue;
+            }
+            if cand.trigger.intersection(&fl.mismatch).next().is_some() {
+                cand.done = true;
+                fl.nodes.extend(cand.subtree_ids.iter().copied());
+                for name in &cand.subtree_idents {
+                    if !fl.mismatch.contains(name) {
+                        frontier.insert(name.clone());
+                    }
+                }
+            }
+        }
+    }
+    fl
+}
+
+fn subtree_idents_of_stmt(stmt: &Stmt) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    visit::walk_stmt(stmt, &mut |n| match n {
+        visit::NodeRef::Expr(e) => {
+            if let cirfix_ast::Expr::Ident { name, .. } = e {
+                names.insert(name.clone());
+            }
+            match e {
+                cirfix_ast::Expr::Index { base, .. }
+                | cirfix_ast::Expr::Range { base, .. } => {
+                    names.insert(base.clone());
+                }
+                _ => {}
+            }
+        }
+        visit::NodeRef::LValue(lv) => {
+            for n in lv.target_names() {
+                names.insert(n.to_string());
+            }
+        }
+        _ => {}
+    });
+    names
+}
+
+fn collect_candidates(module: &Module, out: &mut Vec<Candidate>) {
+    // Continuous assignments are Impl-Data candidates.
+    for item in &module.items {
+        if let Item::Assign { id, lhs, rhs } = item {
+            let trigger: BTreeSet<String> =
+                lhs.target_names().iter().map(|s| s.to_string()).collect();
+            let mut subtree_ids = vec![*id];
+            visit::walk_lvalue(lhs, &mut |n| subtree_ids.push(n.id()));
+            subtree_ids.extend(visit::ids_in_expr(rhs));
+            let mut subtree_idents: BTreeSet<String> =
+                rhs.identifiers().iter().map(|s| s.to_string()).collect();
+            subtree_idents.extend(trigger.iter().cloned());
+            out.push(Candidate {
+                trigger,
+                subtree_ids,
+                subtree_idents,
+                done: false,
+            });
+        }
+    }
+    // Procedural statements.
+    for stmt in visit::stmts_of_module(module) {
+        if stmt.is_assignment() {
+            let (lhs, rhs) = match stmt {
+                Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+                    (lhs, rhs)
+                }
+                _ => unreachable!("is_assignment"),
+            };
+            let trigger: BTreeSet<String> =
+                lhs.target_names().iter().map(|s| s.to_string()).collect();
+            let mut subtree_idents: BTreeSet<String> =
+                rhs.identifiers().iter().map(|s| s.to_string()).collect();
+            subtree_idents.extend(trigger.iter().cloned());
+            out.push(Candidate {
+                trigger,
+                subtree_ids: visit::ids_in_stmt(stmt),
+                subtree_idents,
+                done: false,
+            });
+        } else if stmt.is_conditional() {
+            // Impl-Ctrl: triggered by any identifier in the subtree.
+            let subtree_idents = subtree_idents_of_stmt(stmt);
+            out.push(Candidate {
+                trigger: subtree_idents.clone(),
+                subtree_ids: visit::ids_in_stmt(stmt),
+                subtree_idents,
+                done: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirfix_parser::parse;
+
+    fn localize(src: &str, vars: &[&str]) -> (FaultLoc, cirfix_ast::SourceFile) {
+        let file = parse(src).expect("parse");
+        let mismatch: BTreeSet<String> = vars.iter().map(|s| s.to_string()).collect();
+        let fl = fault_localization(&[&file.modules[0]], &mismatch);
+        (fl, file)
+    }
+
+    const COUNTER: &str = r#"
+        module counter (clk, reset, enable, counter_out, overflow_out);
+            input clk, reset, enable;
+            output [3:0] counter_out;
+            output overflow_out;
+            reg [3:0] counter_out;
+            reg overflow_out;
+            always @(posedge clk)
+            begin
+                if (reset == 1'b1) begin
+                    counter_out <= #1 4'b0000;
+                end
+                else if (enable == 1'b1) begin
+                    counter_out <= #1 counter_out + 1;
+                end
+                if (counter_out == 4'b1111) begin
+                    overflow_out <= #1 1'b1;
+                end
+            end
+        endmodule
+    "#;
+
+    #[test]
+    fn motivating_example_implicates_overflow_chain() {
+        // Figure 1 walk-through from §3.1: starting from overflow_out,
+        // the assignment at "line 40" is implicated (Impl-Data), then
+        // the wrapping if (Impl-Ctrl), which adds counter_out
+        // (Add-Child), which implicates the counter assignments too.
+        let (fl, file) = localize(COUNTER, &["overflow_out"]);
+        assert!(fl.mismatch.contains("overflow_out"));
+        assert!(
+            fl.mismatch.contains("counter_out"),
+            "Add-Child must pull counter_out in: {:?}",
+            fl.mismatch
+        );
+        // All three if-statements and all assignments end up implicated.
+        let module = &file.modules[0];
+        let implicated_assignments = visit::stmts_of_module(module)
+            .iter()
+            .filter(|s| s.is_assignment() && fl.nodes.contains(&s.id()))
+            .count();
+        assert_eq!(implicated_assignments, 3);
+        // reset and enable flow in through the conditionals.
+        assert!(fl.mismatch.contains("reset"));
+        assert!(fl.mismatch.contains("enable"));
+    }
+
+    #[test]
+    fn unrelated_code_is_not_implicated() {
+        let src = r#"
+            module m (a, b, y, z);
+                input a, b;
+                output reg y, z;
+                always @(a) y = a;
+                always @(b) z = b;
+            endmodule
+        "#;
+        let (fl, file) = localize(src, &["y"]);
+        let module = &file.modules[0];
+        // The z assignment must not be implicated.
+        let z_assign = visit::stmts_of_module(module)
+            .into_iter()
+            .find(|s| match s {
+                Stmt::Blocking { lhs, .. } => lhs.target_names() == vec!["z"],
+                _ => false,
+            })
+            .expect("z assignment");
+        assert!(!fl.nodes.contains(&z_assign.id()));
+        assert!(!fl.mismatch.contains("z"));
+        assert!(fl.mismatch.contains("a"), "rhs of y joins the mismatch");
+    }
+
+    #[test]
+    fn continuous_assignments_are_implicated() {
+        let src = r#"
+            module m (a, y);
+                input a;
+                output y;
+                wire mid;
+                assign mid = ~a;
+                assign y = mid;
+            endmodule
+        "#;
+        let (fl, _) = localize(src, &["y"]);
+        // y → mid → a, transitively.
+        assert!(fl.mismatch.contains("mid"));
+        assert!(fl.mismatch.contains("a"));
+        assert!(!fl.nodes.is_empty());
+    }
+
+    #[test]
+    fn empty_mismatch_implicates_nothing() {
+        let (fl, _) = localize(COUNTER, &[]);
+        assert!(fl.is_empty());
+        assert!(fl.mismatch.is_empty());
+    }
+
+    #[test]
+    fn case_statements_are_ctrl_candidates() {
+        let src = r#"
+            module m (s, q, other);
+                input [1:0] s;
+                output reg q, other;
+                always @(s) begin
+                    case (s)
+                        2'd0: q = 1'b0;
+                        default: q = 1'b1;
+                    endcase
+                    other = 1'b0;
+                end
+            endmodule
+        "#;
+        let (fl, file) = localize(src, &["q"]);
+        let module = &file.modules[0];
+        let case_stmt = visit::stmts_of_module(module)
+            .into_iter()
+            .find(|s| matches!(s, Stmt::Case { .. }))
+            .expect("case");
+        assert!(fl.nodes.contains(&case_stmt.id()));
+        assert!(fl.mismatch.contains("s"));
+        // `other` is assigned next to the case but reads nothing
+        // mismatched, so it stays out.
+        assert!(!fl.mismatch.contains("other"));
+    }
+
+    #[test]
+    fn fl_set_contains_whole_subtrees() {
+        let (fl, file) = localize(COUNTER, &["counter_out"]);
+        let module = &file.modules[0];
+        // Find the increment assignment; its rhs literal node must be in
+        // the FL set too (children of implicated nodes are included).
+        let inc = visit::stmts_of_module(module)
+            .into_iter()
+            .find(|s| matches!(s, Stmt::NonBlocking { rhs, .. }
+                if matches!(rhs, cirfix_ast::Expr::Binary { .. })))
+            .expect("increment assignment");
+        for id in visit::ids_in_stmt(inc) {
+            assert!(fl.nodes.contains(&id), "missing descendant {id}");
+        }
+    }
+}

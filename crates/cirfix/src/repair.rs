@@ -1,0 +1,515 @@
+//! The main CirFix loop (Algorithm 1 of the paper).
+//!
+//! Genetic programming over repair patches: tournament-selected parents
+//! reproduce through repair templates, mutation, or crossover; children
+//! are scored by the hardware fitness function; fault localization is
+//! recomputed for every parent (supporting multi-edit repairs); the
+//! search stops at the first plausible repair (fitness 1.0) or when
+//! resources are exhausted, and the winning patch is minimized.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use cirfix_ast::print;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::crossover::crossover;
+use crate::faultloc::{fault_localization, FaultLoc};
+use crate::fitness::{failure_report, fitness, FitnessParams, FitnessReport};
+use crate::minimize::minimize;
+use crate::mutation::{mutate, MutationParams};
+use crate::oracle::{simulate_with_probe, RepairProblem};
+use crate::patch::{apply_patch, Patch};
+use crate::select::{elite_indices, tournament_select};
+use crate::templates::random_template;
+
+/// Tunable parameters of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// Population size (`popnSize`). The paper uses 5000.
+    pub popn_size: usize,
+    /// Maximum generations. The paper uses 8.
+    pub max_generations: u32,
+    /// Probability of applying a repair template (`rtThreshold`, 0.2).
+    pub rt_threshold: f64,
+    /// Probability of mutation over crossover (`mutThreshold`, 0.7).
+    pub mut_threshold: f64,
+    /// Mutation sub-type thresholds and fix localization (§3.4, §3.6).
+    pub mutation: MutationParams,
+    /// Tournament size `t` (5).
+    pub tournament_size: usize,
+    /// Elitism fraction `e` (0.05).
+    pub elitism_pct: f64,
+    /// Fitness weighting (`φ = 2`).
+    pub fitness: FitnessParams,
+    /// Wall-clock budget (the paper uses 12 hours per trial).
+    pub timeout: Duration,
+    /// Budget of fitness evaluations (design simulations).
+    pub max_fitness_evals: u64,
+    /// Random seed; every trial in the paper is seeded distinctly.
+    pub seed: u64,
+    /// Recompute fault localization per parent (the paper's choice).
+    /// When `false`, localization runs once on the original design.
+    pub relocalize: bool,
+    /// Bloat control: variants whose AST grows beyond this factor of the
+    /// original are scored 0 without simulation, and their lineages are
+    /// not extended (GenProg-style resource rejection; insert edits copy
+    /// subtrees, so unchecked lineages can grow without bound).
+    pub max_growth: f64,
+    /// Bloat control for edit lists: crossover concatenates patch
+    /// fragments, so lineages can accumulate thousands of (mostly stale)
+    /// edits; parents longer than this reproduce from the original
+    /// design instead.
+    pub max_patch_len: usize,
+}
+
+impl RepairConfig {
+    /// The paper's parameters (§4.2): population 5000, 8 generations,
+    /// rt 0.2, mut 0.7, del/ins/rep 0.3/0.3/0.4, t = 5, e = 5%, φ = 2,
+    /// 12-hour timeout.
+    pub fn paper() -> RepairConfig {
+        RepairConfig {
+            popn_size: 5000,
+            max_generations: 8,
+            rt_threshold: 0.2,
+            mut_threshold: 0.7,
+            mutation: MutationParams::default(),
+            tournament_size: 5,
+            elitism_pct: 0.05,
+            fitness: FitnessParams { phi: 2.0 },
+            timeout: Duration::from_secs(12 * 3600),
+            max_fitness_evals: u64::MAX,
+            seed: 1,
+            relocalize: true,
+            max_growth: 3.0,
+            max_patch_len: 32,
+        }
+    }
+
+    /// A scaled-down configuration for tests and CI-time experiments:
+    /// same ratios as [`RepairConfig::paper`], smaller population.
+    pub fn fast(seed: u64) -> RepairConfig {
+        RepairConfig {
+            popn_size: 300,
+            max_generations: 8,
+            timeout: Duration::from_secs(120),
+            max_fitness_evals: 6_000,
+            seed,
+            ..RepairConfig::paper()
+        }
+    }
+}
+
+/// The cached outcome of evaluating one patch.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Normalized fitness in `[0, 1]`.
+    pub score: f64,
+    /// `false` when the variant failed to elaborate or crashed.
+    pub compiled: bool,
+    /// Mismatched variables (leaf names) for fault localization.
+    pub mismatched: BTreeSet<String>,
+    /// The detailed report, when simulation succeeded.
+    pub report: Option<FitnessReport>,
+    /// Error text, when it did not.
+    pub error: Option<String>,
+}
+
+/// Why the search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStatus {
+    /// A fitness-1.0 candidate was found.
+    Plausible,
+    /// Generations, evaluations, or wall clock ran out.
+    Exhausted,
+}
+
+/// The outcome of one repair trial.
+#[derive(Debug, Clone)]
+pub struct RepairResult {
+    /// Terminal status.
+    pub status: RepairStatus,
+    /// Best fitness reached.
+    pub best_fitness: f64,
+    /// The best patch (minimized when plausible).
+    pub patch: Patch,
+    /// Length of the winning patch before minimization.
+    pub unminimized_len: usize,
+    /// Completed generations.
+    pub generations: u32,
+    /// Fitness probes (distinct design simulations).
+    pub fitness_evals: u64,
+    /// Wall time spent.
+    pub wall_time: Duration,
+    /// Best fitness at the end of each generation.
+    pub history: Vec<f64>,
+    /// Strictly increasing best-fitness trajectory (the paper's RQ3,
+    /// e.g. 0 → 0.58 → 0.77 → 1.0 for the triple-edit counter defect).
+    pub improvement_steps: Vec<f64>,
+    /// Regenerated source of the repaired design, when plausible.
+    pub repaired_source: Option<String>,
+}
+
+impl RepairResult {
+    /// `true` when a plausible (testbench-adequate) repair was found.
+    pub fn is_plausible(&self) -> bool {
+        self.status == RepairStatus::Plausible
+    }
+}
+
+/// Evaluates one patch against a repair problem: apply → simulate →
+/// fitness. Compile failures and runtime errors score 0.
+pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -> Evaluation {
+    let (variant, _) = apply_patch(&problem.source, &problem.design_modules, patch);
+    match simulate_with_probe(&variant, &problem.top, &problem.probe, &problem.sim) {
+        Ok((_, trace, _)) => {
+            let report = fitness(&trace, &problem.oracle, params);
+            Evaluation {
+                score: report.score,
+                compiled: true,
+                mismatched: report
+                    .mismatched_vars
+                    .iter()
+                    .map(|v| strip_hierarchy(v))
+                    .collect(),
+                report: Some(report),
+                error: None,
+            }
+        }
+        Err(e) => {
+            let report = failure_report(&problem.oracle);
+            Evaluation {
+                score: 0.0,
+                compiled: !e.is_compile_failure(),
+                mismatched: problem
+                    .oracle
+                    .vars()
+                    .iter()
+                    .map(|v| strip_hierarchy(v))
+                    .collect(),
+                report: Some(report),
+                error: Some(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Strips instance hierarchy from a probed signal name
+/// (`dut.counter_out` → `counter_out`).
+pub fn strip_hierarchy(name: &str) -> String {
+    name.rsplit('.').next().unwrap_or(name).to_string()
+}
+
+/// Total AST node count of a source file (for bloat control).
+fn node_count(file: &cirfix_ast::SourceFile) -> usize {
+    let mut n = 0;
+    cirfix_ast::visit::walk_source(file, &mut |_| n += 1);
+    n
+}
+
+/// The repair engine: owns the evaluation cache and RNG for one trial.
+pub struct Repairer<'a> {
+    problem: &'a RepairProblem,
+    config: RepairConfig,
+    cache: HashMap<Patch, Evaluation>,
+    rng: rand::rngs::StdRng,
+    evals: u64,
+    started: Instant,
+    node_budget: usize,
+}
+
+impl<'a> Repairer<'a> {
+    /// Creates a repair engine for one trial.
+    pub fn new(problem: &'a RepairProblem, config: RepairConfig) -> Repairer<'a> {
+        let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let node_budget = ((node_count(&problem.source) as f64)
+            * config.max_growth.max(1.0))
+        .ceil() as usize;
+        Repairer {
+            problem,
+            config,
+            cache: HashMap::new(),
+            rng,
+            evals: 0,
+            started: Instant::now(),
+            node_budget,
+        }
+    }
+
+    /// Number of fitness probes so far (cache misses — each is one
+    /// design simulation, the paper's dominant cost).
+    pub fn fitness_evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.evals >= self.config.max_fitness_evals
+            || self.started.elapsed() >= self.config.timeout
+    }
+
+    fn evaluate_cached(&mut self, patch: &Patch) -> Evaluation {
+        if let Some(e) = self.cache.get(patch) {
+            return e.clone();
+        }
+        let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
+        let eval = if node_count(&variant) > self.node_budget {
+            // Bloat rejection: treated like a compile failure.
+            Evaluation {
+                score: 0.0,
+                compiled: false,
+                mismatched: self
+                    .problem
+                    .oracle
+                    .vars()
+                    .iter()
+                    .map(|v| strip_hierarchy(v))
+                    .collect(),
+                report: None,
+                error: Some("variant exceeds the AST growth budget".to_string()),
+            }
+        } else {
+            evaluate(self.problem, patch, self.config.fitness)
+        };
+        self.evals += 1;
+        self.cache.insert(patch.clone(), eval.clone());
+        eval
+    }
+
+    fn localize_variant(
+        &self,
+        variant: &cirfix_ast::SourceFile,
+        eval: &Evaluation,
+    ) -> FaultLoc {
+        let modules: Vec<&cirfix_ast::Module> = variant
+            .modules
+            .iter()
+            .filter(|m| self.problem.design_modules.contains(&m.name))
+            .collect();
+        fault_localization(&modules, &eval.mismatched)
+    }
+
+    fn localize(&mut self, patch: &Patch, eval: &Evaluation) -> FaultLoc {
+        let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
+        self.localize_variant(&variant, eval)
+    }
+
+    /// Produces one or two children from the population (lines 5–17 of
+    /// Algorithm 1).
+    fn reproduce(
+        &mut self,
+        popn: &[(Patch, Evaluation)],
+        original_fl: &FaultLoc,
+    ) -> Vec<Patch> {
+        let fitnesses: Vec<f64> = popn.iter().map(|(_, e)| e.score).collect();
+        let pi = tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
+        let (mut parent, mut parent_eval) = (popn[pi].0.clone(), popn[pi].1.clone());
+        // Bloat control: over-long lineages reproduce from the original.
+        if parent.len() > self.config.max_patch_len {
+            parent = Patch::empty();
+            parent_eval = self.evaluate_cached(&parent);
+        }
+        let (mut variant, _) =
+            apply_patch(&self.problem.source, &self.problem.design_modules, &parent);
+        if node_count(&variant) > self.node_budget {
+            parent = Patch::empty();
+            parent_eval = self.evaluate_cached(&parent);
+            variant = self.problem.source.clone();
+        }
+        let fl = if self.config.relocalize {
+            self.localize_variant(&variant, &parent_eval)
+        } else {
+            original_fl.clone()
+        };
+        let parent = &parent;
+
+        let roll: f64 = self.rng.gen();
+        if roll <= self.config.rt_threshold {
+            // Repair templates.
+            match random_template(&variant, &self.problem.design_modules, &fl, &mut self.rng)
+            {
+                Some(edit) => vec![parent.with(edit)],
+                None => vec![parent.clone()],
+            }
+        } else if self.rng.gen::<f64>() <= self.config.mut_threshold {
+            match mutate(
+                &variant,
+                &self.problem.design_modules,
+                &fl,
+                self.config.mutation,
+                &mut self.rng,
+            ) {
+                Some(edit) => vec![parent.with(edit)],
+                None => vec![parent.clone()],
+            }
+        } else {
+            let pj =
+                tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
+            let parent2 = &popn[pj].0;
+            let (c1, c2) = crossover(parent, parent2, &mut self.rng);
+            vec![c1, c2]
+        }
+    }
+
+    /// Runs the trial to completion.
+    pub fn run(&mut self) -> RepairResult {
+        let original = Patch::empty();
+        let original_eval = self.evaluate_cached(&original);
+        let original_fl = self.localize(&original, &original_eval);
+
+        let mut best: (Patch, f64) = (original.clone(), original_eval.score);
+        let mut improvement_steps = vec![original_eval.score];
+        let mut history = Vec::new();
+        // The original is part of the population: if it already meets
+        // the oracle, there is nothing to repair.
+        let mut found: Option<Patch> =
+            (original_eval.score >= 1.0).then(|| original.clone());
+
+        // Seed population (`seed_popn(C, popnSize)`): the original plus
+        // single-edit variants *of the original* — matching GenProg's
+        // convention of seeding from the input program.
+        let mut popn: Vec<(Patch, Evaluation)> = vec![(original.clone(), original_eval)];
+        while popn.len() < self.config.popn_size && !self.out_of_budget() && found.is_none() {
+            let children = self.reproduce(&popn[..1], &original_fl);
+            for child in children {
+                let eval = self.evaluate_cached(&child);
+                if eval.score > best.1 {
+                    best = (child.clone(), eval.score);
+                    improvement_steps.push(eval.score);
+                }
+                if eval.score >= 1.0 {
+                    found = Some(child.clone());
+                }
+                popn.push((child, eval));
+            }
+        }
+
+        let mut generations = 0;
+        'outer: while found.is_none()
+            && generations < self.config.max_generations
+            && !self.out_of_budget()
+        {
+            let mut children: Vec<(Patch, Evaluation)> = Vec::new();
+            while children.len() < self.config.popn_size {
+                if self.out_of_budget() {
+                    break 'outer;
+                }
+                let new_children = self.reproduce(&popn, &original_fl);
+                for child in new_children {
+                    let eval = self.evaluate_cached(&child);
+                    if eval.score > best.1 {
+                        best = (child.clone(), eval.score);
+                        improvement_steps.push(eval.score);
+                    }
+                    let plausible = eval.score >= 1.0;
+                    children.push((child.clone(), eval));
+                    if plausible {
+                        found = Some(child);
+                        break;
+                    }
+                }
+                if found.is_some() {
+                    break;
+                }
+            }
+            // Elitism: the top e% of the current population survive.
+            let fitnesses: Vec<f64> = popn.iter().map(|(_, e)| e.score).collect();
+            let mut next: Vec<(Patch, Evaluation)> = elite_indices(&fitnesses, self.config.elitism_pct)
+                .into_iter()
+                .map(|i| popn[i].clone())
+                .collect();
+            next.extend(children);
+            popn = next;
+            generations += 1;
+            history.push(best.1);
+        }
+
+        let (status, patch, unminimized_len, repaired_source) = match found {
+            Some(winning) => {
+                let unmin = winning.len();
+                let minimized = self.minimize_patch(&winning);
+                let (repaired, _) = apply_patch(
+                    &self.problem.source,
+                    &self.problem.design_modules,
+                    &minimized,
+                );
+                let design_only: Vec<String> = repaired
+                    .modules
+                    .iter()
+                    .filter(|m| self.problem.design_modules.contains(&m.name))
+                    .map(print::module_to_string)
+                    .collect();
+                (
+                    RepairStatus::Plausible,
+                    minimized,
+                    unmin,
+                    Some(design_only.join("\n")),
+                )
+            }
+            None => (RepairStatus::Exhausted, best.0.clone(), best.0.len(), None),
+        };
+
+        RepairResult {
+            status,
+            best_fitness: if status == RepairStatus::Plausible {
+                1.0
+            } else {
+                best.1
+            },
+            patch,
+            unminimized_len,
+            generations,
+            fitness_evals: self.evals,
+            wall_time: self.started.elapsed(),
+            history,
+            improvement_steps,
+            repaired_source,
+        }
+    }
+
+    fn minimize_patch(&mut self, patch: &Patch) -> Patch {
+        let problem = self.problem;
+        let params = self.config.fitness;
+        let mut cache: HashMap<Patch, bool> = HashMap::new();
+        let mut evals = 0u64;
+        let minimized = minimize(patch, |p| {
+            if let Some(v) = cache.get(p) {
+                return *v;
+            }
+            evals += 1;
+            let ok = evaluate(problem, p, params).score >= 1.0;
+            cache.insert(p.clone(), ok);
+            ok
+        });
+        self.evals += evals;
+        minimized
+    }
+}
+
+/// Convenience wrapper: one repair trial.
+pub fn repair(problem: &RepairProblem, config: RepairConfig) -> RepairResult {
+    Repairer::new(problem, config).run()
+}
+
+/// Runs up to `trials` independent trials with distinct seeds, stopping
+/// at the first plausible repair — the paper's experimental protocol
+/// (5 trials per defect scenario).
+pub fn repair_with_trials(
+    problem: &RepairProblem,
+    base: &RepairConfig,
+    trials: u32,
+) -> RepairResult {
+    let mut last = None;
+    for t in 0..trials.max(1) {
+        let config = RepairConfig {
+            seed: base.seed.wrapping_add(u64::from(t)),
+            ..base.clone()
+        };
+        let result = repair(problem, config);
+        if result.is_plausible() {
+            return result;
+        }
+        last = Some(result);
+    }
+    last.expect("at least one trial ran")
+}

@@ -1,0 +1,91 @@
+//! Parent selection: tournament selection with elitism (§3.5).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Selects the index of a parent by tournament: sample `t` members
+/// uniformly, return the fittest.
+///
+/// # Panics
+///
+/// Panics if `fitnesses` is empty or `t == 0`.
+pub fn tournament_select(fitnesses: &[f64], t: usize, rng: &mut impl Rng) -> usize {
+    assert!(!fitnesses.is_empty(), "empty population");
+    assert!(t > 0, "tournament size must be positive");
+    let indices: Vec<usize> = (0..fitnesses.len()).collect();
+    let mut best = *indices.choose(rng).expect("non-empty");
+    for _ in 1..t {
+        let contender = *indices.choose(rng).expect("non-empty");
+        if fitnesses[contender] > fitnesses[best] {
+            best = contender;
+        }
+    }
+    best
+}
+
+/// Indices of the top `pct` (0–1) fittest members, ties broken by lower
+/// index; at least one member is returned when `pct > 0`.
+pub fn elite_indices(fitnesses: &[f64], pct: f64) -> Vec<usize> {
+    if fitnesses.is_empty() || pct <= 0.0 {
+        return Vec::new();
+    }
+    let count = ((fitnesses.len() as f64 * pct).ceil() as usize)
+        .clamp(1, fitnesses.len());
+    let mut idx: Vec<usize> = (0..fitnesses.len()).collect();
+    idx.sort_by(|a, b| {
+        fitnesses[*b]
+            .partial_cmp(&fitnesses[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    idx.truncate(count);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tournament_prefers_fitter_members() {
+        let fitnesses = vec![0.1, 0.9, 0.2, 0.3];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut wins = vec![0usize; 4];
+        for _ in 0..2000 {
+            wins[tournament_select(&fitnesses, 5, &mut rng)] += 1;
+        }
+        assert!(
+            wins[1] > wins[0] && wins[1] > wins[2] && wins[1] > wins[3],
+            "fittest wins most: {wins:?}"
+        );
+        // With t = 5 on a population of 4, selection pressure is strong.
+        assert!(wins[1] > 1200, "{wins:?}");
+    }
+
+    #[test]
+    fn tournament_of_one_is_uniform() {
+        let fitnesses = vec![0.1, 0.9];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut wins = [0usize; 2];
+        for _ in 0..2000 {
+            wins[tournament_select(&fitnesses, 1, &mut rng)] += 1;
+        }
+        assert!(wins[0] > 800 && wins[1] > 800, "{wins:?}");
+    }
+
+    #[test]
+    fn elites_are_the_top_fraction() {
+        let fitnesses = vec![0.5, 0.9, 0.1, 0.7];
+        assert_eq!(elite_indices(&fitnesses, 0.25), vec![1]);
+        assert_eq!(elite_indices(&fitnesses, 0.5), vec![1, 3]);
+        assert_eq!(elite_indices(&fitnesses, 1.0), vec![1, 3, 0, 2]);
+        assert!(elite_indices(&fitnesses, 0.0).is_empty());
+        assert!(elite_indices(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn elites_always_nonempty_for_positive_pct() {
+        assert_eq!(elite_indices(&[0.3], 0.01), vec![0]);
+    }
+}

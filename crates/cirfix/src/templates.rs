@@ -1,0 +1,204 @@
+//! Repair templates (Table 1 of the paper) and their applicability.
+//!
+//! Nine templates across four defect categories: conditionals (negate),
+//! sensitivity lists (posedge / negedge / any-change / level),
+//! assignments (blocking ↔ non-blocking), and numerics (increment /
+//! decrement). `apply_fix_pattern` in Algorithm 1 corresponds to picking
+//! one applicable instance at random.
+
+use cirfix_ast::{visit, Expr, Item, Module, SourceFile, Stmt};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::faultloc::FaultLoc;
+use crate::patch::{Edit, SensTemplate};
+
+/// Enumerates every applicable template instance targeting the fault
+/// localization set. When `fl` is empty, all nodes are fair game (this
+/// happens for defects whose symptom does not reach any recorded output,
+/// where CirFix degenerates to unguided search).
+pub fn applicable_templates(
+    file: &SourceFile,
+    design_modules: &[String],
+    fl: &FaultLoc,
+) -> Vec<Edit> {
+    let mut out = Vec::new();
+    let in_fl = |id| fl.nodes.is_empty() || fl.nodes.contains(&id);
+    for module in file
+        .modules
+        .iter()
+        .filter(|m| design_modules.contains(&m.name))
+    {
+        let signals = declared_signals(module);
+        for stmt in visit::stmts_of_module(module) {
+            match stmt {
+                Stmt::If { id, .. } | Stmt::While { id, .. } if in_fl(*id) => {
+                    out.push(Edit::NegateCond { target: *id });
+                }
+                Stmt::EventControl { id, .. }
+                    if in_fl(*id)
+                        || visit::ids_in_stmt(stmt).iter().any(|n| fl.nodes.contains(n)) =>
+                {
+                    out.push(Edit::SetSensitivity {
+                        control: *id,
+                        kind: SensTemplate::AnyChange,
+                        signal: None,
+                    });
+                    for sig in &signals {
+                        for kind in [
+                            SensTemplate::Posedge,
+                            SensTemplate::Negedge,
+                            SensTemplate::Level,
+                        ] {
+                            out.push(Edit::SetSensitivity {
+                                control: *id,
+                                kind,
+                                signal: Some(sig.clone()),
+                            });
+                        }
+                    }
+                }
+                Stmt::Blocking { id, .. } if in_fl(*id) => {
+                    out.push(Edit::BlockingToNonBlocking { target: *id });
+                }
+                Stmt::NonBlocking { id, .. } if in_fl(*id) => {
+                    out.push(Edit::NonBlockingToBlocking { target: *id });
+                }
+                _ => {}
+            }
+        }
+        for expr in visit::exprs_of_module(module) {
+            match expr {
+                Expr::Literal { id, .. } | Expr::Ident { id, .. } if in_fl(*id) => {
+                    out.push(Edit::IncrementExpr { target: *id });
+                    out.push(Edit::DecrementExpr { target: *id });
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Picks one applicable template instance at random (`apply_fix_pattern`
+/// of Algorithm 1). Returns `None` if no template applies.
+pub fn random_template(
+    file: &SourceFile,
+    design_modules: &[String],
+    fl: &FaultLoc,
+    rng: &mut impl Rng,
+) -> Option<Edit> {
+    let candidates = applicable_templates(file, design_modules, fl);
+    candidates.choose(rng).cloned()
+}
+
+/// Names of all declared nets/regs/ports of a module (template targets
+/// for sensitivity-list rewrites).
+fn declared_signals(module: &Module) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in &module.items {
+        if let Item::Decl(d) = item {
+            if d.kind == cirfix_ast::DeclKind::Event {
+                continue;
+            }
+            for v in &d.vars {
+                if v.array.is_none() && !out.contains(&v.name) {
+                    out.push(v.name.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultloc::fault_localization;
+    use cirfix_parser::parse;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    const SRC: &str = r#"
+        module m (c, r, q);
+            input c, r;
+            output reg [3:0] q;
+            always @(posedge c)
+            begin
+                if (r == 1'b1) begin
+                    q <= 4'd0;
+                end
+                else begin
+                    q <= q + 4'd1;
+                end
+            end
+        endmodule
+    "#;
+
+    #[test]
+    fn enumerates_all_categories() {
+        let file = parse(SRC).unwrap();
+        let mods = vec!["m".to_string()];
+        let mismatch: BTreeSet<String> = ["q".to_string()].into();
+        let fl = fault_localization(&[file.module("m").unwrap()], &mismatch);
+        let edits = applicable_templates(&file, &mods, &fl);
+        assert!(edits.iter().any(|e| matches!(e, Edit::NegateCond { .. })));
+        assert!(edits
+            .iter()
+            .any(|e| matches!(e, Edit::SetSensitivity { kind: SensTemplate::Negedge, .. })));
+        assert!(edits
+            .iter()
+            .any(|e| matches!(e, Edit::SetSensitivity { kind: SensTemplate::AnyChange, .. })));
+        assert!(edits
+            .iter()
+            .any(|e| matches!(e, Edit::NonBlockingToBlocking { .. })));
+        assert!(edits.iter().any(|e| matches!(e, Edit::IncrementExpr { .. })));
+        assert!(edits.iter().any(|e| matches!(e, Edit::DecrementExpr { .. })));
+    }
+
+    #[test]
+    fn fl_restricts_targets() {
+        let file = parse(SRC).unwrap();
+        let mods = vec!["m".to_string()];
+        // Empty-variable mismatch set that implicates nothing: pass a
+        // variable that does not exist.
+        let mismatch: BTreeSet<String> = ["nonexistent".to_string()].into();
+        let fl = fault_localization(&[file.module("m").unwrap()], &mismatch);
+        assert!(fl.nodes.is_empty());
+        // With an empty FL, templates fall back to all nodes.
+        let edits = applicable_templates(&file, &mods, &fl);
+        assert!(!edits.is_empty());
+    }
+
+    #[test]
+    fn random_template_is_seed_deterministic() {
+        let file = parse(SRC).unwrap();
+        let mods = vec!["m".to_string()];
+        let fl = FaultLoc::default();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(
+            random_template(&file, &mods, &fl, &mut rng1),
+            random_template(&file, &mods, &fl, &mut rng2)
+        );
+    }
+
+    #[test]
+    fn sensitivity_templates_only_use_scalarish_signals() {
+        let src = r#"
+            module m (c, q);
+                input c;
+                output reg q;
+                reg [7:0] mem [0:3];
+                always @(posedge c) q <= ~q;
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let edits =
+            applicable_templates(&file, &["m".to_string()], &FaultLoc::default());
+        assert!(!edits.iter().any(|e| matches!(
+            e,
+            Edit::SetSensitivity { signal: Some(s), .. } if s == "mem"
+        )));
+    }
+}

@@ -1,0 +1,166 @@
+//! Classifying plausible repairs as correct or overfitting.
+//!
+//! The paper manually inspects plausible repairs (§5.1); operationally,
+//! we classify a repair as *correct* when the repaired design matches
+//! the golden design on a **held-out verification testbench** — longer,
+//! differently stimulated, and never seen by the search. Repairs that
+//! pass the instrumented search testbench but fail verification are
+//! *plausible-but-overfitting*, the paper's "correct only with respect
+//! to the testbench" category.
+
+use cirfix_ast::SourceFile;
+use cirfix_sim::{ProbeSpec, SimConfig, SimError};
+
+use crate::oracle::simulate_with_probe;
+
+/// A held-out verification environment for one project.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Testbench modules (without the design).
+    pub testbench: SourceFile,
+    /// Top module of the verification bench.
+    pub top: String,
+    /// Instrumentation used for the comparison.
+    pub probe: ProbeSpec,
+    /// Simulation limits.
+    pub sim: SimConfig,
+}
+
+/// Copies the named modules out of `file` into a new source file.
+pub fn extract_modules(file: &SourceFile, names: &[String]) -> SourceFile {
+    SourceFile {
+        modules: file
+            .modules
+            .iter()
+            .filter(|m| names.contains(&m.name))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Combines design modules with a testbench into one elaboratable file.
+pub fn combine(design: &SourceFile, testbench: &SourceFile) -> SourceFile {
+    let mut out = design.clone();
+    out.extend_from(testbench.clone());
+    out
+}
+
+/// Checks whether the repaired design behaves identically to the golden
+/// design under the held-out verification bench.
+///
+/// `repaired_full` is the patched file (design + search testbench);
+/// `design_modules` names the circuit; `golden_design` contains only the
+/// known-good design modules.
+///
+/// # Errors
+///
+/// Returns an error if the *golden* design fails to simulate (a setup
+/// bug). A repaired design that fails to simulate is reported as not
+/// correct rather than as an error.
+pub fn verify_repair(
+    repaired_full: &SourceFile,
+    design_modules: &[String],
+    golden_design: &SourceFile,
+    verification: &Verification,
+) -> Result<bool, SimError> {
+    let golden_file = combine(golden_design, &verification.testbench);
+    let (_, golden_trace, _) = simulate_with_probe(
+        &golden_file,
+        &verification.top,
+        &verification.probe,
+        &verification.sim,
+    )?;
+
+    let repaired_design = extract_modules(repaired_full, design_modules);
+    let repaired_file = combine(&repaired_design, &verification.testbench);
+    match simulate_with_probe(
+        &repaired_file,
+        &verification.top,
+        &verification.probe,
+        &verification.sim,
+    ) {
+        Ok((_, trace, _)) => Ok(trace == golden_trace),
+        Err(_) => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirfix_parser::parse;
+
+    const GOLDEN: &str = r#"
+        module inv (a, y);
+            input a;
+            output y;
+            assign y = ~a;
+        endmodule
+    "#;
+
+    const OVERFIT: &str = r#"
+        module inv (a, y);
+            input a;
+            output y;
+            assign y = 1'b1;  // matches only while a == 0
+        endmodule
+    "#;
+
+    const TB: &str = r#"
+        module tb;
+            reg a;
+            wire y;
+            inv dut (a, y);
+            initial begin
+                a = 0;
+                #10 a = 1;
+                #10 a = 0;
+                #10 $finish;
+            end
+        endmodule
+    "#;
+
+    fn verification() -> Verification {
+        Verification {
+            testbench: parse(TB).unwrap(),
+            top: "tb".into(),
+            probe: ProbeSpec::periodic(vec!["y".into()], 5, 10),
+            sim: SimConfig::default(),
+        }
+    }
+
+    #[test]
+    fn golden_design_verifies_against_itself() {
+        let golden = parse(GOLDEN).unwrap();
+        let ok = verify_repair(&golden, &["inv".to_string()], &golden, &verification())
+            .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn overfitting_design_fails_verification() {
+        let golden = parse(GOLDEN).unwrap();
+        let overfit = parse(OVERFIT).unwrap();
+        let ok = verify_repair(&overfit, &["inv".to_string()], &golden, &verification())
+            .unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn broken_repair_is_not_correct_rather_than_error() {
+        let golden = parse(GOLDEN).unwrap();
+        // A "repair" that does not even define the module.
+        let broken = parse("module unrelated; endmodule").unwrap();
+        let ok = verify_repair(&broken, &["inv".to_string()], &golden, &verification())
+            .unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn extract_and_combine() {
+        let file = parse("module a; endmodule module b; endmodule").unwrap();
+        let only_a = extract_modules(&file, &["a".to_string()]);
+        assert_eq!(only_a.modules.len(), 1);
+        let combined = combine(&only_a, &parse("module c; endmodule").unwrap());
+        assert_eq!(combined.modules.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The `repair.conf` format: simple `key = value` lines, mirroring the
+//! configuration file of the paper's artifact (§A.4).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A parsed repair configuration file.
+///
+/// Recognized keys:
+///
+/// | key | meaning | default |
+/// |---|---|---|
+/// | `design` | path to the faulty design (required) | — |
+/// | `golden` | path to a known-good design for the oracle (required) | — |
+/// | `testbench` | path to the testbench (required) | — |
+/// | `top` | testbench top module (required) | — |
+/// | `design_modules` | comma-separated repairable modules (required) | — |
+/// | `probe_signals` | comma-separated recorded signals (required) | — |
+/// | `probe_start` | first sample time | `5` |
+/// | `probe_period` | sampling period | `10` |
+/// | `max_time` | simulation time bound | `100000` |
+/// | `popn_size` | GP population size | `300` |
+/// | `max_generations` | GP generations | `8` |
+/// | `trials` | independent trials | `3` |
+/// | `seed` | base random seed | `1` |
+/// | `timeout_s` | wall clock per trial (seconds) | `120` |
+/// | `max_evals` | fitness evaluations per trial | `6000` |
+/// | `phi` | x/z penalty weight | `2.0` |
+/// | `output` | where to write the repaired design | `repaired.v` |
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    values: HashMap<String, String>,
+    base_dir: PathBuf,
+}
+
+/// A configuration error with context.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses `text`, resolving relative paths against `base_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for lines that are not comments, blanks, or
+    /// `key = value` pairs.
+    pub fn parse(text: &str, base_dir: &Path) -> Result<Config, ConfigError> {
+        let mut values = HashMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError(format!(
+                    "line {}: expected `key = value`, got `{line}`",
+                    lineno + 1
+                )));
+            };
+            values.insert(key.trim().to_string(), value.trim().to_string());
+        }
+        Ok(Config {
+            values,
+            base_dir: base_dir.to_path_buf(),
+        })
+    }
+
+    /// Loads and parses a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// I/O and syntax errors.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        Config::parse(&text, base)
+    }
+
+    /// Overrides a key (used for `--key value` command-line overrides).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.values.insert(key.to_string(), value.to_string());
+    }
+
+    /// A required string value.
+    ///
+    /// # Errors
+    ///
+    /// Missing key.
+    pub fn required(&self, key: &str) -> Result<&str, ConfigError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ConfigError(format!("missing required key `{key}`")))
+    }
+
+    /// An optional string with a default.
+    pub fn string_or(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A numeric value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Unparseable numbers.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ConfigError> {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| ConfigError(format!("key `{key}`: bad number `{v}`"))),
+            None => Ok(default),
+        }
+    }
+
+    /// A required path, resolved against the config file's directory.
+    ///
+    /// # Errors
+    ///
+    /// Missing key.
+    pub fn path(&self, key: &str) -> Result<PathBuf, ConfigError> {
+        let raw = self.required(key)?;
+        let p = Path::new(raw);
+        Ok(if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            self.base_dir.join(p)
+        })
+    }
+
+    /// A comma-separated list.
+    ///
+    /// # Errors
+    ///
+    /// Missing key.
+    pub fn list(&self, key: &str) -> Result<Vec<String>, ConfigError> {
+        Ok(self
+            .required(key)?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_lines() {
+        let c = Config::parse(
+            "# comment\n\ntop = tb\npopn_size = 40\nprobe_signals = q, ovf\n",
+            Path::new("/base"),
+        )
+        .unwrap();
+        assert_eq!(c.required("top").unwrap(), "tb");
+        assert_eq!(c.num_or("popn_size", 0usize).unwrap(), 40);
+        assert_eq!(c.list("probe_signals").unwrap(), vec!["q", "ovf"]);
+        assert_eq!(c.string_or("output", "repaired.v"), "repaired.v");
+    }
+
+    #[test]
+    fn resolves_relative_paths() {
+        let c = Config::parse("design = d.v\n", Path::new("/cfg/dir")).unwrap();
+        assert_eq!(c.path("design").unwrap(), PathBuf::from("/cfg/dir/d.v"));
+        let c = Config::parse("design = /abs/d.v\n", Path::new("/cfg/dir")).unwrap();
+        assert_eq!(c.path("design").unwrap(), PathBuf::from("/abs/d.v"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::parse("nonsense line", Path::new(".")).is_err());
+    }
+
+    #[test]
+    fn reports_missing_and_bad_values() {
+        let c = Config::parse("popn_size = lots\n", Path::new(".")).unwrap();
+        assert!(c.required("top").is_err());
+        assert!(c.num_or("popn_size", 1usize).is_err());
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut c = Config::parse("top = a\n", Path::new(".")).unwrap();
+        c.set("top", "b");
+        assert_eq!(c.required("top").unwrap(), "b");
+    }
+}

@@ -1,0 +1,280 @@
+#![warn(missing_docs)]
+
+//! `cirfix` — command-line automated repair for Verilog designs.
+//!
+//! The equivalent of the paper artifact's `repair.py` driven by
+//! `repair.conf` (§A.4–A.5):
+//!
+//! ```text
+//! cirfix repair <repair.conf> [--key value ...]   search for a repair
+//! cirfix simulate <repair.conf>                   run the instrumented testbench
+//! cirfix fitness <repair.conf>                    score the faulty design
+//! cirfix localize <repair.conf>                   print the fault-localization set
+//! cirfix verify <repair.conf>                     check a repaired design against
+//!                                                 the golden one on a held-out bench
+//! ```
+//!
+//! See [`config::Config`] for the recognized keys.
+
+mod config;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cirfix::{
+    apply_patch, evaluate, fault_localization, oracle_from_golden, repair_with_trials,
+    FitnessParams, Patch, RepairConfig, RepairProblem,
+};
+use cirfix_ast::{print, SourceFile};
+use cirfix_sim::{ProbeSpec, SimConfig};
+use config::{Config, ConfigError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cirfix: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: cirfix <repair|simulate|fitness|localize|verify> <config-file> [--key value ...]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (command, rest) = args.split_first().ok_or_else(usage)?;
+    let (config_path, overrides) = rest.split_first().ok_or_else(usage)?;
+    let mut config = Config::load(Path::new(config_path))?;
+    let mut i = 0;
+    while i < overrides.len() {
+        let key = overrides[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ConfigError(format!("expected --key, got `{}`", overrides[i])))?;
+        let value = overrides
+            .get(i + 1)
+            .ok_or_else(|| ConfigError(format!("--{key} needs a value")))?;
+        config.set(key, value);
+        i += 2;
+    }
+
+    match command.as_str() {
+        "repair" => cmd_repair(&config),
+        "simulate" => cmd_simulate(&config),
+        "fitness" => cmd_fitness(&config),
+        "localize" => cmd_localize(&config),
+        "verify" => cmd_verify(&config),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+fn load_sources(config: &Config) -> Result<(SourceFile, SourceFile), Box<dyn std::error::Error>> {
+    let read = |key: &str| -> Result<String, Box<dyn std::error::Error>> {
+        let path = config.path(key)?;
+        Ok(std::fs::read_to_string(&path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?)
+    };
+    let design = cirfix_parser::parse(&read("design")?)?;
+    let testbench = cirfix_parser::parse(&read("testbench")?)?;
+    Ok((design, testbench))
+}
+
+fn build_problem(config: &Config) -> Result<RepairProblem, Box<dyn std::error::Error>> {
+    let (design, testbench) = load_sources(config)?;
+    let top = config.required("top")?.to_string();
+    let design_modules = config.list("design_modules")?;
+    let probe = ProbeSpec::periodic(
+        config.list("probe_signals")?,
+        config.num_or("probe_start", 5u64)?,
+        config.num_or("probe_period", 10u64)?,
+    );
+    let sim = SimConfig {
+        max_time: config.num_or("max_time", 100_000u64)?,
+        ..SimConfig::default()
+    };
+
+    let golden_path = config.path("golden")?;
+    let golden_text = std::fs::read_to_string(&golden_path)
+        .map_err(|e| ConfigError(format!("cannot read {}: {e}", golden_path.display())))?;
+    let mut golden = cirfix_parser::parse(&golden_text)?;
+    golden.extend_from(testbench.clone());
+    let oracle = oracle_from_golden(&golden, &top, &probe, &sim)?;
+
+    let mut source = design;
+    source.extend_from(testbench);
+    Ok(RepairProblem {
+        source,
+        top,
+        design_modules,
+        probe,
+        oracle,
+        sim,
+    })
+}
+
+fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Error>> {
+    let mut rc = RepairConfig::fast(config.num_or("seed", 1u64)?);
+    rc.popn_size = config.num_or("popn_size", rc.popn_size)?;
+    rc.max_generations = config.num_or("max_generations", rc.max_generations)?;
+    rc.max_fitness_evals = config.num_or("max_evals", rc.max_fitness_evals)?;
+    rc.timeout = Duration::from_secs(config.num_or("timeout_s", 120u64)?);
+    rc.fitness = FitnessParams {
+        phi: config.num_or("phi", 2.0f64)?,
+    };
+    Ok(rc)
+}
+
+fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
+    let problem = build_problem(config)?;
+    let rc = repair_config(config)?;
+    let trials = config.num_or("trials", 3u32)?;
+    println!(
+        "searching: popn={} gens={} trials={trials} evals<={} timeout={:?}",
+        rc.popn_size, rc.max_generations, rc.max_fitness_evals, rc.timeout
+    );
+    let result = repair_with_trials(&problem, &rc, trials);
+    println!(
+        "plausible: {}  best fitness: {:.4}  evaluations: {}  wall: {:.1?}",
+        result.is_plausible(),
+        result.best_fitness,
+        result.fitness_evals,
+        result.wall_time
+    );
+    if result.is_plausible() {
+        println!(
+            "\nrepair patch:\n{}",
+            cirfix::explain::describe_patch(
+                &problem.source,
+                &problem.design_modules,
+                &result.patch
+            )
+        );
+        let (repaired, _) =
+            apply_patch(&problem.source, &problem.design_modules, &result.patch);
+        println!(
+            "diff:\n{}",
+            cirfix::explain::diff_designs(&problem.source, &repaired, &problem.design_modules)
+        );
+        let out_path = config.string_or("output", "repaired.v");
+        let source = result.repaired_source.expect("plausible repairs have source");
+        std::fs::write(&out_path, &source)
+            .map_err(|e| ConfigError(format!("cannot write {out_path}: {e}")))?;
+        println!("repaired design written to {out_path}");
+        Ok(())
+    } else {
+        Err("no plausible repair found within the resource bounds".into())
+    }
+}
+
+fn cmd_simulate(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
+    let problem = build_problem(config)?;
+    let (outcome, trace, log) = cirfix::simulate_with_probe(
+        &problem.source,
+        &problem.top,
+        &problem.probe,
+        &problem.sim,
+    )?;
+    println!(
+        "finished={} end_time={} ops={}",
+        outcome.finished, outcome.end_time, outcome.total_ops
+    );
+    print!("{}", trace.to_csv());
+    for line in log {
+        eprintln!("$display: {line}");
+    }
+    if let Ok(vcd_path) = config.required("vcd") {
+        let vcd = cirfix_sim::vcd::trace_to_vcd(&trace, &problem.top, "1ns");
+        std::fs::write(vcd_path, vcd)
+            .map_err(|e| ConfigError(format!("cannot write {vcd_path}: {e}")))?;
+        eprintln!("waveform written to {vcd_path}");
+    }
+    Ok(())
+}
+
+fn cmd_fitness(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
+    let problem = build_problem(config)?;
+    let phi = config.num_or("phi", 2.0f64)?;
+    let eval = evaluate(&problem, &Patch::empty(), FitnessParams { phi });
+    println!("fitness: {:.6}", eval.score);
+    println!("mismatched variables: {:?}", eval.mismatched);
+    if let Some(report) = eval.report {
+        println!(
+            "bits compared: {}  matched: {}",
+            report.bits_compared, report.bits_matched
+        );
+    }
+    if let Some(err) = eval.error {
+        println!("simulation error: {err}");
+    }
+    Ok(())
+}
+
+fn cmd_localize(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
+    let problem = build_problem(config)?;
+    let eval = evaluate(&problem, &Patch::empty(), FitnessParams::default());
+    println!("mismatch seed: {:?}", eval.mismatched);
+    let modules: Vec<&cirfix_ast::Module> = problem
+        .source
+        .modules
+        .iter()
+        .filter(|m| problem.design_modules.contains(&m.name))
+        .collect();
+    let fl = fault_localization(&modules, &eval.mismatched);
+    println!("final mismatch set: {:?}", fl.mismatch);
+    println!("implicated nodes: {}", fl.nodes.len());
+    for m in &modules {
+        for stmt in cirfix_ast::visit::stmts_of_module(m) {
+            if fl.nodes.contains(&stmt.id())
+                && (stmt.is_assignment() || stmt.is_conditional())
+            {
+                let text = print::stmt_to_string(stmt);
+                let first = text.lines().next().unwrap_or("");
+                println!("  [{}] {first}", stmt.id());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `cirfix verify`: simulate the design named by `verify_design` (default:
+/// the `output` of a previous repair) and the golden design under the
+/// held-out `verify_testbench`, and compare the recorded traces.
+fn cmd_verify(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
+    let read_path = |p: &Path| -> Result<String, Box<dyn std::error::Error>> {
+        Ok(std::fs::read_to_string(p)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", p.display())))?)
+    };
+    let repaired_path = match config.required("verify_design") {
+        Ok(_) => config.path("verify_design")?,
+        Err(_) => PathBuf::from(config.string_or("output", "repaired.v")),
+    };
+    let repaired = cirfix_parser::parse(&read_path(&repaired_path)?)?;
+    let golden = cirfix_parser::parse(&read_path(&config.path("golden")?)?)?;
+    let verification = cirfix::Verification {
+        testbench: cirfix_parser::parse(&read_path(&config.path("verify_testbench")?)?)?,
+        top: config.required("verify_top")?.to_string(),
+        probe: ProbeSpec::periodic(
+            config.list("probe_signals")?,
+            config.num_or("probe_start", 5u64)?,
+            config.num_or("probe_period", 10u64)?,
+        ),
+        sim: SimConfig {
+            max_time: config.num_or("max_time", 100_000u64)? * 4,
+            ..SimConfig::default()
+        },
+    };
+    let design_modules = config.list("design_modules")?;
+    let correct =
+        cirfix::verify_repair(&repaired, &design_modules, &golden, &verification)?;
+    if correct {
+        println!("CORRECT: the design matches the golden design on the held-out bench");
+        Ok(())
+    } else {
+        println!("OVERFIT: the design diverges from the golden design on the held-out bench");
+        Err("verification failed".into())
+    }
+}

@@ -1,0 +1,281 @@
+//! The scalar four-state logic value.
+
+use std::fmt;
+
+/// A single four-state Verilog logic value.
+///
+/// `X` models an unknown value (uninitialized registers, conflicting
+/// drivers); `Z` models high impedance (undriven nets).
+///
+/// # Examples
+///
+/// ```
+/// use cirfix_logic::Logic;
+/// assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero); // 0 dominates AND
+/// assert_eq!(Logic::One.or(Logic::X), Logic::One);    // 1 dominates OR
+/// assert_eq!(Logic::X.not(), Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// All four values, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// Returns `true` for `x` or `z`.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// Returns `true` only for a definite `1`.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == Logic::One
+    }
+
+    /// Returns `true` only for a definite `0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Logic::Zero
+    }
+
+    /// Converts a boolean to `0`/`1`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Four-state AND: `0` dominates, unknowns yield `x`.
+    #[inline]
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state OR: `1` dominates, unknowns yield `x`.
+    #[inline]
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state XOR: any unknown yields `x`.
+    #[inline]
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state XNOR.
+    #[inline]
+    pub fn xnor(self, other: Logic) -> Logic {
+        self.xor(other).not()
+    }
+
+    /// Four-state NOT: unknowns yield `x`.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// The character used for this value in Verilog literals (`0 1 x z`).
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses a single literal digit character (case-insensitive; `?` is `z`).
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c.to_ascii_lowercase() {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' => Some(Logic::X),
+            'z' | '?' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Three-valued truth used when evaluating conditions (`if`, `&&`, `!`).
+///
+/// A vector is [`Truth::True`] when it has at least one definite `1` bit
+/// (it is then a known non-zero value), [`Truth::False`] when every bit is a
+/// definite `0`, and [`Truth::Unknown`] otherwise. Verilog conditional
+/// statements treat `Unknown` as false.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely non-zero.
+    True,
+    /// Definitely zero.
+    False,
+    /// Contains `x`/`z` and no definite `1` bit.
+    Unknown,
+}
+
+impl Truth {
+    /// Treats `Unknown` as false, as Verilog `if` does.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Converts to a single [`Logic`] bit (`1`, `0` or `x`).
+    pub fn to_logic(self) -> Logic {
+        match self {
+            Truth::True => Logic::One,
+            Truth::False => Logic::Zero,
+            Truth::Unknown => Logic::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero.and(Zero), Zero);
+        assert_eq!(Zero.and(One), Zero);
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(Zero.and(Z), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.and(Z), X);
+        assert_eq!(X.and(X), X);
+        assert_eq!(Z.and(Z), X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        use Logic::*;
+        assert_eq!(One.or(Zero), One);
+        assert_eq!(One.or(X), One);
+        assert_eq!(One.or(Z), One);
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.or(Z), X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero.xor(One), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(Z.xor(Zero), X);
+        assert_eq!(One.xnor(One), One);
+        assert_eq!(One.xnor(Zero), Zero);
+        assert_eq!(One.xnor(Z), X);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(X.not(), X);
+        assert_eq!(Z.not(), X);
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for l in Logic::ALL {
+            assert_eq!(Logic::from_char(l.to_char()), Some(l));
+        }
+        assert_eq!(Logic::from_char('?'), Some(Logic::Z));
+        assert_eq!(Logic::from_char('X'), Some(Logic::X));
+        assert_eq!(Logic::from_char('7'), None);
+    }
+
+    #[test]
+    fn truth_ops() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert!(!Unknown.as_bool());
+        assert_eq!(Unknown.to_logic(), Logic::X);
+    }
+
+    #[test]
+    fn and_or_are_commutative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+}

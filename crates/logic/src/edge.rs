@@ -1,0 +1,118 @@
+//! Edge detection for event controls (`@(posedge clk)` etc.).
+//!
+//! IEEE 1364 defines a positive edge as any transition whose destination is
+//! closer to `1` than its origin: `0→1`, `0→x`, `0→z`, `x→1`, `z→1`; and
+//! dually for negative edges. For vector signals, the edge is detected on
+//! the least significant bit.
+
+use crate::bit::Logic;
+use crate::vec::LogicVec;
+
+/// Which transition an event control waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `posedge sig`
+    Pos,
+    /// `negedge sig`
+    Neg,
+    /// Any value change (level sensitivity).
+    Any,
+}
+
+impl EdgeKind {
+    /// Does the scalar transition `old → new` match this edge kind?
+    pub fn matches(self, old: Logic, new: Logic) -> bool {
+        match self {
+            EdgeKind::Pos => is_posedge(old, new),
+            EdgeKind::Neg => is_negedge(old, new),
+            EdgeKind::Any => old != new,
+        }
+    }
+
+    /// Does the vector transition match? Edges use the LSB; level
+    /// sensitivity uses the whole vector.
+    pub fn matches_vec(self, old: &LogicVec, new: &LogicVec) -> bool {
+        match self {
+            EdgeKind::Any => old != new,
+            _ => self.matches(old.bit(0), new.bit(0)),
+        }
+    }
+}
+
+/// `true` if `old → new` is a positive edge per the IEEE 1364 table.
+pub fn is_posedge(old: Logic, new: Logic) -> bool {
+    use Logic::*;
+    matches!(
+        (old, new),
+        (Zero, One) | (Zero, X) | (Zero, Z) | (X, One) | (Z, One)
+    )
+}
+
+/// `true` if `old → new` is a negative edge per the IEEE 1364 table.
+pub fn is_negedge(old: Logic, new: Logic) -> bool {
+    use Logic::*;
+    matches!(
+        (old, new),
+        (One, Zero) | (One, X) | (One, Z) | (X, Zero) | (Z, Zero)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn posedge_table() {
+        assert!(is_posedge(Zero, One));
+        assert!(is_posedge(Zero, X));
+        assert!(is_posedge(Zero, Z));
+        assert!(is_posedge(X, One));
+        assert!(is_posedge(Z, One));
+        assert!(!is_posedge(One, Zero));
+        assert!(!is_posedge(One, One));
+        assert!(!is_posedge(X, Z));
+        assert!(!is_posedge(One, X));
+    }
+
+    #[test]
+    fn negedge_table() {
+        assert!(is_negedge(One, Zero));
+        assert!(is_negedge(One, X));
+        assert!(is_negedge(One, Z));
+        assert!(is_negedge(X, Zero));
+        assert!(is_negedge(Z, Zero));
+        assert!(!is_negedge(Zero, One));
+        assert!(!is_negedge(Zero, Zero));
+        assert!(!is_negedge(Zero, X));
+    }
+
+    #[test]
+    fn pos_and_neg_are_disjoint() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert!(
+                    !(is_posedge(a, b) && is_negedge(a, b)),
+                    "{a:?}->{b:?} cannot be both edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_edges_use_lsb() {
+        let old = LogicVec::from_u64(0b10, 2);
+        let new = LogicVec::from_u64(0b01, 2);
+        assert!(EdgeKind::Pos.matches_vec(&old, &new));
+        assert!(!EdgeKind::Neg.matches_vec(&old, &new));
+        assert!(EdgeKind::Any.matches_vec(&old, &new));
+    }
+
+    #[test]
+    fn any_change_detects_msb_only_changes() {
+        let old = LogicVec::from_u64(0b00, 2);
+        let new = LogicVec::from_u64(0b10, 2);
+        assert!(EdgeKind::Any.matches_vec(&old, &new));
+        assert!(!EdgeKind::Pos.matches_vec(&old, &new));
+    }
+}

@@ -1,0 +1,304 @@
+//! Parsing of Verilog based literals (`4'b10x0`, `8'hff`, `16'd500`, …).
+
+use std::fmt;
+
+use crate::bit::Logic;
+use crate::vec::LogicVec;
+
+/// The base of a Verilog based literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LiteralBase {
+    /// `'b`
+    Binary,
+    /// `'o`
+    Octal,
+    /// `'d`
+    Decimal,
+    /// `'h`
+    Hex,
+}
+
+impl LiteralBase {
+    /// Bits contributed per digit (decimal handled separately).
+    fn bits_per_digit(self) -> usize {
+        match self {
+            LiteralBase::Binary => 1,
+            LiteralBase::Octal => 3,
+            LiteralBase::Decimal => 0,
+            LiteralBase::Hex => 4,
+        }
+    }
+
+    /// The base letter as written in source.
+    pub fn to_char(self) -> char {
+        match self {
+            LiteralBase::Binary => 'b',
+            LiteralBase::Octal => 'o',
+            LiteralBase::Decimal => 'd',
+            LiteralBase::Hex => 'h',
+        }
+    }
+
+    /// Parses the base letter (case-insensitive).
+    pub fn from_char(c: char) -> Option<LiteralBase> {
+        match c.to_ascii_lowercase() {
+            'b' => Some(LiteralBase::Binary),
+            'o' => Some(LiteralBase::Octal),
+            'd' => Some(LiteralBase::Decimal),
+            'h' => Some(LiteralBase::Hex),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LiteralBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Error produced when a based literal is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLiteralError {
+    message: String,
+}
+
+impl ParseLiteralError {
+    fn new(message: impl Into<String>) -> ParseLiteralError {
+        ParseLiteralError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseLiteralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid verilog literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseLiteralError {}
+
+impl LogicVec {
+    /// Parses the digit portion of a based literal into a value of `width`
+    /// bits (or a self-determined width when `width` is `None`: at least 32
+    /// bits, more if the digits need them — Verilog's unsized literal rule).
+    ///
+    /// Underscores are ignored. `x`/`z`/`?` digits are accepted in binary,
+    /// octal and hex (each expands to a full digit's worth of bits), and as
+    /// the *only* digit in decimal (`'dx`). When a sized literal is shorter
+    /// than its width, it is extended with `0`, unless its leading digit is
+    /// `x`/`z`, which extends with that value (IEEE 1364 §3.5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty digit strings, digits invalid in the
+    /// base, or mixed `x`/`z` decimal literals.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cirfix_logic::{LiteralBase, LogicVec};
+    /// let v = LogicVec::parse_based(Some(4), LiteralBase::Binary, "1x0z")?;
+    /// assert_eq!(v.to_string(), "4'b1x0z");
+    /// let d = LogicVec::parse_based(Some(10), LiteralBase::Decimal, "500")?;
+    /// assert_eq!(d.to_u64(), Some(500));
+    /// # Ok::<(), cirfix_logic::ParseLiteralError>(())
+    /// ```
+    pub fn parse_based(
+        width: Option<usize>,
+        base: LiteralBase,
+        digits: &str,
+    ) -> Result<LogicVec, ParseLiteralError> {
+        let cleaned: Vec<char> = digits.chars().filter(|c| *c != '_').collect();
+        if cleaned.is_empty() {
+            return Err(ParseLiteralError::new("empty digit string"));
+        }
+        if let Some(w) = width {
+            if w == 0 {
+                return Err(ParseLiteralError::new("zero width"));
+            }
+            if w > (1 << 16) {
+                return Err(ParseLiteralError::new("literal width exceeds the limit"));
+            }
+        }
+
+        let bits_msb_first: Vec<Logic> = match base {
+            LiteralBase::Decimal => {
+                if cleaned.len() == 1 && Logic::from_char(cleaned[0]).is_some_and(|l| l.is_unknown())
+                {
+                    let fill = Logic::from_char(cleaned[0]).expect("checked");
+                    let w = width.unwrap_or(32);
+                    return Ok(LogicVec::filled(w, fill));
+                }
+                let text: String = cleaned.iter().collect();
+                let value: u128 = text
+                    .parse()
+                    .map_err(|_| ParseLiteralError::new(format!("bad decimal digits `{text}`")))?;
+                let needed = (128 - value.leading_zeros() as usize).max(1);
+                let w = width.unwrap_or(needed.max(32));
+                return Ok(LogicVec::from_u128(value, w));
+            }
+            _ => {
+                let per = base.bits_per_digit();
+                let radix = 1u32 << per;
+                let mut bits = Vec::with_capacity(cleaned.len() * per);
+                for c in &cleaned {
+                    if let Some(l) = Logic::from_char(*c) {
+                        if l.is_unknown() {
+                            for _ in 0..per {
+                                bits.push(l);
+                            }
+                            continue;
+                        }
+                    }
+                    let d = c.to_digit(radix).ok_or_else(|| {
+                        ParseLiteralError::new(format!(
+                            "digit `{c}` invalid in base {}",
+                            base.to_char()
+                        ))
+                    })?;
+                    for k in (0..per).rev() {
+                        bits.push(Logic::from_bool((d >> k) & 1 == 1));
+                    }
+                }
+                bits
+            }
+        };
+
+        // Convert MSB-first digit expansion to an LSB-first vector.
+        let lsb_first: Vec<Logic> = bits_msb_first.iter().rev().copied().collect();
+        let natural = LogicVec::from_bits_lsb(lsb_first);
+        let leading = bits_msb_first[0];
+        let fill = if leading.is_unknown() { leading } else { Logic::Zero };
+        let w = width.unwrap_or_else(|| natural.width().max(32));
+        Ok(natural.resized_with(w, fill))
+    }
+
+    /// Formats in a given base; falls back to binary when the value has
+    /// unknown bits that do not fill whole digits.
+    pub fn to_based_string(&self, base: LiteralBase) -> String {
+        match base {
+            LiteralBase::Decimal => match self.to_u128() {
+                Some(v) => format!("{}'d{}", self.width(), v),
+                None => self.to_string(),
+            },
+            LiteralBase::Binary => self.to_string(),
+            LiteralBase::Octal | LiteralBase::Hex => {
+                let per = base.bits_per_digit();
+                let mut digits = String::new();
+                let mut i = 0;
+                let mut ok = true;
+                let mut out = Vec::new();
+                while i < self.width() {
+                    let hi = (i + per - 1).min(self.width() - 1);
+                    let chunk = self.slice(hi, i);
+                    if chunk.is_fully_known() {
+                        let v = chunk.to_u64().expect("known chunk");
+                        out.push(char::from_digit(v as u32, 16).expect("digit"));
+                    } else if chunk.bits_lsb().iter().all(|b| *b == Logic::X) {
+                        out.push('x');
+                    } else if chunk.bits_lsb().iter().all(|b| *b == Logic::Z) {
+                        out.push('z');
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                    i += per;
+                }
+                if !ok {
+                    return self.to_string();
+                }
+                for c in out.iter().rev() {
+                    digits.push(*c);
+                }
+                format!("{}'{}{}", self.width(), base.to_char(), digits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_literals() {
+        let v = LogicVec::parse_based(Some(4), LiteralBase::Binary, "1010").unwrap();
+        assert_eq!(v.to_u64(), Some(0b1010));
+        let v = LogicVec::parse_based(Some(4), LiteralBase::Binary, "1x0z").unwrap();
+        assert_eq!(v.to_string(), "4'b1x0z");
+    }
+
+    #[test]
+    fn hex_and_octal() {
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Hex, "fF").unwrap();
+        assert_eq!(v.to_u64(), Some(0xff));
+        let v = LogicVec::parse_based(Some(6), LiteralBase::Octal, "52").unwrap();
+        assert_eq!(v.to_u64(), Some(0o52));
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Hex, "x").unwrap();
+        assert_eq!(v.to_string(), "8'bxxxxxxxx"); // x-extended to width
+    }
+
+    #[test]
+    fn decimal_literals() {
+        let v = LogicVec::parse_based(Some(10), LiteralBase::Decimal, "500").unwrap();
+        assert_eq!(v.to_u64(), Some(500));
+        // Truncation when the width is too small — the reed_solomon
+        // "insufficient register size" defect relies on this.
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Decimal, "500").unwrap();
+        assert_eq!(v.to_u64(), Some(500 % 256));
+        let v = LogicVec::parse_based(Some(4), LiteralBase::Decimal, "x").unwrap();
+        assert_eq!(v.to_string(), "4'bxxxx");
+    }
+
+    #[test]
+    fn unsized_literals_are_at_least_32_bits() {
+        let v = LogicVec::parse_based(None, LiteralBase::Decimal, "7").unwrap();
+        assert_eq!(v.width(), 32);
+        assert_eq!(v.to_u64(), Some(7));
+        let v = LogicVec::parse_based(None, LiteralBase::Hex, "1_0000_0000").unwrap();
+        assert_eq!(v.width(), 36);
+    }
+
+    #[test]
+    fn underscores_ignored() {
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Binary, "1010_0101").unwrap();
+        assert_eq!(v.to_u64(), Some(0b1010_0101));
+    }
+
+    #[test]
+    fn x_extension_rule() {
+        // Leading x digit extends with x; leading known digit extends with 0.
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Binary, "x1").unwrap();
+        assert_eq!(v.to_string(), "8'bxxxxxxx1");
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Binary, "11").unwrap();
+        assert_eq!(v.to_u64(), Some(3));
+        let v = LogicVec::parse_based(Some(8), LiteralBase::Binary, "z").unwrap();
+        assert_eq!(v.to_string(), "8'bzzzzzzzz");
+    }
+
+    #[test]
+    fn invalid_literals_error() {
+        assert!(LogicVec::parse_based(Some(4), LiteralBase::Binary, "2").is_err());
+        assert!(LogicVec::parse_based(Some(4), LiteralBase::Binary, "").is_err());
+        assert!(LogicVec::parse_based(Some(4), LiteralBase::Decimal, "12x").is_err());
+        assert!(LogicVec::parse_based(Some(0), LiteralBase::Binary, "1").is_err());
+        assert!(LogicVec::parse_based(Some(4), LiteralBase::Hex, "g").is_err());
+    }
+
+    #[test]
+    fn based_display_round_trips() {
+        let v = LogicVec::from_u64(0xAB, 8);
+        assert_eq!(v.to_based_string(LiteralBase::Hex), "8'hab");
+        assert_eq!(v.to_based_string(LiteralBase::Decimal), "8'd171");
+        assert_eq!(
+            LogicVec::unknown(8).to_based_string(LiteralBase::Hex),
+            "8'hxx"
+        );
+        // Mixed unknown chunks fall back to binary.
+        let mut m = LogicVec::from_u64(0, 8);
+        m.set_bit(0, Logic::X);
+        assert!(m.to_based_string(LiteralBase::Hex).contains("'b"));
+    }
+}

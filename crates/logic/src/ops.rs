@@ -1,0 +1,462 @@
+//! Verilog expression operators over [`LogicVec`].
+//!
+//! All binary operators follow IEEE 1364 semantics for unsigned operands:
+//! arithmetic and relational operators produce all-`x` (respectively `x`)
+//! results when any input bit is `x`/`z`; bitwise operators propagate
+//! unknowns per-bit.
+
+use crate::bit::{Logic, Truth};
+use crate::vec::LogicVec;
+
+impl LogicVec {
+    // ---- arithmetic -----------------------------------------------------
+
+    /// Addition; the result width is `max(self, rhs)` (wrapping), the usual
+    /// context width of `a + b` before assignment truncation.
+    pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_add(b), w))
+    }
+
+    /// Subtraction (wrapping, unsigned two's complement).
+    pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_sub(b), w))
+    }
+
+    /// Multiplication (wrapping at the result width).
+    pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_mul(b), w))
+    }
+
+    /// Division; division by zero yields all-`x`, as in Verilog.
+    pub fn div(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b, w| match a.checked_div(b) {
+            Some(q) => LogicVec::from_u128(q, w),
+            None => LogicVec::unknown(w),
+        })
+    }
+
+    /// Remainder; modulo zero yields all-`x`.
+    pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b, w| {
+            if b == 0 {
+                LogicVec::unknown(w)
+            } else {
+                LogicVec::from_u128(a % b, w)
+            }
+        })
+    }
+
+    /// Unary minus (two's complement at own width).
+    pub fn neg(&self) -> LogicVec {
+        let w = self.width();
+        match self.to_u128() {
+            Some(v) => LogicVec::from_u128(v.wrapping_neg(), w),
+            None => LogicVec::unknown(w),
+        }
+    }
+
+    fn arith2(
+        &self,
+        rhs: &LogicVec,
+        f: impl FnOnce(u128, u128, usize) -> LogicVec,
+    ) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        match (self.to_u128(), rhs.to_u128()) {
+            (Some(a), Some(b)) => f(a, b, w),
+            _ => LogicVec::unknown(w),
+        }
+    }
+
+    // ---- bitwise --------------------------------------------------------
+
+    /// Bitwise AND at `max` width (operands zero-extended).
+    pub fn bit_and(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::and)
+    }
+
+    /// Bitwise OR.
+    pub fn bit_or(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn bit_xor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::xor)
+    }
+
+    /// Bitwise XNOR (`~^` / `^~`).
+    pub fn bit_xnor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::xnor)
+    }
+
+    /// Bitwise NOT.
+    pub fn bit_not(&self) -> LogicVec {
+        LogicVec::from_bits_lsb(self.bits_lsb().iter().map(|b| b.not()).collect())
+    }
+
+    fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(Logic, Logic) -> Logic) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        let a = self.resized(w);
+        let b = rhs.resized(w);
+        LogicVec::from_bits_lsb((0..w).map(|i| f(a.bit(i), b.bit(i))).collect())
+    }
+
+    // ---- reductions -----------------------------------------------------
+
+    /// Reduction AND (`&v`).
+    pub fn reduce_and(&self) -> Logic {
+        self.bits_lsb().iter().copied().fold(Logic::One, Logic::and)
+    }
+
+    /// Reduction OR (`|v`).
+    pub fn reduce_or(&self) -> Logic {
+        self.bits_lsb().iter().copied().fold(Logic::Zero, Logic::or)
+    }
+
+    /// Reduction XOR (`^v`).
+    pub fn reduce_xor(&self) -> Logic {
+        self.bits_lsb()
+            .iter()
+            .copied()
+            .fold(Logic::Zero, Logic::xor)
+    }
+
+    /// Reduction NAND (`~&v`).
+    pub fn reduce_nand(&self) -> Logic {
+        self.reduce_and().not()
+    }
+
+    /// Reduction NOR (`~|v`).
+    pub fn reduce_nor(&self) -> Logic {
+        self.reduce_or().not()
+    }
+
+    /// Reduction XNOR (`~^v`).
+    pub fn reduce_xnor(&self) -> Logic {
+        self.reduce_xor().not()
+    }
+
+    // ---- comparisons ----------------------------------------------------
+
+    /// Logical equality `==`: `x` when either side has unknown bits that
+    /// could change the answer.
+    pub fn logic_eq(&self, rhs: &LogicVec) -> Logic {
+        let w = self.width().max(rhs.width());
+        let a = self.resized(w);
+        let b = rhs.resized(w);
+        let mut result = Logic::One;
+        for i in 0..w {
+            let (x, y) = (a.bit(i), b.bit(i));
+            if x.is_unknown() || y.is_unknown() {
+                result = Logic::X;
+            } else if x != y {
+                return Logic::Zero;
+            }
+        }
+        result
+    }
+
+    /// Logical inequality `!=`.
+    pub fn logic_neq(&self, rhs: &LogicVec) -> Logic {
+        self.logic_eq(rhs).not()
+    }
+
+    /// Case equality `===`: exact four-state match, always `0` or `1`.
+    pub fn case_eq(&self, rhs: &LogicVec) -> Logic {
+        let w = self.width().max(rhs.width());
+        let a = self.resized(w);
+        let b = rhs.resized(w);
+        Logic::from_bool((0..w).all(|i| a.bit(i) == b.bit(i)))
+    }
+
+    /// Case inequality `!==`.
+    pub fn case_neq(&self, rhs: &LogicVec) -> Logic {
+        self.case_eq(rhs).not()
+    }
+
+    /// Unsigned `<`; `x` if either operand has unknown bits.
+    pub fn lt(&self, rhs: &LogicVec) -> Logic {
+        match (self.to_u128(), rhs.to_u128()) {
+            (Some(a), Some(b)) => Logic::from_bool(a < b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Unsigned `<=`.
+    pub fn le(&self, rhs: &LogicVec) -> Logic {
+        match (self.to_u128(), rhs.to_u128()) {
+            (Some(a), Some(b)) => Logic::from_bool(a <= b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Unsigned `>`.
+    pub fn gt(&self, rhs: &LogicVec) -> Logic {
+        rhs.lt(self)
+    }
+
+    /// Unsigned `>=`.
+    pub fn ge(&self, rhs: &LogicVec) -> Logic {
+        rhs.le(self)
+    }
+
+    // ---- logical --------------------------------------------------------
+
+    /// Logical AND `&&` over truthiness.
+    pub fn logical_and(&self, rhs: &LogicVec) -> Logic {
+        self.truth().and(rhs.truth()).to_logic()
+    }
+
+    /// Logical OR `||`.
+    pub fn logical_or(&self, rhs: &LogicVec) -> Logic {
+        self.truth().or(rhs.truth()).to_logic()
+    }
+
+    /// Logical NOT `!`.
+    pub fn logical_not(&self) -> Logic {
+        self.truth().not().to_logic()
+    }
+
+    // ---- shifts ---------------------------------------------------------
+
+    /// Logical left shift; the result keeps the left operand's width.
+    /// An unknown shift amount yields all-`x`.
+    pub fn shl(&self, amount: &LogicVec) -> LogicVec {
+        let w = self.width();
+        match amount.to_u64() {
+            Some(n) => {
+                let n = n as usize;
+                LogicVec::from_bits_lsb(
+                    (0..w)
+                        .map(|i| {
+                            if i >= n {
+                                self.bit(i - n)
+                            } else {
+                                Logic::Zero
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            None => LogicVec::unknown(w),
+        }
+    }
+
+    /// Logical right shift.
+    pub fn shr(&self, amount: &LogicVec) -> LogicVec {
+        let w = self.width();
+        match amount.to_u64() {
+            Some(n) => {
+                let n = n as usize;
+                LogicVec::from_bits_lsb(
+                    (0..w)
+                        .map(|i| {
+                            if i + n < w {
+                                self.bit(i + n)
+                            } else {
+                                Logic::Zero
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            None => LogicVec::unknown(w),
+        }
+    }
+
+    // ---- selection ------------------------------------------------------
+
+    /// Ternary `cond ? a : b` where `self` is the (already evaluated)
+    /// condition: an unknown condition merges the branches bitwise.
+    pub fn select(&self, then_v: &LogicVec, else_v: &LogicVec) -> LogicVec {
+        match self.truth() {
+            Truth::True => then_v.clone(),
+            Truth::False => else_v.clone(),
+            Truth::Unknown => then_v.merge_ambiguous(else_v),
+        }
+    }
+
+    // ---- case matching --------------------------------------------------
+
+    /// Plain `case` label match: case equality (`===`).
+    pub fn case_match(&self, label: &LogicVec) -> bool {
+        self.case_eq(label) == Logic::One
+    }
+
+    /// `casez` label match: `z` (or `?`) in either operand is a wildcard.
+    pub fn casez_match(&self, label: &LogicVec) -> bool {
+        let w = self.width().max(label.width());
+        let a = self.resized(w);
+        let b = label.resized(w);
+        (0..w).all(|i| {
+            let (x, y) = (a.bit(i), b.bit(i));
+            x == Logic::Z || y == Logic::Z || x == y
+        })
+    }
+
+    /// `casex` label match: `x` and `z` in either operand are wildcards.
+    pub fn casex_match(&self, label: &LogicVec) -> bool {
+        let w = self.width().max(label.width());
+        let a = self.resized(w);
+        let b = label.resized(w);
+        (0..w).all(|i| {
+            let (x, y) = (a.bit(i), b.bit(i));
+            x.is_unknown() || y.is_unknown() || x == y
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64, w: usize) -> LogicVec {
+        LogicVec::from_u64(x, w)
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        assert_eq!(v(15, 4).add(&v(1, 4)).to_u64(), Some(0));
+        assert_eq!(v(7, 4).add(&v(1, 4)).to_u64(), Some(8));
+        // Mixed widths use the max width.
+        assert_eq!(v(255, 8).add(&v(1, 4)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn sub_wraps_unsigned() {
+        assert_eq!(v(0, 4).sub(&v(1, 4)).to_u64(), Some(15));
+        assert_eq!(v(9, 4).sub(&v(4, 4)).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn unknown_poisons_arithmetic() {
+        let x = LogicVec::unknown(4);
+        assert!(v(3, 4).add(&x).has_unknown());
+        assert!(x.mul(&v(2, 4)).has_unknown());
+        assert!(x.neg().has_unknown());
+    }
+
+    #[test]
+    fn div_rem_by_zero_is_x() {
+        assert!(v(5, 4).div(&v(0, 4)).has_unknown());
+        assert!(v(5, 4).rem(&v(0, 4)).has_unknown());
+        assert_eq!(v(7, 4).div(&v(2, 4)).to_u64(), Some(3));
+        assert_eq!(v(7, 4).rem(&v(2, 4)).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(v(0b1100, 4).bit_and(&v(0b1010, 4)).to_u64(), Some(0b1000));
+        assert_eq!(v(0b1100, 4).bit_or(&v(0b1010, 4)).to_u64(), Some(0b1110));
+        assert_eq!(v(0b1100, 4).bit_xor(&v(0b1010, 4)).to_u64(), Some(0b0110));
+        assert_eq!(v(0b1100, 4).bit_not().to_u64(), Some(0b0011));
+        assert_eq!(
+            v(0b1100, 4).bit_xnor(&v(0b1010, 4)).to_u64(),
+            Some(0b1001)
+        );
+    }
+
+    #[test]
+    fn bitwise_partial_unknown() {
+        let mut a = v(0b0001, 4);
+        a.set_bit(3, Logic::X);
+        // 0 & x = 0; x & 1 = x
+        let and = a.bit_and(&v(0b1001, 4));
+        assert_eq!(and.bit(0), Logic::One);
+        assert_eq!(and.bit(3), Logic::X);
+        // 1 | x = 1
+        let or = a.bit_or(&v(0b1000, 4));
+        assert_eq!(or.bit(3), Logic::One);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(v(0b1111, 4).reduce_and(), Logic::One);
+        assert_eq!(v(0b1110, 4).reduce_and(), Logic::Zero);
+        assert_eq!(v(0, 4).reduce_or(), Logic::Zero);
+        assert_eq!(v(0b0100, 4).reduce_or(), Logic::One);
+        assert_eq!(v(0b0110, 4).reduce_xor(), Logic::Zero);
+        assert_eq!(v(0b0111, 4).reduce_xor(), Logic::One);
+        assert_eq!(v(0b1111, 4).reduce_nand(), Logic::Zero);
+        assert_eq!(LogicVec::unknown(2).reduce_or(), Logic::X);
+        // A zero bit decides reduction AND regardless of x bits.
+        let mut a = LogicVec::unknown(2);
+        a.set_bit(0, Logic::Zero);
+        assert_eq!(a.reduce_and(), Logic::Zero);
+    }
+
+    #[test]
+    fn equality_with_unknowns() {
+        assert_eq!(v(3, 4).logic_eq(&v(3, 4)), Logic::One);
+        assert_eq!(v(3, 4).logic_eq(&v(4, 4)), Logic::Zero);
+        // A definite bit difference decides even with x elsewhere.
+        let mut a = v(0b0001, 4);
+        a.set_bit(3, Logic::X);
+        assert_eq!(a.logic_eq(&v(0b0000, 4)), Logic::Zero);
+        // Otherwise unknown.
+        assert_eq!(a.logic_eq(&v(0b0001, 4)), Logic::X);
+    }
+
+    #[test]
+    fn case_equality_is_exact() {
+        let a = LogicVec::unknown(2);
+        assert_eq!(a.case_eq(&LogicVec::unknown(2)), Logic::One);
+        assert_eq!(a.case_eq(&LogicVec::high_z(2)), Logic::Zero);
+        assert_eq!(v(2, 2).case_neq(&v(2, 2)), Logic::Zero);
+    }
+
+    #[test]
+    fn relational() {
+        assert_eq!(v(2, 4).lt(&v(3, 4)), Logic::One);
+        assert_eq!(v(3, 4).lt(&v(3, 4)), Logic::Zero);
+        assert_eq!(v(3, 4).le(&v(3, 4)), Logic::One);
+        assert_eq!(v(4, 4).gt(&v(3, 4)), Logic::One);
+        assert_eq!(v(4, 4).ge(&v(5, 4)), Logic::Zero);
+        assert_eq!(LogicVec::unknown(4).lt(&v(3, 4)), Logic::X);
+    }
+
+    #[test]
+    fn logical_ops() {
+        assert_eq!(v(2, 4).logical_and(&v(1, 4)), Logic::One);
+        assert_eq!(v(0, 4).logical_and(&LogicVec::unknown(4)), Logic::Zero);
+        assert_eq!(v(1, 4).logical_or(&LogicVec::unknown(4)), Logic::One);
+        assert_eq!(v(0, 4).logical_not(), Logic::One);
+        assert_eq!(LogicVec::unknown(4).logical_not(), Logic::X);
+    }
+
+    #[test]
+    fn shifts_keep_width() {
+        assert_eq!(v(0b0011, 4).shl(&v(2, 4)).to_u64(), Some(0b1100));
+        assert_eq!(v(0b0011, 4).shl(&v(4, 4)).to_u64(), Some(0));
+        assert_eq!(v(0b1100, 4).shr(&v(2, 4)).to_u64(), Some(0b0011));
+        assert!(v(1, 4).shl(&LogicVec::unknown(2)).has_unknown());
+    }
+
+    #[test]
+    fn select_merges_on_unknown_condition() {
+        let t = v(0b1100, 4);
+        let e = v(0b1010, 4);
+        assert_eq!(v(1, 1).select(&t, &e), t);
+        assert_eq!(v(0, 1).select(&t, &e), e);
+        let m = LogicVec::unknown(1).select(&t, &e);
+        assert_eq!(m.to_string(), "4'b1xx0");
+    }
+
+    #[test]
+    fn case_matching_variants() {
+        let subject = v(0b10, 2);
+        assert!(subject.case_match(&v(0b10, 2)));
+        assert!(!subject.case_match(&LogicVec::unknown(2)));
+        // casez: z is a wildcard.
+        let mut pat = v(0b10, 2);
+        pat.set_bit(0, Logic::Z);
+        assert!(subject.casez_match(&pat));
+        assert!(v(0b11, 2).casez_match(&pat));
+        assert!(!v(0b01, 2).casez_match(&pat));
+        // casex: x is also a wildcard.
+        let mut patx = v(0b10, 2);
+        patx.set_bit(0, Logic::X);
+        assert!(!subject.casez_match(&patx) || subject.bit(0) == Logic::Zero);
+        assert!(subject.casex_match(&patx));
+    }
+}

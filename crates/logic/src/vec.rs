@@ -1,0 +1,424 @@
+//! Arbitrary-width four-state bit vectors.
+
+use std::fmt;
+
+use crate::bit::{Logic, Truth};
+
+/// An arbitrary-width vector of four-state logic values.
+///
+/// Bit 0 is the least significant bit. The width is fixed at construction;
+/// operations that produce a different width say so in their documentation.
+/// A freshly declared Verilog `reg` is all-`x`; use [`LogicVec::unknown`]
+/// for that, [`LogicVec::zero`] for an all-zero value.
+///
+/// # Examples
+///
+/// ```
+/// use cirfix_logic::LogicVec;
+/// let v = LogicVec::from_u64(0b1100, 4);
+/// assert_eq!(v.to_string(), "4'b1100");
+/// assert_eq!(v.to_u64(), Some(12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    /// LSB-first bits.
+    bits: Vec<Logic>,
+}
+
+impl LogicVec {
+    /// Creates a vector of `width` copies of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`; zero-width vectors are not representable in
+    /// Verilog.
+    pub fn filled(width: usize, value: Logic) -> LogicVec {
+        assert!(width > 0, "zero-width LogicVec");
+        LogicVec {
+            bits: vec![value; width],
+        }
+    }
+
+    /// All-`x` vector: the value of an uninitialized register.
+    pub fn unknown(width: usize) -> LogicVec {
+        LogicVec::filled(width, Logic::X)
+    }
+
+    /// All-`z` vector: the value of an undriven net.
+    pub fn high_z(width: usize) -> LogicVec {
+        LogicVec::filled(width, Logic::Z)
+    }
+
+    /// All-zero vector.
+    pub fn zero(width: usize) -> LogicVec {
+        LogicVec::filled(width, Logic::Zero)
+    }
+
+    /// All-one vector.
+    pub fn ones(width: usize) -> LogicVec {
+        LogicVec::filled(width, Logic::One)
+    }
+
+    /// Builds a vector from the low `width` bits of `value`.
+    pub fn from_u64(value: u64, width: usize) -> LogicVec {
+        assert!(width > 0, "zero-width LogicVec");
+        let bits = (0..width)
+            .map(|i| {
+                if i < 64 && (value >> i) & 1 == 1 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            })
+            .collect();
+        LogicVec { bits }
+    }
+
+    /// Builds a vector from the low `width` bits of `value`.
+    pub fn from_u128(value: u128, width: usize) -> LogicVec {
+        assert!(width > 0, "zero-width LogicVec");
+        let bits = (0..width)
+            .map(|i| {
+                if i < 128 && (value >> i) & 1 == 1 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            })
+            .collect();
+        LogicVec { bits }
+    }
+
+    /// A single-bit vector.
+    pub fn scalar(value: Logic) -> LogicVec {
+        LogicVec { bits: vec![value] }
+    }
+
+    /// A single-bit `0`/`1` from a boolean.
+    pub fn from_bool(b: bool) -> LogicVec {
+        LogicVec::scalar(Logic::from_bool(b))
+    }
+
+    /// Builds a vector from LSB-first bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits_lsb(bits: Vec<Logic>) -> LogicVec {
+        assert!(!bits.is_empty(), "zero-width LogicVec");
+        LogicVec { bits }
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit at index `i` (LSB = 0). Out-of-range reads yield `x`,
+    /// matching Verilog's out-of-bounds bit-select semantics.
+    #[inline]
+    pub fn bit(&self, i: usize) -> Logic {
+        self.bits.get(i).copied().unwrap_or(Logic::X)
+    }
+
+    /// Sets the bit at index `i`; out-of-range writes are ignored
+    /// (Verilog discards out-of-bounds part-select writes).
+    #[inline]
+    pub fn set_bit(&mut self, i: usize, value: Logic) {
+        if let Some(b) = self.bits.get_mut(i) {
+            *b = value;
+        }
+    }
+
+    /// LSB-first view of the bits.
+    #[inline]
+    pub fn bits_lsb(&self) -> &[Logic] {
+        &self.bits
+    }
+
+    /// `true` if any bit is `x` or `z`.
+    pub fn has_unknown(&self) -> bool {
+        self.bits.iter().any(|b| b.is_unknown())
+    }
+
+    /// `true` if every bit is `0` or `1`.
+    pub fn is_fully_known(&self) -> bool {
+        !self.has_unknown()
+    }
+
+    /// The numeric value, if fully known and represented in 64 bits.
+    /// Wider vectors still convert when their upper bits are all zero.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.has_unknown() {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for (i, b) in self.bits.iter().enumerate() {
+            if b.is_one() {
+                if i >= 64 {
+                    return None;
+                }
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// The numeric value, if fully known and represented in 128 bits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.has_unknown() {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, b) in self.bits.iter().enumerate() {
+            if b.is_one() {
+                if i >= 128 {
+                    return None;
+                }
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Three-valued truthiness: `True` if any bit is a definite `1`,
+    /// `False` if all bits are definite `0`, else `Unknown`.
+    pub fn truth(&self) -> Truth {
+        if self.bits.iter().any(|b| b.is_one()) {
+            Truth::True
+        } else if self.bits.iter().all(|b| b.is_zero()) {
+            Truth::False
+        } else {
+            Truth::Unknown
+        }
+    }
+
+    /// Returns a copy resized to `width`: truncated from the MSB side or
+    /// zero-extended (Verilog's unsigned assignment semantics).
+    pub fn resized(&self, width: usize) -> LogicVec {
+        assert!(width > 0, "zero-width LogicVec");
+        let mut bits = self.bits.clone();
+        bits.resize(width, Logic::Zero);
+        LogicVec { bits }
+    }
+
+    /// Returns a copy resized to `width`, extending with `fill` (used when
+    /// extending literals whose leading digit is `x` or `z`).
+    pub fn resized_with(&self, width: usize, fill: Logic) -> LogicVec {
+        assert!(width > 0, "zero-width LogicVec");
+        let mut bits = self.bits.clone();
+        bits.resize(width, fill);
+        LogicVec { bits }
+    }
+
+    /// Concatenates `parts`, where the **first** element supplies the most
+    /// significant bits, matching Verilog `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn concat(parts: &[LogicVec]) -> LogicVec {
+        assert!(!parts.is_empty(), "empty concatenation");
+        let mut bits = Vec::new();
+        for part in parts.iter().rev() {
+            bits.extend_from_slice(&part.bits);
+        }
+        LogicVec { bits }
+    }
+
+    /// Replicates this vector `count` times, as in Verilog `{count{v}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn replicate(&self, count: usize) -> LogicVec {
+        assert!(count > 0, "zero replication count");
+        let mut bits = Vec::with_capacity(self.width() * count);
+        for _ in 0..count {
+            bits.extend_from_slice(&self.bits);
+        }
+        LogicVec { bits }
+    }
+
+    /// Part select `[msb:lsb]` over *bit indices* (LSB = 0). Out-of-range
+    /// bits read as `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msb < lsb`.
+    pub fn slice(&self, msb: usize, lsb: usize) -> LogicVec {
+        assert!(msb >= lsb, "slice msb < lsb");
+        let bits = (lsb..=msb).map(|i| self.bit(i)).collect();
+        LogicVec { bits }
+    }
+
+    /// Writes `value` into bit positions `[msb:lsb]`; extra source bits are
+    /// truncated, missing ones zero-filled, out-of-range targets discarded.
+    pub fn write_slice(&mut self, msb: usize, lsb: usize, value: &LogicVec) {
+        assert!(msb >= lsb, "slice msb < lsb");
+        let src = value.resized(msb - lsb + 1);
+        for (k, i) in (lsb..=msb).enumerate() {
+            self.set_bit(i, src.bit(k));
+        }
+    }
+
+    /// Counts definite `1` bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|b| b.is_one()).count()
+    }
+
+    /// Replaces every `z` with `x` (the result of reading a `z` value
+    /// through a logic operator).
+    pub fn z_to_x(&self) -> LogicVec {
+        LogicVec {
+            bits: self
+                .bits
+                .iter()
+                .map(|b| if *b == Logic::Z { Logic::X } else { *b })
+                .collect(),
+        }
+    }
+
+    /// Bitwise merge used for `cond ? a : b` when `cond` is unknown: bits on
+    /// which the branches agree are kept, others become `x` (IEEE 1364
+    /// §5.1.13).
+    pub fn merge_ambiguous(&self, other: &LogicVec) -> LogicVec {
+        let width = self.width().max(other.width());
+        let a = self.resized(width);
+        let b = other.resized(width);
+        let bits = (0..width)
+            .map(|i| {
+                let (x, y) = (a.bit(i), b.bit(i));
+                if x == y && !x.is_unknown() {
+                    x
+                } else {
+                    Logic::X
+                }
+            })
+            .collect();
+        LogicVec { bits }
+    }
+}
+
+impl fmt::Display for LogicVec {
+    /// Formats as a sized binary Verilog literal, e.g. `4'b10x0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width())?;
+        for b in self.bits.iter().rev() {
+            write!(f, "{}", b.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for LogicVec {
+    fn from(b: bool) -> LogicVec {
+        LogicVec::from_bool(b)
+    }
+}
+
+impl From<Logic> for LogicVec {
+    fn from(l: Logic) -> LogicVec {
+        LogicVec::scalar(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let v = LogicVec::from_u64(0b1010, 4);
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.to_string(), "4'b1010");
+        assert_eq!(LogicVec::unknown(2).to_string(), "2'bxx");
+        assert_eq!(LogicVec::high_z(1).to_string(), "1'bz");
+    }
+
+    #[test]
+    fn to_u64_round_trip() {
+        for v in [0u64, 1, 5, 255, 1 << 40] {
+            assert_eq!(LogicVec::from_u64(v, 64).to_u64(), Some(v));
+        }
+        assert_eq!(LogicVec::unknown(4).to_u64(), None);
+        // Wide but small value still converts.
+        let wide = LogicVec::from_u64(7, 100);
+        assert_eq!(wide.to_u64(), Some(7));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(LogicVec::from_u64(0, 4).truth(), Truth::False);
+        assert_eq!(LogicVec::from_u64(2, 4).truth(), Truth::True);
+        assert_eq!(LogicVec::unknown(4).truth(), Truth::Unknown);
+        // A vector with a definite 1 is true even if other bits are x.
+        let mut v = LogicVec::unknown(2);
+        v.set_bit(1, Logic::One);
+        assert_eq!(v.truth(), Truth::True);
+    }
+
+    #[test]
+    fn resize_truncates_and_extends() {
+        let v = LogicVec::from_u64(0b1111, 4);
+        assert_eq!(v.resized(2).to_u64(), Some(0b11));
+        assert_eq!(v.resized(6).to_u64(), Some(0b1111));
+        let x = LogicVec::unknown(2).resized_with(4, Logic::X);
+        assert_eq!(x.to_string(), "4'bxxxx");
+    }
+
+    #[test]
+    fn concat_orders_msb_first() {
+        let a = LogicVec::from_u64(0b10, 2);
+        let b = LogicVec::from_u64(0b01, 2);
+        // {a, b} = 4'b1001
+        let c = LogicVec::concat(&[a, b]);
+        assert_eq!(c.to_u64(), Some(0b1001));
+    }
+
+    #[test]
+    fn replicate_repeats() {
+        let v = LogicVec::from_u64(0b10, 2);
+        assert_eq!(v.replicate(3).to_u64(), Some(0b101010));
+    }
+
+    #[test]
+    fn slices() {
+        let v = LogicVec::from_u64(0b110010, 6);
+        assert_eq!(v.slice(5, 2).to_u64(), Some(0b1100));
+        assert_eq!(v.slice(1, 0).to_u64(), Some(0b10));
+        // Out-of-range reads give x.
+        assert_eq!(v.slice(8, 6).to_string(), "3'bxxx");
+    }
+
+    #[test]
+    fn write_slice_updates_range() {
+        let mut v = LogicVec::zero(8);
+        v.write_slice(5, 2, &LogicVec::from_u64(0b1111, 4));
+        assert_eq!(v.to_u64(), Some(0b00111100));
+        // Out-of-range target bits are dropped silently.
+        v.write_slice(9, 6, &LogicVec::from_u64(0b1111, 4));
+        assert_eq!(v.to_u64(), Some(0b11111100));
+    }
+
+    #[test]
+    fn merge_ambiguous_keeps_agreement() {
+        let a = LogicVec::from_u64(0b1100, 4);
+        let b = LogicVec::from_u64(0b1010, 4);
+        let m = a.merge_ambiguous(&b);
+        assert_eq!(m.to_string(), "4'b1xx0");
+    }
+
+    #[test]
+    fn out_of_bounds_bit_is_x() {
+        let v = LogicVec::from_u64(1, 2);
+        assert_eq!(v.bit(5), Logic::X);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_width_panics() {
+        let _ = LogicVec::zero(0);
+    }
+}

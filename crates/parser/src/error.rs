@@ -1,0 +1,54 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+use crate::lexer::LexError;
+
+/// An error produced while parsing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: u32,
+    col: u32,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    pub(crate) fn from_lex(err: LexError) -> ParseError {
+        ParseError {
+            message: err.message,
+            line: err.line,
+            col: err.col,
+        }
+    }
+
+    /// 1-based line of the offending token.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column of the offending token.
+    pub fn col(&self) -> u32 {
+        self.col
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

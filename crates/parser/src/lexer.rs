@@ -1,0 +1,690 @@
+//! Tokenizer for the Verilog subset.
+
+use std::fmt;
+
+use cirfix_logic::LiteralBase;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (the parser distinguishes).
+    Ident(String),
+    /// System identifier, e.g. `$display` (without the `$`).
+    SysIdent(String),
+    /// A numeric literal: optional size, optional base, digit text.
+    Number {
+        /// Explicit bit width, when written (`4'b…`).
+        width: Option<usize>,
+        /// Base letter, when written.
+        base: Option<LiteralBase>,
+        /// Raw digits (may include `x`, `z`, `?`, `_`).
+        digits: String,
+    },
+    /// String literal contents (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `===`
+    CaseEq,
+    /// `!=`
+    Neq,
+    /// `!==`
+    CaseNeq,
+    /// `<`
+    Lt,
+    /// `<=` (less-equal or non-blocking assign; context decides)
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `~^` or `^~`
+    TildeCaret,
+    /// `~&`
+    TildeAmp,
+    /// `~|`
+    TildePipe,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::SysIdent(s) => write!(f, "${s}"),
+            Token::Number { width, base, digits } => {
+                if let Some(w) = width {
+                    write!(f, "{w}")?;
+                }
+                if let Some(b) = base {
+                    write!(f, "'{b}")?;
+                }
+                write!(f, "{digits}")
+            }
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Hash => write!(f, "#"),
+            Token::At => write!(f, "@"),
+            Token::Question => write!(f, "?"),
+            Token::Assign => write!(f, "="),
+            Token::Eq => write!(f, "=="),
+            Token::CaseEq => write!(f, "==="),
+            Token::Neq => write!(f, "!="),
+            Token::CaseNeq => write!(f, "!=="),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Bang => write!(f, "!"),
+            Token::Tilde => write!(f, "~"),
+            Token::Amp => write!(f, "&"),
+            Token::AmpAmp => write!(f, "&&"),
+            Token::Pipe => write!(f, "|"),
+            Token::PipePipe => write!(f, "||"),
+            Token::Caret => write!(f, "^"),
+            Token::TildeCaret => write!(f, "~^"),
+            Token::TildeAmp => write!(f, "~&"),
+            Token::TildePipe => write!(f, "~|"),
+            Token::Arrow => write!(f, "->"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A lexical error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenizes `source` into a vector ending with [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings or comments and for
+/// characters outside the supported subset.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    loop {
+        lexer.skip_trivia()?;
+        let (line, col) = (lexer.line, lexer.col);
+        let Some(c) = lexer.peek() else {
+            tokens.push(Spanned {
+                token: Token::Eof,
+                line,
+                col,
+            });
+            return Ok(tokens);
+        };
+        let token = lexer.next_token(c)?;
+        tokens.push(Spanned { token, line, col });
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                // Compiler directives (`timescale etc.) are skipped to
+                // end of line; they do not affect our simulation model.
+                Some(b'`') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self, c: u8) -> Result<Token, LexError> {
+        match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.lex_ident()),
+            b'0'..=b'9' => self.lex_number(),
+            b'\'' => self.lex_based(None),
+            b'"' => self.lex_string(),
+            b'$' => {
+                self.bump();
+                let Token::Ident(name) = self.lex_ident() else {
+                    unreachable!("lex_ident returns Ident");
+                };
+                Ok(Token::SysIdent(name))
+            }
+            _ => self.lex_punct(),
+        }
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                name.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token::Ident(name)
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                digits.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Allow whitespace between the size and the base tick: `4 'b0`.
+        let save = (self.pos, self.line, self.col);
+        self.skip_trivia()?;
+        if self.peek() == Some(b'\'') {
+            let width: usize = digits
+                .chars()
+                .filter(|c| *c != '_')
+                .collect::<String>()
+                .parse()
+                .map_err(|_| self.error(format!("bad literal size `{digits}`")))?;
+            return self.lex_based(Some(width));
+        }
+        (self.pos, self.line, self.col) = save;
+        Ok(Token::Number {
+            width: None,
+            base: None,
+            digits,
+        })
+    }
+
+    fn lex_based(&mut self, width: Option<usize>) -> Result<Token, LexError> {
+        self.bump(); // the tick
+        let Some(b) = self.peek() else {
+            return Err(self.error("expected base letter after `'`"));
+        };
+        // `'b`, `'sb` (signed prefix tolerated and ignored).
+        let b = if b == b's' || b == b'S' {
+            self.bump();
+            self.peek()
+                .ok_or_else(|| self.error("expected base letter after `'s`"))?
+        } else {
+            b
+        };
+        let base = LiteralBase::from_char(b as char)
+            .ok_or_else(|| self.error(format!("unknown literal base `{}`", b as char)))?;
+        self.bump();
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            let ch = c.to_ascii_lowercase() as char;
+            let valid = ch.is_ascii_hexdigit() || matches!(ch, 'x' | 'z' | '?' | '_');
+            if valid {
+                digits.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(self.error("expected digits after literal base"));
+        }
+        Ok(Token::Number {
+            width,
+            base: Some(base),
+            digits,
+        })
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Token::Str(value)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => value.push('\n'),
+                    Some(b't') => value.push('\t'),
+                    Some(b'"') => value.push('"'),
+                    Some(b'\\') => value.push('\\'),
+                    Some(other) => value.push(other as char),
+                    None => return Err(self.error("unterminated string")),
+                },
+                Some(b'\n') | None => return Err(self.error("unterminated string")),
+                Some(other) => value.push(other as char),
+            }
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<Token, LexError> {
+        let c = self.bump().expect("caller checked");
+        let two = self.peek();
+        let token = match (c, two) {
+            (b'(', _) => Token::LParen,
+            (b')', _) => Token::RParen,
+            (b'[', _) => Token::LBracket,
+            (b']', _) => Token::RBracket,
+            (b'{', _) => Token::LBrace,
+            (b'}', _) => Token::RBrace,
+            (b';', _) => Token::Semi,
+            (b':', _) => Token::Colon,
+            (b',', _) => Token::Comma,
+            (b'.', _) => Token::Dot,
+            (b'#', _) => Token::Hash,
+            (b'@', _) => Token::At,
+            (b'?', _) => Token::Question,
+            (b'=', Some(b'=')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::CaseEq
+                } else {
+                    Token::Eq
+                }
+            }
+            (b'=', _) => Token::Assign,
+            (b'!', Some(b'=')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::CaseNeq
+                } else {
+                    Token::Neq
+                }
+            }
+            (b'!', _) => Token::Bang,
+            (b'<', Some(b'=')) => {
+                self.bump();
+                Token::LtEq
+            }
+            (b'<', Some(b'<')) => {
+                self.bump();
+                Token::Shl
+            }
+            (b'<', _) => Token::Lt,
+            (b'>', Some(b'=')) => {
+                self.bump();
+                Token::GtEq
+            }
+            (b'>', Some(b'>')) => {
+                self.bump();
+                Token::Shr
+            }
+            (b'>', _) => Token::Gt,
+            (b'+', _) => Token::Plus,
+            (b'-', Some(b'>')) => {
+                self.bump();
+                Token::Arrow
+            }
+            (b'-', _) => Token::Minus,
+            (b'*', _) => Token::Star,
+            (b'/', _) => Token::Slash,
+            (b'%', _) => Token::Percent,
+            (b'~', Some(b'^')) => {
+                self.bump();
+                Token::TildeCaret
+            }
+            (b'~', Some(b'&')) => {
+                self.bump();
+                Token::TildeAmp
+            }
+            (b'~', Some(b'|')) => {
+                self.bump();
+                Token::TildePipe
+            }
+            (b'~', _) => Token::Tilde,
+            (b'&', Some(b'&')) => {
+                self.bump();
+                Token::AmpAmp
+            }
+            (b'&', _) => Token::Amp,
+            (b'|', Some(b'|')) => {
+                self.bump();
+                Token::PipePipe
+            }
+            (b'|', _) => Token::Pipe,
+            (b'^', Some(b'~')) => {
+                self.bump();
+                Token::TildeCaret
+            }
+            (b'^', _) => Token::Caret,
+            (other, _) => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        assert_eq!(
+            toks("module foo_1 endmodule"),
+            vec![
+                Token::Ident("module".into()),
+                Token::Ident("foo_1".into()),
+                Token::Ident("endmodule".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_sized_literals() {
+        assert_eq!(
+            toks("4'b1x0z"),
+            vec![
+                Token::Number {
+                    width: Some(4),
+                    base: Some(LiteralBase::Binary),
+                    digits: "1x0z".into()
+                },
+                Token::Eof
+            ]
+        );
+        assert_eq!(
+            toks("8'hFF"),
+            vec![
+                Token::Number {
+                    width: Some(8),
+                    base: Some(LiteralBase::Hex),
+                    digits: "FF".into()
+                },
+                Token::Eof
+            ]
+        );
+        // Space between size and tick.
+        assert_eq!(
+            toks("4 'd5"),
+            vec![
+                Token::Number {
+                    width: Some(4),
+                    base: Some(LiteralBase::Decimal),
+                    digits: "5".into()
+                },
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_plain_decimal() {
+        assert_eq!(
+            toks("500"),
+            vec![
+                Token::Number {
+                    width: None,
+                    base: None,
+                    digits: "500".into()
+                },
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a <= b == c === d -> e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LtEq,
+                Token::Ident("b".into()),
+                Token::Eq,
+                Token::Ident("c".into()),
+                Token::CaseEq,
+                Token::Ident("d".into()),
+                Token::Arrow,
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+        assert_eq!(
+            toks("~& ~| ~^ ^~ << >>"),
+            vec![
+                Token::TildeAmp,
+                Token::TildePipe,
+                Token::TildeCaret,
+                Token::TildeCaret,
+                Token::Shl,
+                Token::Shr,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_directives() {
+        let src = "a // line\n/* block\nmore */ b\n`timescale 1ns/1ps\nc";
+        assert_eq!(
+            toks(src),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""time=%t\n""#),
+            vec![Token::Str("time=%t\n".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_system_idents() {
+        assert_eq!(
+            toks("$display($time);"),
+            vec![
+                Token::SysIdent("display".into()),
+                Token::LParen,
+                Token::SysIdent("time".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let err = tokenize("a\n  \"unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unterminated"));
+        assert!(tokenize("4'q0").is_err());
+        assert!(tokenize("4'b").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = tokenize("a\n b").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].col, 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! Parser feature coverage and print/parse round-trip tests.
+
+use cirfix_ast::{print, visit, CaseKind, DeclKind, Expr, Item, Sensitivity, Stmt};
+use cirfix_parser::parse;
+
+/// Parse → print → parse → print must be a fixed point.
+fn assert_round_trip(src: &str) {
+    let first = parse(src).expect("first parse");
+    let printed = print::source_to_string(&first);
+    let second = parse(&printed)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+    let reprinted = print::source_to_string(&second);
+    assert_eq!(printed, reprinted, "printing must be a fixed point");
+}
+
+#[test]
+fn parses_minimal_module() {
+    let file = parse("module m; endmodule").unwrap();
+    assert_eq!(file.modules.len(), 1);
+    assert_eq!(file.modules[0].name, "m");
+    assert!(file.modules[0].ports.is_empty());
+}
+
+#[test]
+fn parses_non_ansi_ports() {
+    let src = r#"
+        module counter (clk, reset, enable, counter_out, overflow_out);
+            input clk, reset, enable;
+            output [3:0] counter_out;
+            output overflow_out;
+            reg [3:0] counter_out;
+            reg overflow_out;
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    let m = &file.modules[0];
+    assert_eq!(m.ports.len(), 5);
+    assert_eq!(m.decls_of("counter_out").len(), 2);
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_ansi_ports() {
+    let src = r#"
+        module ff (input clk, input rst_n, input t, output reg q);
+            always @(posedge clk) q <= t ? ~q : q;
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    let m = &file.modules[0];
+    assert_eq!(m.ports, vec!["clk", "rst_n", "t", "q"]);
+    let q_decls = m.decls_of("q");
+    assert_eq!(q_decls.len(), 1);
+    assert_eq!(q_decls[0].kind, DeclKind::Output);
+    assert!(q_decls[0].also_reg);
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_always_with_sensitivity_variants() {
+    for sens in ["@(posedge clk)", "@(negedge clk)", "@(a or b)", "@(a, b)", "@*", "@(*)"] {
+        let src = format!("module m; reg q; always {sens} q = 1'b0; endmodule");
+        let file = parse(&src).unwrap_or_else(|e| panic!("{sens}: {e}"));
+        let m = &file.modules[0];
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Always { body, .. } => Some(body),
+                _ => None,
+            })
+            .expect("has always");
+        match always {
+            Stmt::EventControl { sensitivity, .. } => match (sens, sensitivity) {
+                ("@*", Sensitivity::Star) | ("@(*)", Sensitivity::Star) => {}
+                ("@*", _) | ("@(*)", _) => panic!("expected star for {sens}"),
+                (_, Sensitivity::List(events)) => assert!(!events.is_empty()),
+                (_, Sensitivity::Star) => panic!("unexpected star for {sens}"),
+            },
+            other => panic!("expected event control, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn parses_case_variants() {
+    let src = r#"
+        module m;
+            reg [1:0] s;
+            reg [3:0] q;
+            always @(s)
+                casez (s)
+                    2'b0?: q = 4'd0;
+                    2'b10, 2'b11: q = 4'd1;
+                    default: q = 4'dx;
+                endcase
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    let m = &file.modules[0];
+    let mut found = false;
+    for s in visit::stmts_of_module(m) {
+        if let Stmt::Case { kind, arms, default, .. } = s {
+            assert_eq!(*kind, CaseKind::Casez);
+            assert_eq!(arms.len(), 2);
+            assert_eq!(arms[1].labels.len(), 2);
+            assert!(default.is_some());
+            found = true;
+        }
+    }
+    assert!(found);
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_loops() {
+    let src = r#"
+        module m;
+            integer i;
+            reg [7:0] mem [0:15];
+            initial begin
+                for (i = 0; i < 16; i = i + 1) mem[i] = 8'd0;
+                repeat (3) #5 ;
+                while (i > 0) i = i - 1;
+                forever #10 ;
+            end
+        endmodule
+    "#;
+    parse(src).unwrap();
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_delays_and_event_controls() {
+    let src = r#"
+        module tb;
+            reg clk, reset;
+            event reset_trigger, reset_done_trigger;
+            always #5 clk = !clk;
+            initial begin
+                #10 -> reset_trigger;
+                @(reset_done_trigger);
+                @(negedge clk);
+                reset = 1;
+                reset = #2 0;
+                wait (reset == 0) $display("done");
+            end
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    assert_eq!(file.modules[0].name, "tb");
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_nonblocking_with_delay() {
+    let src = "module m; reg [3:0] q; always @(q) q <= #1 q + 1; endmodule";
+    let file = parse(src).unwrap();
+    let m = &file.modules[0];
+    let has_nba_delay = visit::stmts_of_module(m).iter().any(|s| {
+        matches!(s, Stmt::NonBlocking { delay: Some(_), .. })
+    });
+    assert!(has_nba_delay);
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_instantiation_styles() {
+    let src = r#"
+        module top;
+            wire [3:0] q;
+            reg clk, rst;
+            counter c0 (clk, rst, q);
+            counter #(.WIDTH(4)) c1 (.clk(clk), .reset(rst), .q(q));
+            counter c2 (.clk(clk), .reset(rst), .q());
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    let m = &file.modules[0];
+    let instances: Vec<_> = m
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Instance(inst) => Some(inst),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(instances.len(), 3);
+    assert_eq!(instances[0].ports.len(), 3);
+    assert!(instances[0].ports[0].name.is_none());
+    assert_eq!(instances[1].params.len(), 1);
+    assert_eq!(instances[1].ports[0].name.as_deref(), Some("clk"));
+    assert!(instances[2].ports[2].expr.is_none());
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_expressions() {
+    let src = r#"
+        module m;
+            wire [7:0] a, b;
+            wire [15:0] w;
+            wire x, y;
+            assign w = {a, b};
+            assign x = &a | ^b && !y;
+            assign y = a[3] ^ b[7:4] === 4'bzzzz;
+            assign a = y ? {2{b[3:0]}} : (b >> 2) + 8'h0f;
+        endmodule
+    "#;
+    parse(src).unwrap();
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_concat_lvalue() {
+    let src = "module m; reg c; reg [3:0] s; always @(s) {c, s} = s + 4'd9; endmodule";
+    parse(src).unwrap();
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_system_tasks() {
+    let src = r#"
+        module tb;
+            initial begin
+                $display("t=%t q=%b", $time, 4'b1010);
+                $monitor("%d", $time);
+                $finish;
+            end
+        endmodule
+    "#;
+    parse(src).unwrap();
+    assert_round_trip(src);
+}
+
+#[test]
+fn parses_parameters_and_memories() {
+    let src = r#"
+        module m;
+            parameter WIDTH = 8, DEPTH = 16;
+            localparam HALF = WIDTH / 2;
+            reg [WIDTH-1:0] mem [0:DEPTH-1];
+            wire [HALF-1:0] lo;
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    let params: Vec<_> = file.modules[0]
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Param(p) => Some((p.name.as_str(), p.local)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        params,
+        vec![("WIDTH", false), ("DEPTH", false), ("HALF", true)]
+    );
+    assert_round_trip(src);
+}
+
+#[test]
+fn literal_values_survive_parsing() {
+    let src = "module m; wire [3:0] w; assign w = 4'b1x0z; endmodule";
+    let file = parse(src).unwrap();
+    let m = &file.modules[0];
+    let lit = visit::exprs_of_module(m)
+        .into_iter()
+        .find_map(|e| match e {
+            Expr::Literal { value, .. } if value.has_unknown() => Some(value.clone()),
+            _ => None,
+        })
+        .expect("has x/z literal");
+    assert_eq!(lit.to_string(), "4'b1x0z");
+}
+
+#[test]
+fn node_ids_are_unique_across_file() {
+    let src = r#"
+        module a; reg x; always @(x) x = !x; endmodule
+        module b; reg y; initial y = 1'b1; endmodule
+    "#;
+    let file = parse(src).unwrap();
+    let mut ids = Vec::new();
+    visit::walk_source(&file, &mut |n| ids.push(n.id()));
+    let len = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), len, "all node ids must be unique");
+}
+
+#[test]
+fn errors_carry_positions() {
+    let err = parse("module m;\n  wire w\nendmodule").unwrap_err();
+    assert!(err.line() >= 2, "error on line {} of decl", err.line());
+    assert!(parse("module m; garbage!! endmodule").is_err());
+    assert!(parse("module m; always fork endmodule").is_err());
+    assert!(parse("module ; endmodule").is_err());
+}
+
+#[test]
+fn rejects_keyword_as_identifier() {
+    assert!(parse("module module; endmodule").is_err());
+    assert!(parse("module m; wire case; endmodule").is_err());
+}
+
+#[test]
+fn figure_1_counter_design_parses() {
+    // The motivating example of the paper (Figure 1a, abridged).
+    let src = r#"
+        module counter (clk, reset, enable, counter_out, overflow_out);
+            input clk, reset, enable;
+            output [3:0] counter_out;
+            output overflow_out;
+            reg [3:0] counter_out;
+            reg overflow_out;
+            always @(posedge clk)
+            begin : COUNTER
+                if (reset == 1'b1) begin
+                    counter_out <= #1 4'b0000;
+                    overflow_out <= #1 1'b0;
+                end
+                else if (enable == 1'b1) begin
+                    counter_out <= #1 counter_out + 1;
+                end
+                if (counter_out == 4'b1111) begin
+                    overflow_out <= #1 1'b1;
+                end
+            end
+        endmodule
+    "#;
+    let file = parse(src).unwrap();
+    assert_eq!(file.modules[0].ports.len(), 5);
+    assert_round_trip(src);
+}
+
+#[test]
+fn figure_1_testbench_parses() {
+    // The testbench of Figure 1b, abridged.
+    let src = r#"
+        module counter_tb;
+            reg clk, reset, enable;
+            wire [3:0] counter_out;
+            wire overflow_out;
+            event reset_trigger, reset_done_trigger, terminate_sim;
+            counter dut (clk, reset, enable, counter_out, overflow_out);
+            initial begin
+                clk = 0; reset = 0; enable = 0;
+            end
+            always #5 clk = !clk;
+            initial begin
+                #5 ;
+                forever begin
+                    @(reset_trigger);
+                    @(negedge clk);
+                    reset = 1;
+                    @(negedge clk);
+                    reset = 0;
+                    -> reset_done_trigger;
+                end
+            end
+            initial begin
+                #10 -> reset_trigger;
+                @(reset_done_trigger);
+                @(negedge clk);
+                enable = 1;
+                repeat (21) begin
+                    @(negedge clk);
+                end
+                enable = 0;
+                #5 -> terminate_sim;
+            end
+            initial begin
+                @(terminate_sim);
+                $finish;
+            end
+        endmodule
+    "#;
+    parse(src).unwrap();
+    assert_round_trip(src);
+}

@@ -1,0 +1,264 @@
+//! The elaborated design: flattened signals, memories, scopes, compiled
+//! processes and continuous assignments.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cirfix_ast::Expr;
+use cirfix_logic::LogicVec;
+
+use crate::compile::Program;
+
+/// Index of a scalar/vector signal in the elaborated design.
+pub type SignalId = usize;
+
+/// Index of a memory (array of words) in the elaborated design.
+pub type MemId = usize;
+
+/// What kind of storage a signal is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// A net: driven by continuous assignments / output ports.
+    Wire,
+    /// A variable: written by procedural assignments.
+    Reg,
+    /// A named event, modelled as an 8-bit trigger counter.
+    Event,
+}
+
+/// One elaborated signal.
+#[derive(Debug, Clone)]
+pub struct Signal {
+    /// Hierarchical name, e.g. `dut.counter_out`.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// Bit index of the declared LSB (`[7:4]` has `lsb = 4`).
+    pub lsb: usize,
+    /// Storage kind.
+    pub kind: SignalKind,
+    /// Declared initializer (`reg q = 0;`), applied at time 0.
+    pub init: Option<LogicVec>,
+}
+
+/// One elaborated memory (`reg [7:0] mem [0:255]`).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    /// Hierarchical name.
+    pub name: String,
+    /// Word width in bits.
+    pub width: usize,
+    /// Number of words.
+    pub size: usize,
+    /// Index of the first word (`[lo:hi]` or `[hi:lo]` both supported).
+    pub offset: u64,
+}
+
+/// A name binding visible inside one module instance.
+#[derive(Debug, Clone)]
+pub enum ScopeEntry {
+    /// A signal.
+    Sig(SignalId),
+    /// A memory.
+    Mem(MemId),
+    /// An elaborated parameter/localparam constant.
+    Param(LogicVec),
+}
+
+/// The symbol table of one module instance. Shared (via `Rc`) by all
+/// processes and continuous assignments of the instance.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Instance path, e.g. `dut.u_mul` (empty for the top instance).
+    pub path: String,
+    /// Local name → binding.
+    pub entries: HashMap<String, ScopeEntry>,
+}
+
+impl Scope {
+    /// Looks up a local name.
+    pub fn lookup(&self, name: &str) -> Option<&ScopeEntry> {
+        self.entries.get(name)
+    }
+
+    /// Looks up a name that must be a signal.
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        match self.entries.get(name) {
+            Some(ScopeEntry::Sig(id)) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved assignment target.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// The whole signal.
+    Sig(SignalId),
+    /// A constant part select (`bit` selects have `msb == lsb`). Bit
+    /// indices are raw (declaration `lsb` already subtracted).
+    Bits {
+        /// Target signal.
+        sig: SignalId,
+        /// High raw bit index, inclusive.
+        msb: usize,
+        /// Low raw bit index, inclusive.
+        lsb: usize,
+    },
+    /// A dynamically indexed single bit, `q[i]`.
+    BitDyn {
+        /// Target signal.
+        sig: SignalId,
+        /// Index expression, evaluated in the owner's scope at run time.
+        index: Expr,
+    },
+    /// A memory word, `mem[addr]`.
+    Word {
+        /// Target memory.
+        mem: MemId,
+        /// Address expression.
+        index: Expr,
+    },
+    /// A concatenation of targets; the first receives the MSBs.
+    Concat(Vec<Target>),
+}
+
+/// A continuous assignment (`assign …` or an elaborated port connection).
+#[derive(Debug, Clone)]
+pub struct ContAssign {
+    /// Resolved target (always a wire).
+    pub target: Target,
+    /// Driving expression.
+    pub rhs: Expr,
+    /// Scope for evaluating `rhs` (and any dynamic indices in `target`).
+    pub scope: Rc<Scope>,
+    /// Human-readable origin for diagnostics.
+    pub origin: String,
+}
+
+/// Whether a process restarts after completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessKind {
+    /// `always` — the program loops forever.
+    Always,
+    /// `initial` — the program runs once.
+    Initial,
+}
+
+/// One elaborated process: a compiled program plus its instance scope.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Compiled operations.
+    pub program: Program,
+    /// Scope for evaluation.
+    pub scope: Rc<Scope>,
+    /// `always` vs `initial`.
+    pub kind: ProcessKind,
+    /// Human-readable origin for diagnostics.
+    pub origin: String,
+}
+
+/// The fully elaborated design, ready to simulate.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    /// All signals, flattened across the hierarchy.
+    pub signals: Vec<Signal>,
+    /// All memories.
+    pub memories: Vec<Memory>,
+    /// All processes.
+    pub processes: Vec<Process>,
+    /// All continuous assignments (including port connections).
+    pub cassigns: Vec<ContAssign>,
+    /// Hierarchical signal name → id.
+    pub by_name: HashMap<String, SignalId>,
+}
+
+impl Design {
+    /// Looks up a signal by hierarchical name.
+    pub fn signal_named(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+}
+
+/// The value store for one simulation run: current values of all signals
+/// and memories, indexed parallel to [`Design`].
+#[derive(Debug, Clone)]
+pub struct Store {
+    /// Signal values.
+    pub signals: Vec<LogicVec>,
+    /// Memory contents.
+    pub memories: Vec<Vec<LogicVec>>,
+}
+
+impl Store {
+    /// Builds the initial store: registers and wires are all-`x`
+    /// (initializers are applied by the engine at time 0), events are 0.
+    pub fn new(design: &Design) -> Store {
+        let signals = design
+            .signals
+            .iter()
+            .map(|s| match s.kind {
+                SignalKind::Event => LogicVec::zero(s.width),
+                _ => LogicVec::unknown(s.width),
+            })
+            .collect();
+        let memories = design
+            .memories
+            .iter()
+            .map(|m| vec![LogicVec::unknown(m.width); m.size])
+            .collect();
+        Store { signals, memories }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_initialization() {
+        let design = Design {
+            signals: vec![
+                Signal {
+                    name: "q".into(),
+                    width: 4,
+                    lsb: 0,
+                    kind: SignalKind::Reg,
+                    init: None,
+                },
+                Signal {
+                    name: "ev".into(),
+                    width: 8,
+                    lsb: 0,
+                    kind: SignalKind::Event,
+                    init: None,
+                },
+            ],
+            memories: vec![Memory {
+                name: "mem".into(),
+                width: 8,
+                size: 4,
+                offset: 0,
+            }],
+            ..Design::default()
+        };
+        let store = Store::new(&design);
+        assert!(store.signals[0].has_unknown());
+        assert_eq!(store.signals[1].to_u64(), Some(0));
+        assert_eq!(store.memories[0].len(), 4);
+        assert!(store.memories[0][0].has_unknown());
+    }
+
+    #[test]
+    fn scope_lookup() {
+        let mut scope = Scope::default();
+        scope.entries.insert("a".into(), ScopeEntry::Sig(3));
+        scope
+            .entries
+            .insert("P".into(), ScopeEntry::Param(LogicVec::from_u64(8, 32)));
+        assert_eq!(scope.signal("a"), Some(3));
+        assert_eq!(scope.signal("P"), None);
+        assert!(scope.lookup("P").is_some());
+        assert!(scope.lookup("zz").is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// Why a simulation could not be built or run to completion.
+///
+/// Elaboration errors play the role of *compile failures* in the CirFix
+/// loop: a mutant that fails to elaborate is discarded with fitness 0,
+/// exactly as mutants rejected by Synopsys VCS are in the paper's
+/// prototype. Runtime errors (oscillation, runaway processes) likewise
+/// come from mutants — e.g. a `forever` loop whose delay was deleted —
+/// and are also scored 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The design could not be elaborated (undeclared name, bad port
+    /// connection, procedural assignment to a wire, …).
+    Elaboration(String),
+    /// A zero-delay loop failed to converge within the delta limit.
+    Oscillation {
+        /// Simulation time at which the oscillation was detected.
+        time: u64,
+    },
+    /// A single process ran too many operations without suspending
+    /// (e.g. `forever begin end`).
+    RunawayProcess {
+        /// Simulation time at which the limit was hit.
+        time: u64,
+    },
+    /// The global operation budget was exhausted.
+    StepLimit {
+        /// Simulation time at which the limit was hit.
+        time: u64,
+    },
+    /// A malformed runtime operation (division of a memory, an out of
+    /// range constant, …) that static checks could not rule out.
+    Runtime {
+        /// Description of the fault.
+        message: String,
+        /// Simulation time at which it occurred.
+        time: u64,
+    },
+}
+
+impl SimError {
+    /// Shorthand constructor for elaboration errors.
+    pub fn elab(message: impl Into<String>) -> SimError {
+        SimError::Elaboration(message.into())
+    }
+
+    /// `true` when the design never started simulating (a "compile"
+    /// failure in the paper's terminology).
+    pub fn is_compile_failure(&self) -> bool {
+        matches!(self, SimError::Elaboration(_))
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Elaboration(m) => write!(f, "elaboration error: {m}"),
+            SimError::Oscillation { time } => {
+                write!(f, "zero-delay oscillation at time {time}")
+            }
+            SimError::RunawayProcess { time } => {
+                write!(f, "runaway process at time {time}")
+            }
+            SimError::StepLimit { time } => {
+                write!(f, "simulation step limit exhausted at time {time}")
+            }
+            SimError::Runtime { message, time } => {
+                write!(f, "runtime error at time {time}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let e = SimError::elab("undeclared identifier `q`");
+        assert!(e.is_compile_failure());
+        assert!(e.to_string().contains("undeclared"));
+        let o = SimError::Oscillation { time: 40 };
+        assert!(!o.is_compile_failure());
+        assert!(o.to_string().contains("40"));
+    }
+}

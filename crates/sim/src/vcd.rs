@@ -1,0 +1,170 @@
+//! Value-change-dump (VCD) output: render a recorded [`Trace`] in the
+//! IEEE 1364 §18 interchange format, viewable in GTKWave and friends.
+//!
+//! The paper's workflow inspects candidate repairs in waveform viewers
+//! during the developer validation step; this module provides that
+//! artifact from our traces.
+
+use std::fmt::Write as _;
+
+use cirfix_logic::{Logic, LogicVec};
+
+use crate::probe::Trace;
+
+/// Renders `trace` as a VCD document. `timescale` is the unit text for
+/// the `$timescale` section (e.g. `"1ns"`); `module` names the
+/// enclosing scope.
+///
+/// Signals are emitted in trace-column order with generated short
+/// identifier codes. Values are dumped at every recorded timestamp;
+/// unchanged values are skipped after the first dump, per VCD
+/// convention.
+pub fn trace_to_vcd(trace: &Trace, module: &str, timescale: &str) -> String {
+    let mut out = String::new();
+    out.push_str("$date\n    (cirfix-sim)\n$end\n");
+    out.push_str("$version\n    cirfix-sim VCD writer\n$end\n");
+    let _ = writeln!(out, "$timescale {timescale} $end");
+    let _ = writeln!(out, "$scope module {module} $end");
+
+    // Infer widths from the first row (fall back to 1).
+    let widths: Vec<usize> = (0..trace.vars().len())
+        .map(|col| {
+            trace
+                .times()
+                .next()
+                .and_then(|t| trace.row(t))
+                .map_or(1, |row| row[col].width())
+        })
+        .collect();
+    let codes: Vec<String> = (0..trace.vars().len()).map(code_for).collect();
+    for ((var, width), code) in trace.vars().iter().zip(&widths).zip(&codes) {
+        let _ = writeln!(out, "$var wire {width} {code} {var} $end");
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let mut last: Vec<Option<LogicVec>> = vec![None; trace.vars().len()];
+    for t in trace.times() {
+        let row = trace.row(t).expect("time came from the trace");
+        let mut changes = String::new();
+        for (col, value) in row.iter().enumerate() {
+            if last[col].as_ref() == Some(value) {
+                continue;
+            }
+            last[col] = Some(value.clone());
+            if value.width() == 1 {
+                let _ = writeln!(changes, "{}{}", bit_char(value.bit(0)), codes[col]);
+            } else {
+                let bits: String = value
+                    .bits_lsb()
+                    .iter()
+                    .rev()
+                    .map(|b| bit_char(*b))
+                    .collect();
+                let _ = writeln!(changes, "b{} {}", bits, codes[col]);
+            }
+        }
+        if !changes.is_empty() {
+            let _ = writeln!(out, "#{t}");
+            out.push_str(&changes);
+        }
+    }
+    out
+}
+
+fn bit_char(l: Logic) -> char {
+    match l {
+        Logic::Zero => '0',
+        Logic::One => '1',
+        Logic::X => 'x',
+        Logic::Z => 'z',
+    }
+}
+
+/// Generates the printable-ASCII identifier code for column `i`
+/// (`!`, `"`, …, then two-character codes).
+fn code_for(i: usize) -> String {
+    const FIRST: u8 = b'!';
+    const COUNT: usize = 94; // printable ASCII miinus space
+    let mut i = i;
+    let mut code = String::new();
+    loop {
+        code.push((FIRST + (i % COUNT) as u8) as char);
+        i /= COUNT;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(vec!["clk".into(), "q".into()]);
+        t.record(
+            0,
+            vec![LogicVec::from_u64(0, 1), LogicVec::unknown(4)],
+        );
+        t.record(
+            5,
+            vec![LogicVec::from_u64(1, 1), LogicVec::from_u64(3, 4)],
+        );
+        t.record(
+            10,
+            vec![LogicVec::from_u64(0, 1), LogicVec::from_u64(3, 4)],
+        );
+        t
+    }
+
+    #[test]
+    fn header_declares_all_signals() {
+        let vcd = trace_to_vcd(&sample_trace(), "tb", "1ns");
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$scope module tb $end"));
+        assert!(vcd.contains("$var wire 1 ! clk $end"));
+        assert!(vcd.contains("$var wire 4 \" q $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn values_are_dumped_with_x_support() {
+        let vcd = trace_to_vcd(&sample_trace(), "tb", "1ns");
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.contains("0!"), "scalar zero: {vcd}");
+        assert!(vcd.contains("bxxxx \""), "unknown vector: {vcd}");
+        assert!(vcd.contains("#5\n"));
+        assert!(vcd.contains("b0011 \""));
+    }
+
+    #[test]
+    fn unchanged_values_are_skipped() {
+        let vcd = trace_to_vcd(&sample_trace(), "tb", "1ns");
+        // q does not change between 5 and 10: only clk is re-dumped.
+        let after_10 = vcd.split("#10").nth(1).expect("has #10");
+        assert!(after_10.contains("0!"));
+        assert!(!after_10.contains('b'), "q unchanged: {after_10}");
+    }
+
+    #[test]
+    fn identifier_codes_are_unique() {
+        let codes: Vec<String> = (0..300).map(code_for).collect();
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+        assert_eq!(code_for(0), "!");
+        assert_eq!(code_for(93), "~");
+        assert_eq!(code_for(94), "!!");
+    }
+
+    #[test]
+    fn empty_trace_produces_valid_header() {
+        let t = Trace::new(vec!["a".into()]);
+        let vcd = trace_to_vcd(&t, "m", "1ps");
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(!vcd.contains('#'));
+    }
+}

@@ -1,0 +1,335 @@
+//! Deeper Verilog semantics tests against the event-driven engine:
+//! scheduling regions, edge cases of four-state propagation, hierarchy,
+//! and testbench constructs the benchmark suite relies on.
+
+use cirfix_parser::parse;
+use cirfix_sim::{ProbeSpec, SimConfig, SimError, Simulator};
+
+fn run(src: &str, top: &str) -> Simulator {
+    let file = parse(src).expect("parse");
+    let mut sim = Simulator::new(&file, top, SimConfig::default()).expect("elaborate");
+    sim.run().expect("run");
+    sim
+}
+
+fn value(sim: &Simulator, name: &str) -> Option<u64> {
+    sim.signal(name).expect("signal exists").to_u64()
+}
+
+#[test]
+fn nba_updates_are_simultaneous_across_processes() {
+    // Two always blocks exchanging values through NBAs must swap, not
+    // race — the textbook justification for non-blocking assignment.
+    let sim = run(
+        r#"module t;
+            reg clk;
+            reg [3:0] a, b;
+            initial begin clk = 0; a = 1; b = 9; #12 $finish; end
+            always #5 clk = !clk;
+            always @(posedge clk) a <= b;
+            always @(posedge clk) b <= a;
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "a"), Some(9));
+    assert_eq!(value(&sim, "b"), Some(1));
+}
+
+#[test]
+fn zero_delay_inactive_region_orders_after_active() {
+    // A #0 write is deferred past the currently active events.
+    let sim = run(
+        r#"module t;
+            reg [3:0] a, b;
+            initial begin
+                a = 1;
+                #0 a = 2;
+            end
+            initial b = a;  // runs in the active region: sees 1 or x?
+        endmodule"#,
+        "t",
+    );
+    // Process order: first initial runs (a=1, schedules #0), second
+    // initial runs (b = 1), then the inactive region sets a = 2.
+    assert_eq!(value(&sim, "a"), Some(2));
+    assert_eq!(value(&sim, "b"), Some(1));
+}
+
+#[test]
+fn async_reset_block_fires_between_clock_edges() {
+    let sim = run(
+        r#"module t;
+            reg clk, rst;
+            reg [3:0] n;
+            initial begin clk = 0; rst = 0; end
+            always #5 clk = !clk;
+            always @(posedge clk or posedge rst)
+                if (rst) n <= 0;
+                else n <= n + 1;
+            initial begin
+                @(negedge clk);
+                rst = 1;
+                #1 rst = 0;
+                #32 $finish;
+            end
+        endmodule"#,
+        "t",
+    );
+    // Reset pulse at t=10..11; posedges at 15, 25, 35 increment from 0.
+    assert_eq!(value(&sim, "n"), Some(3));
+}
+
+#[test]
+fn casez_wildcards_in_simulation() {
+    let sim = run(
+        r#"module t;
+            reg [3:0] s;
+            reg [1:0] y;
+            always @(s)
+                casez (s)
+                    4'b1???: y = 2'd3;
+                    4'b01??: y = 2'd2;
+                    4'b001?: y = 2'd1;
+                    default: y = 2'd0;
+                endcase
+            initial begin
+                s = 4'b0001; #1 ;
+                s = 4'b0010; #1 ;
+                s = 4'b0111; #1 ;
+                s = 4'b1000; #1 ;
+            end
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "y"), Some(3), "priority encoder top bit");
+}
+
+#[test]
+fn parameterized_hierarchy_three_deep() {
+    let sim = run(
+        r#"
+        module leaf (y);
+            parameter V = 1;
+            output [7:0] y;
+            assign y = V;
+        endmodule
+        module mid (y);
+            parameter V = 2;
+            output [7:0] y;
+            leaf #(.V(V * 3)) l (y);
+        endmodule
+        module t;
+            wire [7:0] y;
+            mid #(.V(7)) m (y);
+        endmodule
+        "#,
+        "t",
+    );
+    assert_eq!(value(&sim, "y"), Some(21));
+    assert_eq!(value(&sim, "m.l.y"), Some(21), "hierarchical names resolve");
+}
+
+#[test]
+fn memory_word_nba_and_readback() {
+    let sim = run(
+        r#"module t;
+            reg clk;
+            reg [7:0] mem [0:7];
+            reg [2:0] wa, ra;
+            reg [7:0] out;
+            initial begin
+                clk = 0;
+                wa = 3; ra = 3;
+                #40 $finish;
+            end
+            always #5 clk = !clk;
+            always @(posedge clk) mem[wa] <= 8'h5a;
+            always @(negedge clk) out <= mem[ra];
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "out"), Some(0x5a));
+}
+
+#[test]
+fn wide_arithmetic_and_reductions() {
+    let sim = run(
+        r#"module t;
+            reg [63:0] big;
+            reg p, q;
+            initial begin
+                big = 64'hffff_ffff_ffff_fffe;
+                p = ^big;     // parity of 63 ones = 1
+                q = &big;     // not all ones = 0
+                big = big + 64'd2;   // wraps to 0
+            end
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "p"), Some(1));
+    assert_eq!(value(&sim, "q"), Some(0));
+    assert_eq!(value(&sim, "big"), Some(0));
+}
+
+#[test]
+fn x_propagates_through_conditions_as_false() {
+    let sim = run(
+        r#"module t;
+            reg u;       // never initialized: x
+            reg [3:0] y;
+            initial begin
+                y = 4'd7;
+                if (u) y = 4'd1;
+                else y = 4'd2;   // x condition takes the else branch
+            end
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "y"), Some(2));
+}
+
+#[test]
+fn ternary_with_x_condition_merges_branches() {
+    let sim = run(
+        r#"module t;
+            reg u;
+            wire [3:0] w;
+            assign w = u ? 4'b1100 : 4'b1010;
+        endmodule"#,
+        "t",
+    );
+    let w = run_signal_string(&sim, "w");
+    assert_eq!(w, "4'b1xx0");
+}
+
+fn run_signal_string(sim: &Simulator, name: &str) -> String {
+    sim.signal(name).expect("signal").to_string()
+}
+
+#[test]
+fn while_loop_with_signal_condition() {
+    let sim = run(
+        r#"module t;
+            integer i;
+            reg [7:0] total;
+            initial begin
+                total = 0;
+                i = 0;
+                while (i < 5) begin
+                    total = total + i[7:0];
+                    i = i + 1;
+                end
+            end
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "total"), Some(10));
+}
+
+#[test]
+fn event_trigger_chains_across_three_processes() {
+    let sim = run(
+        r#"module t;
+            event e1, e2;
+            reg [3:0] stage;
+            initial begin stage = 0; #5 -> e1; end
+            initial begin @(e1); stage = 1; -> e2; end
+            initial begin @(e2); stage = 2; end
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "stage"), Some(2));
+}
+
+#[test]
+fn probe_start_before_any_activity_records_x() {
+    let src = r#"module t;
+        reg [3:0] q;
+        initial #30 q = 5;
+        initial #50 $finish;
+    endmodule"#;
+    let file = parse(src).unwrap();
+    let mut sim = Simulator::new(&file, "t", SimConfig::default()).unwrap();
+    let p = sim
+        .add_probe(&ProbeSpec::periodic(vec!["q".into()], 10, 10))
+        .unwrap();
+    sim.run().unwrap();
+    let trace = sim.probe_trace(p);
+    assert!(trace.get(10, "q").unwrap().has_unknown());
+    assert_eq!(trace.get(40, "q").unwrap().to_u64(), Some(5));
+}
+
+#[test]
+fn missing_probe_signal_is_an_elaboration_error() {
+    let file = parse("module t; reg q; initial q = 0; endmodule").unwrap();
+    let mut sim = Simulator::new(&file, "t", SimConfig::default()).unwrap();
+    let err = sim
+        .add_probe(&ProbeSpec::periodic(vec!["ghost".into()], 5, 10))
+        .unwrap_err();
+    assert!(err.is_compile_failure());
+}
+
+#[test]
+fn step_limit_guards_against_heavy_mutants() {
+    let src = r#"module t;
+        reg clk;
+        reg [31:0] n;
+        initial begin clk = 0; n = 0; end
+        always #1 clk = !clk;
+        always @(clk) n <= n + 1;
+    endmodule"#;
+    let file = parse(src).unwrap();
+    let mut sim = Simulator::new(
+        &file,
+        "t",
+        SimConfig {
+            max_time: 1_000_000_000,
+            max_total_ops: 10_000,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let err = sim.run().unwrap_err();
+    assert!(matches!(err, SimError::StepLimit { .. }));
+}
+
+#[test]
+fn blocking_intra_delay_holds_value_across_other_writes() {
+    let sim = run(
+        r#"module t;
+            reg [7:0] a, b;
+            initial begin
+                a = 8'd10;
+                b = #6 a + 8'd1;  // rhs (11) captured at t=0
+            end
+            always @(a) begin end
+            initial #3 a = 8'd99;
+        endmodule"#,
+        "t",
+    );
+    assert_eq!(value(&sim, "b"), Some(11));
+    assert_eq!(value(&sim, "a"), Some(99));
+}
+
+#[test]
+fn vcd_export_of_probe_trace() {
+    let src = r#"module t;
+        reg clk;
+        reg [3:0] n;
+        initial begin clk = 0; n = 0; end
+        always #5 clk = !clk;
+        always @(posedge clk) n <= n + 1;
+        initial #45 $finish;
+    endmodule"#;
+    let file = parse(src).unwrap();
+    let mut sim = Simulator::new(&file, "t", SimConfig::default()).unwrap();
+    let p = sim
+        .add_probe(&ProbeSpec::periodic(vec!["n".into(), "clk".into()], 5, 10))
+        .unwrap();
+    sim.run().unwrap();
+    let vcd = cirfix_sim::vcd::trace_to_vcd(sim.probe_trace(p), "t", "1ns");
+    assert!(vcd.contains("$var wire 4 ! n $end"));
+    assert!(vcd.contains("$var wire 1 \" clk $end"));
+    assert!(vcd.contains("#5"));
+    assert!(vcd.contains("b0001 !"));
+}

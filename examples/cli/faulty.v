@@ -1,0 +1,6 @@
+// Gray-code encoder with a wrong shift amount (the defect).
+module gray (bin, g);
+    input [3:0] bin;
+    output [3:0] g;
+    assign g = bin ^ (bin >> 2);
+endmodule

@@ -1,0 +1,6 @@
+// Known-good gray-code encoder used to record expected behaviour.
+module gray (bin, g);
+    input [3:0] bin;
+    output [3:0] g;
+    assign g = bin ^ (bin >> 1);
+endmodule

@@ -1,0 +1,16 @@
+// Instrumented testbench: sweeps all 16 inputs.
+module tb;
+    reg [3:0] bin;
+    wire [3:0] g;
+    integer i;
+    gray dut (bin, g);
+    initial begin
+        bin = 0;
+        #10 ;
+        for (i = 0; i < 16; i = i + 1) begin
+            bin = i[3:0];
+            #10 ;
+        end
+        $finish;
+    end
+endmodule

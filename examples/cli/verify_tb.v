@@ -1,0 +1,18 @@
+// Held-out verification bench: reverse sweep with repeats.
+module verify_tb;
+    reg [3:0] bin;
+    wire [3:0] g;
+    integer i;
+    gray dut (bin, g);
+    initial begin
+        bin = 4'hf;
+        #10 ;
+        for (i = 15; i >= 0 && i < 16; i = i - 1) begin
+            bin = i[3:0];
+            #10 ;
+            bin = ~i[3:0];
+            #10 ;
+        end
+        $finish;
+    end
+endmodule

@@ -1,0 +1,42 @@
+//! Quickstart: repair a benchmark defect end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cirfix::{repair, RepairConfig};
+use cirfix_benchmarks::scenario;
+
+fn main() {
+    // Pick a Table 3 scenario: the T-flip-flop with a negated reset
+    // condition.
+    let scenario = scenario("flip_flop_cond").expect("bundled scenario");
+    println!("Defect: {} ({})", scenario.description, scenario.id);
+
+    // Build the repair problem: faulty design + instrumented testbench +
+    // expected behaviour recorded from the golden design.
+    let problem = scenario.problem().expect("benchmark sources parse");
+
+    // Run one GP repair trial with the scaled-down configuration.
+    let result = repair(&problem, RepairConfig::fast(1));
+
+    println!(
+        "plausible: {}  fitness: {:.3}  evaluations: {}  generations: {}",
+        result.is_plausible(),
+        result.best_fitness,
+        result.fitness_evals,
+        result.generations
+    );
+    println!(
+        "minimized patch:\n{}",
+        cirfix::explain::describe_patch(&problem.source, &problem.design_modules, &result.patch)
+    );
+    if result.is_plausible() {
+        let (repaired, _) =
+            cirfix::apply_patch(&problem.source, &problem.design_modules, &result.patch);
+        println!(
+            "diff against the faulty design:\n{}",
+            cirfix::explain::diff_designs(&problem.source, &repaired, &problem.design_modules)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Use the simulator substrate directly: run the golden counter with
+//! its testbench and print the instrumented trace as CSV.
+//!
+//! ```sh
+//! cargo run --release --example simulate_design
+//! ```
+
+use cirfix_benchmarks::project;
+use cirfix_sim::{ProbeSpec, SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p = project("counter").expect("bundled project");
+    let file = p.golden_full()?;
+
+    let mut sim = Simulator::new(&file, p.top, SimConfig::default())?;
+    let probe = sim.add_probe(&ProbeSpec::periodic(
+        vec!["counter_out".into(), "overflow_out".into()],
+        25,
+        10,
+    ))?;
+    let outcome = sim.run()?;
+
+    println!(
+        "finished={} end_time={} ops={}",
+        outcome.finished, outcome.end_time, outcome.total_ops
+    );
+    println!("{}", sim.probe_trace(probe).to_csv());
+    for line in sim.log() {
+        println!("$display: {line}");
+    }
+    Ok(())
+}

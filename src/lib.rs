@@ -1,0 +1,1 @@
+//! CirFix reproduction root package.
