@@ -60,9 +60,7 @@ impl LValue {
         match self {
             LValue::Ident { name, .. } => vec![name],
             LValue::Index { base, .. } | LValue::Range { base, .. } => vec![base],
-            LValue::Concat { parts, .. } => {
-                parts.iter().flat_map(|p| p.target_names()).collect()
-            }
+            LValue::Concat { parts, .. } => parts.iter().flat_map(|p| p.target_names()).collect(),
         }
     }
 }

@@ -447,9 +447,9 @@ fn replace_stmt_rec(stmt: &mut Stmt, target: NodeId, new: &Stmt) -> bool {
         Stmt::While { body, .. } | Stmt::Repeat { body, .. } | Stmt::Forever { body, .. } => {
             replace_in_box(body, target, new)
         }
-        Stmt::Delay { body, .. }
-        | Stmt::EventControl { body, .. }
-        | Stmt::Wait { body, .. } => replace_in_opt(body, target, new),
+        Stmt::Delay { body, .. } | Stmt::EventControl { body, .. } | Stmt::Wait { body, .. } => {
+            replace_in_opt(body, target, new)
+        }
         Stmt::Blocking { .. }
         | Stmt::NonBlocking { .. }
         | Stmt::EventTrigger { .. }
@@ -467,8 +467,8 @@ pub fn replace_expr(module: &mut Module, target: NodeId, new: &Expr) -> bool {
             Item::Decl(d) => {
                 let mut hit = false;
                 if let Some((msb, lsb)) = &mut d.range {
-                    hit = replace_expr_slot(msb, target, new)
-                        || replace_expr_slot(lsb, target, new);
+                    hit =
+                        replace_expr_slot(msb, target, new) || replace_expr_slot(lsb, target, new);
                 }
                 if !hit {
                     for v in &mut d.vars {
@@ -542,16 +542,12 @@ fn replace_expr_slot(slot: &mut Expr, target: NodeId, new: &Expr) -> bool {
         Expr::Range { msb, lsb, .. } => {
             replace_expr_slot(msb, target, new) || replace_expr_slot(lsb, target, new)
         }
-        Expr::Concat { parts, .. } => parts
-            .iter_mut()
-            .any(|p| replace_expr_slot(p, target, new)),
+        Expr::Concat { parts, .. } => parts.iter_mut().any(|p| replace_expr_slot(p, target, new)),
         Expr::Repeat { count, parts, .. } => {
             replace_expr_slot(count, target, new)
                 || parts.iter_mut().any(|p| replace_expr_slot(p, target, new))
         }
-        Expr::SysCall { args, .. } => args
-            .iter_mut()
-            .any(|a| replace_expr_slot(a, target, new)),
+        Expr::SysCall { args, .. } => args.iter_mut().any(|a| replace_expr_slot(a, target, new)),
     }
 }
 
@@ -661,9 +657,7 @@ fn replace_expr_in_stmt(stmt: &mut Stmt, target: NodeId, new: &Expr) -> bool {
                     .as_mut()
                     .is_some_and(|b| replace_expr_in_stmt(b, target, new))
         }
-        Stmt::SysCall { args, .. } => args
-            .iter_mut()
-            .any(|a| replace_expr_slot(a, target, new)),
+        Stmt::SysCall { args, .. } => args.iter_mut().any(|a| replace_expr_slot(a, target, new)),
         Stmt::EventTrigger { .. } | Stmt::Null { .. } => false,
     }
 }
@@ -712,11 +706,10 @@ fn insert_after_rec(stmt: &mut Stmt, anchor: NodeId, new: &Stmt) -> bool {
         | Stmt::While { body, .. }
         | Stmt::Repeat { body, .. }
         | Stmt::Forever { body, .. } => insert_after_rec(body, anchor, new),
-        Stmt::Delay { body, .. }
-        | Stmt::EventControl { body, .. }
-        | Stmt::Wait { body, .. } => body
-            .as_mut()
-            .is_some_and(|b| insert_after_rec(b, anchor, new)),
+        Stmt::Delay { body, .. } | Stmt::EventControl { body, .. } | Stmt::Wait { body, .. } => {
+            body.as_mut()
+                .is_some_and(|b| insert_after_rec(b, anchor, new))
+        }
         _ => false,
     }
 }

@@ -1,10 +1,12 @@
-//! Criterion-driven scaled experiments: one benchmark per paper
-//! artifact, sized to finish under `cargo bench`. The full-scale
-//! regenerators live in `src/bin/` (table3, rq1–rq4, …).
+//! Scaled experiments: one benchmark per paper artifact, sized to
+//! finish under `cargo bench`. The full-scale regenerators live in
+//! `src/bin/` (table3, rq1–rq4, …).
+//!
+//! Uses a plain `Instant`-based harness (`harness = false`): the build
+//! environment has no crates.io access, so criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cirfix::{brute_force_repair, degrade_oracle, repair, BruteConfig, RepairConfig};
 use cirfix_benchmarks::scenario;
@@ -20,87 +22,56 @@ fn small_config(seed: u64) -> RepairConfig {
     }
 }
 
-/// Table 3 (scaled): one full repair run on an easy scenario.
-fn bench_table3_repair(c: &mut Criterion) {
-    let s = scenario("counter_sens_list").expect("scenario");
-    let problem = s.problem().expect("problem");
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
-    group.bench_function("repair_counter_sens_list", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            repair(black_box(&problem), small_config(seed))
-        })
-    });
-    group.finish();
+/// Runs `f` `samples` times and reports the mean wall time.
+fn bench(name: &str, samples: u32, mut f: impl FnMut(u64)) {
+    let start = Instant::now();
+    for i in 0..samples {
+        f(u64::from(i) + 1);
+    }
+    let per = start.elapsed() / samples;
+    println!("{name:<36} {per:>12.3?} /iter  ({samples} samples)");
 }
 
-/// RQ1 (scaled): brute force on the same defect, same budget.
-fn bench_rq1_brute(c: &mut Criterion) {
-    let s = scenario("counter_sens_list").expect("scenario");
-    let problem = s.problem().expect("problem");
-    let mut group = c.benchmark_group("rq1");
-    group.sample_size(10);
-    group.bench_function("brute_force_counter_sens_list", |b| {
-        b.iter(|| {
-            brute_force_repair(
-                black_box(&problem),
-                BruteConfig {
-                    timeout: Duration::from_secs(20),
-                    max_evals: 1_200,
-                    seed: 1,
-                    fitness: Default::default(),
-                },
-            )
-        })
+fn main() {
+    // Table 3 (scaled): one full repair run on an easy scenario.
+    let sens = scenario("counter_sens_list").expect("scenario");
+    let sens_problem = sens.problem().expect("problem");
+    bench("table3/repair_counter_sens_list", 10, |seed| {
+        black_box(repair(black_box(&sens_problem), small_config(seed)));
     });
-    group.finish();
-}
 
-/// RQ3 (scaled): fitness evaluation cost, the >90% component of repair
-/// wall time in the paper.
-fn bench_rq3_fitness(c: &mut Criterion) {
-    let s = scenario("counter_reset").expect("scenario");
-    let problem = s.problem().expect("problem");
-    let mut group = c.benchmark_group("rq3");
-    group.bench_function("fitness_probe_counter", |b| {
-        b.iter(|| {
-            cirfix::evaluate(
-                black_box(&problem),
-                &cirfix::Patch::empty(),
-                Default::default(),
-            )
-        })
-    });
-    group.finish();
-}
-
-/// RQ4 (scaled): repair under a 25% oracle.
-fn bench_rq4_degraded(c: &mut Criterion) {
-    let s = scenario("flip_flop_cond").expect("scenario");
-    let problem = s.problem().expect("problem");
-    let mut group = c.benchmark_group("rq4");
-    group.sample_size(10);
-    group.bench_function("repair_with_quarter_oracle", |b| {
-        b.iter_batched(
-            || {
-                let mut p = problem.clone();
-                p.oracle = degrade_oracle(&p.oracle, 0.25, 5);
-                p
+    // RQ1 (scaled): brute force on the same defect, same budget.
+    bench("rq1/brute_force_counter_sens_list", 10, |_| {
+        black_box(brute_force_repair(
+            black_box(&sens_problem),
+            BruteConfig {
+                timeout: Duration::from_secs(20),
+                max_evals: 1_200,
+                seed: 1,
+                fitness: Default::default(),
+                ..BruteConfig::default()
             },
-            |p| repair(&p, small_config(3)),
-            BatchSize::LargeInput,
-        )
+        ));
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_table3_repair,
-    bench_rq1_brute,
-    bench_rq3_fitness,
-    bench_rq4_degraded
-);
-criterion_main!(benches);
+    // RQ3 (scaled): fitness evaluation cost, the >90% component of
+    // repair wall time in the paper.
+    let reset = scenario("counter_reset").expect("scenario");
+    let reset_problem = reset.problem().expect("problem");
+    bench("rq3/fitness_probe_counter", 50, |_| {
+        black_box(cirfix::evaluate(
+            black_box(&reset_problem),
+            &cirfix::Patch::empty(),
+            Default::default(),
+        ));
+    });
+
+    // RQ4 (scaled): repair under a 25% oracle.
+    let ff = scenario("flip_flop_cond").expect("scenario");
+    let ff_problem = ff.problem().expect("problem");
+    bench("rq4/repair_with_quarter_oracle", 10, |_| {
+        let mut p = ff_problem.clone();
+        p.oracle = degrade_oracle(&p.oracle, 0.25, 5);
+        black_box(repair(&p, small_config(3)));
+    });
+}

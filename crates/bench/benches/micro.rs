@@ -1,104 +1,96 @@
-//! Criterion micro-benchmarks for the pipeline stages: parsing,
-//! elaboration, simulation, fitness evaluation, fault localization, and
-//! patch application.
+//! Micro-benchmarks for the pipeline stages: parsing, elaboration,
+//! simulation, fitness evaluation, fault localization, and patch
+//! application.
+//!
+//! Uses a plain `Instant`-based harness (`harness = false`): the build
+//! environment has no crates.io access, so criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cirfix::{evaluate, fault_localization, FitnessParams, Patch};
 use cirfix_benchmarks::{project, scenario};
 use cirfix_sim::{SimConfig, Simulator};
 
-fn bench_parser(c: &mut Criterion) {
-    let p = project("i2c").expect("project");
-    c.bench_function("parse_i2c_design", |b| {
-        b.iter(|| cirfix_parser::parse(black_box(p.design)).expect("parses"))
-    });
-    let counter = project("counter").expect("project");
-    c.bench_function("parse_counter_with_tb", |b| {
-        b.iter(|| {
-            let mut f = cirfix_parser::parse(black_box(counter.design)).expect("parses");
-            f.extend_from(cirfix_parser::parse(black_box(counter.testbench)).expect("parses"));
-            f
-        })
-    });
+/// Times `f` adaptively: warm up, then run enough iterations to fill
+/// roughly a tenth of a second, and report the mean time per iteration.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let iters = (100_000_000 / once).clamp(1, 10_000) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() / u128::from(iters);
+    println!("{name:<36} {per:>12} ns/iter  ({iters} iters)");
 }
 
-fn bench_elaboration(c: &mut Criterion) {
-    let p = project("tate_pairing").expect("project");
-    let file = {
-        let mut f = cirfix_parser::parse(p.design).expect("parses");
-        f.extend_from(cirfix_parser::parse(p.testbench).expect("parses"));
+fn main() {
+    let i2c = project("i2c").expect("project");
+    bench("parse_i2c_design", || {
+        black_box(cirfix_parser::parse(black_box(i2c.design)).expect("parses"));
+    });
+
+    let counter = project("counter").expect("project");
+    bench("parse_counter_with_tb", || {
+        let mut f = cirfix_parser::parse(black_box(counter.design)).expect("parses");
+        f.extend_from(cirfix_parser::parse(black_box(counter.testbench)).expect("parses"));
+        black_box(f);
+    });
+
+    let tate = project("tate_pairing").expect("project");
+    let tate_file = {
+        let mut f = cirfix_parser::parse(tate.design).expect("parses");
+        f.extend_from(cirfix_parser::parse(tate.testbench).expect("parses"));
         f
     };
-    c.bench_function("elaborate_tate_pairing", |b| {
-        b.iter(|| cirfix_sim::elaborate(black_box(&file), "tate_tb").expect("elaborates"))
+    bench("elaborate_tate_pairing", || {
+        black_box(cirfix_sim::elaborate(black_box(&tate_file), "tate_tb").expect("elaborates"));
     });
-}
 
-fn bench_simulation(c: &mut Criterion) {
-    let p = project("counter").expect("project");
-    let file = p.golden_full().expect("parses");
-    c.bench_function("simulate_counter_testbench", |b| {
-        b.iter(|| {
-            let mut sim =
-                Simulator::new(black_box(&file), "counter_tb", SimConfig::default())
-                    .expect("elaborates");
-            sim.run().expect("runs")
-        })
+    let counter_full = counter.golden_full().expect("parses");
+    bench("simulate_counter_testbench", || {
+        let mut sim = Simulator::new(black_box(&counter_full), "counter_tb", SimConfig::default())
+            .expect("elaborates");
+        black_box(sim.run().expect("runs"));
     });
-}
 
-fn bench_fitness_pipeline(c: &mut Criterion) {
-    let s = scenario("counter_reset").expect("scenario");
-    let problem = s.problem().expect("problem");
-    c.bench_function("evaluate_empty_patch_counter", |b| {
-        b.iter(|| {
-            evaluate(
-                black_box(&problem),
-                &Patch::empty(),
-                FitnessParams::default(),
-            )
-        })
+    let reset = scenario("counter_reset").expect("scenario");
+    let reset_problem = reset.problem().expect("problem");
+    bench("evaluate_empty_patch_counter", || {
+        black_box(evaluate(
+            black_box(&reset_problem),
+            &Patch::empty(),
+            FitnessParams::default(),
+        ));
     });
-}
 
-fn bench_fault_localization(c: &mut Criterion) {
-    let s = scenario("counter_reset").expect("scenario");
-    let problem = s.problem().expect("problem");
-    let base = evaluate(&problem, &Patch::empty(), FitnessParams::default());
-    let faulty = s.faulty_design_file().expect("parses");
+    let base = evaluate(&reset_problem, &Patch::empty(), FitnessParams::default());
+    let faulty = reset.faulty_design_file().expect("parses");
     let module = faulty.module("counter").expect("module");
-    c.bench_function("fault_localization_counter", |b| {
-        b.iter(|| fault_localization(black_box(&[module]), black_box(&base.mismatched)))
+    bench("fault_localization_counter", || {
+        black_box(fault_localization(
+            black_box(&[module]),
+            black_box(&base.mismatched),
+        ));
     });
-}
 
-fn bench_patch_application(c: &mut Criterion) {
-    let s = scenario("counter_sens_list").expect("scenario");
-    let problem = s.problem().expect("problem");
-    let faulty = s.faulty_design_file().expect("parses");
-    let module = faulty.module("counter").expect("module");
-    let stmt = cirfix_ast::visit::stmts_of_module(module)[0].id();
+    let sens = scenario("counter_sens_list").expect("scenario");
+    let sens_problem = sens.problem().expect("problem");
+    let sens_faulty = sens.faulty_design_file().expect("parses");
+    let sens_module = sens_faulty.module("counter").expect("module");
+    let stmt = cirfix_ast::visit::stmts_of_module(sens_module)[0].id();
     let patch = Patch::single(cirfix::Edit::DeleteStmt { target: stmt });
-    c.bench_function("apply_single_edit_patch", |b| {
-        b.iter(|| {
-            cirfix::apply_patch(
-                black_box(&problem.source),
-                &problem.design_modules,
-                black_box(&patch),
-            )
-        })
+    bench("apply_single_edit_patch", || {
+        black_box(cirfix::apply_patch(
+            black_box(&sens_problem.source),
+            &sens_problem.design_modules,
+            black_box(&patch),
+        ));
     });
 }
-
-criterion_group!(
-    benches,
-    bench_parser,
-    bench_elaboration,
-    bench_simulation,
-    bench_fitness_pipeline,
-    bench_fault_localization,
-    bench_patch_application
-);
-criterion_main!(benches);

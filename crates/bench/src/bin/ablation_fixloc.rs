@@ -5,7 +5,9 @@
 //! localization on and off, and measure the rate of elaboration
 //! failures (the "does not compile" signal).
 
-use cirfix::{apply_patch, mutate, fault_localization, evaluate, FitnessParams, MutationParams, Patch};
+use cirfix::{
+    apply_patch, evaluate, fault_localization, mutate, FitnessParams, MutationParams, Patch,
+};
 use cirfix_bench::print_table;
 use cirfix_benchmarks::scenarios;
 use rand::SeedableRng;
@@ -52,7 +54,12 @@ fn main() {
         }
         let rate = invalid as f64 / total as f64 * 100.0;
         rows.push(vec![
-            if fix_localization { "on (CirFix)" } else { "off (ablation)" }.to_string(),
+            if fix_localization {
+                "on (CirFix)"
+            } else {
+                "off (ablation)"
+            }
+            .to_string(),
             total.to_string(),
             invalid.to_string(),
             format!("{rate:.1}%"),

@@ -35,13 +35,21 @@ fn main() {
             eprintln!("relocalize={relocalize} {id} done");
         }
         rows.push(vec![
-            if relocalize { "every parent (CirFix)" } else { "once (ablation)" }.to_string(),
+            if relocalize {
+                "every parent (CirFix)"
+            } else {
+                "once (ablation)"
+            }
+            .to_string(),
             format!("{repaired}/{runs}"),
             format!("{:.0}", total_evals as f64 / f64::from(runs)),
         ]);
     }
     println!("Ablation A3: fault re-localization on multi-edit defects\n");
-    print_table(&["Localization", "Repaired trials", "Avg evals/trial"], &rows);
+    print_table(
+        &["Localization", "Repaired trials", "Avg evals/trial"],
+        &rows,
+    );
     println!(
         "\nPaper (§3): \"we choose to repeatedly re-localize to support \
          multiple dependent edits made to the source code.\""

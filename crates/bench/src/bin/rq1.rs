@@ -28,6 +28,7 @@ fn main() {
                 max_evals: config.max_fitness_evals,
                 seed: 11,
                 fitness: config.fitness,
+                ..BruteConfig::default()
             },
         );
         if outcome.plausible {
@@ -48,7 +49,12 @@ fn main() {
             if brute.is_plausible() { "yes" } else { "no" }.into(),
             format!("{}", brute.fitness_evals),
         ]);
-        eprintln!("[{}] cirfix={} brute={}", s.id, outcome.plausible, brute.is_plausible());
+        eprintln!(
+            "[{}] cirfix={} brute={}",
+            s.id,
+            outcome.plausible,
+            brute.is_plausible()
+        );
     }
     println!("RQ1: CirFix vs brute-force, equal evaluation budgets\n");
     print_table(

@@ -15,7 +15,10 @@ fn main() {
             outcome.repair_time.as_secs_f64(),
             outcome.evals,
         ));
-        eprintln!("[{}] cat {} plausible={}", s.id, s.category, outcome.plausible);
+        eprintln!(
+            "[{}] cat {} plausible={}",
+            s.id, s.category, outcome.plausible
+        );
     }
     let mut rows = Vec::new();
     for (idx, data) in per_cat.iter().enumerate() {
@@ -41,7 +44,12 @@ fn main() {
     }
     println!("RQ2: per-category repair performance\n");
     print_table(
-        &["Category", "Plausible", "Avg fitness probes", "Avg wall time"],
+        &[
+            "Category",
+            "Plausible",
+            "Avg fitness probes",
+            "Avg wall time",
+        ],
         &rows,
     );
     // The paper's significance test on repair times between categories.

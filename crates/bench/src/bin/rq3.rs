@@ -40,7 +40,10 @@ fn main() {
         .id();
 
     let step0 = Patch::empty();
-    let step1 = step0.with(Edit::InsertStmt { donor, after: anchor });
+    let step1 = step0.with(Edit::InsertStmt {
+        donor,
+        after: anchor,
+    });
     // The inserted copy's literal gets a fresh id; find it by applying.
     let (variant, _) = cirfix::apply_patch(&problem.source, &problem.design_modules, &step1);
     let vmodule = variant.module("counter").expect("module");
@@ -51,7 +54,9 @@ fn main() {
         .find(|e| matches!(e, cirfix_ast::Expr::Literal { value, .. } if value.width() == 1))
         .expect("copied literal")
         .id();
-    let step2 = step1.with(Edit::DecrementExpr { target: new_literal });
+    let step2 = step1.with(Edit::DecrementExpr {
+        target: new_literal,
+    });
 
     let mut rows = Vec::new();
     for (label, patch) in [

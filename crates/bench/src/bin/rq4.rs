@@ -52,7 +52,12 @@ fn main() {
                 {
                     correct += 1;
                 }
-                eprintln!("[{}] {}%: plausible (correct={})", s.id, fraction * 100.0, correct);
+                eprintln!(
+                    "[{}] {}%: plausible (correct={})",
+                    s.id,
+                    fraction * 100.0,
+                    correct
+                );
             } else {
                 eprintln!("[{}] {}%: no repair", s.id, fraction * 100.0);
             }

@@ -21,9 +21,7 @@ pub mod stats;
 
 use std::time::{Duration, Instant};
 
-use cirfix::{
-    apply_patch, repair, verify_repair, RepairConfig, RepairResult,
-};
+use cirfix::{apply_patch, repair, verify_repair, RepairConfig, RepairResult};
 use cirfix_benchmarks::{project, PaperOutcome, Scenario};
 
 /// The outcome of running one defect scenario through the harness.

@@ -76,13 +76,9 @@ mod tests {
         for p in projects() {
             let golden = p.golden_design().unwrap();
             let verification = p.verification().unwrap();
-            let ok = cirfix::verify_repair(
-                &golden,
-                &p.design_module_names(),
-                &golden,
-                &verification,
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let ok =
+                cirfix::verify_repair(&golden, &p.design_module_names(), &golden, &verification)
+                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(ok, "{} golden verification", p.name);
         }
     }
@@ -115,13 +111,9 @@ mod tests {
             let faulty = s.faulty_design_file().unwrap();
             let golden = p.golden_design().unwrap();
             let verification = p.verification().unwrap();
-            let ok = cirfix::verify_repair(
-                &faulty,
-                &p.design_module_names(),
-                &golden,
-                &verification,
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let ok =
+                cirfix::verify_repair(&faulty, &p.design_module_names(), &golden, &verification)
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.id));
             assert!(!ok, "{}: faulty design must fail verification", s.id);
         }
     }

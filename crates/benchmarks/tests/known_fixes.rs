@@ -3,9 +3,7 @@
 //! passes the held-out verification bench. This validates the
 //! benchmark's repairability claims independently of GP stochasticity.
 
-use cirfix::{
-    apply_patch, evaluate, verify_repair, Edit, FitnessParams, Patch, SensTemplate,
-};
+use cirfix::{apply_patch, evaluate, verify_repair, Edit, FitnessParams, Patch, SensTemplate};
 use cirfix_ast::{visit, Expr, NodeId, SourceFile, Stmt};
 use cirfix_benchmarks::{project, scenario};
 
@@ -101,12 +99,19 @@ fn counter_reset_fix_is_multi_edit() {
     let s = scenario("counter_reset").unwrap();
     let problem = s.problem().unwrap();
     let f = faulty("counter_reset");
-    let donor = stmt_where(&f, |st| matches!(st, Stmt::NonBlocking { lhs, .. }
-        if lhs.target_names() == vec!["overflow_out"]));
-    let anchor = stmt_where(&f, |st| matches!(st, Stmt::NonBlocking { lhs, rhs, .. }
+    let donor = stmt_where(&f, |st| {
+        matches!(st, Stmt::NonBlocking { lhs, .. }
+        if lhs.target_names() == vec!["overflow_out"])
+    });
+    let anchor = stmt_where(&f, |st| {
+        matches!(st, Stmt::NonBlocking { lhs, rhs, .. }
         if lhs.target_names() == vec!["counter_out"]
-            && matches!(rhs, Expr::Literal { .. })));
-    let step1 = Patch::single(Edit::InsertStmt { donor, after: anchor });
+            && matches!(rhs, Expr::Literal { .. }))
+    });
+    let step1 = Patch::single(Edit::InsertStmt {
+        donor,
+        after: anchor,
+    });
     // Find the literal the insertion copied (it has a fresh id).
     let max_id = visit::max_id(&f);
     let (variant, _) = apply_patch(&problem.source, &problem.design_modules, &step1);
@@ -139,8 +144,10 @@ fn flip_flop_cond_fix() {
 #[test]
 fn lshift_blocking_fix() {
     let f = faulty("lshift_blocking");
-    let blocking = stmt_where(&f, |s| matches!(s, Stmt::Blocking { lhs, .. }
-        if lhs.target_names() == vec!["d1"]));
+    let blocking = stmt_where(&f, |s| {
+        matches!(s, Stmt::Blocking { lhs, .. }
+        if lhs.target_names() == vec!["d1"])
+    });
     assert_fixes(
         "lshift_blocking",
         &Patch::single(Edit::BlockingToNonBlocking { target: blocking }),
@@ -177,8 +184,10 @@ fn lshift_sens_fix() {
 #[test]
 fn fsm_blocking_fix() {
     let f = faulty("fsm_blocking");
-    let blocking = stmt_where(&f, |s| matches!(s, Stmt::Blocking { lhs, .. }
-        if lhs.target_names() == vec!["state"]));
+    let blocking = stmt_where(&f, |s| {
+        matches!(s, Stmt::Blocking { lhs, .. }
+        if lhs.target_names() == vec!["state"])
+    });
     assert_fixes(
         "fsm_blocking",
         &Patch::single(Edit::BlockingToNonBlocking { target: blocking }),
@@ -190,9 +199,11 @@ fn fsm_blocking_fix() {
 fn fsm_next_sens_fix() {
     let f = faulty("fsm_next_sens");
     // The combinational block is the one with the Any-edge sensitivity.
-    let control = stmt_where(&f, |s| matches!(s, Stmt::EventControl {
+    let control = stmt_where(&f, |s| {
+        matches!(s, Stmt::EventControl {
         sensitivity: cirfix_ast::Sensitivity::List(events), .. }
-        if events.iter().all(|e| e.edge == cirfix_logic::EdgeKind::Any)));
+        if events.iter().all(|e| e.edge == cirfix_logic::EdgeKind::Any))
+    });
     assert_fixes(
         "fsm_next_sens",
         &Patch::single(Edit::SetSensitivity {
@@ -240,8 +251,10 @@ fn i2c_no_ack_fix() {
         let m = f.module("i2c_master").unwrap();
         visit::stmts_of_module(m)
             .into_iter()
-            .filter(|st| matches!(st, Stmt::NonBlocking { lhs, .. }
-                if lhs.target_names() == vec!["cmd_ack"]))
+            .filter(|st| {
+                matches!(st, Stmt::NonBlocking { lhs, .. }
+                if lhs.target_names() == vec!["cmd_ack"])
+            })
             .map(Stmt::id)
             .collect()
     };
@@ -332,17 +345,21 @@ fn sdram_sync_reset_fix_is_multi_edit() {
     // Donor statement `busy <= 1'b0;` exists in the IDLE arm.
     let busy_stmt = visit::stmts_of_module(m)
         .into_iter()
-        .find(|st| matches!(st, Stmt::NonBlocking { lhs, rhs, .. }
+        .find(|st| {
+            matches!(st, Stmt::NonBlocking { lhs, rhs, .. }
             if lhs.target_names() == vec!["busy"]
-                && matches!(rhs, Expr::Literal { value, .. } if value.to_u64() == Some(0))))
+                && matches!(rhs, Expr::Literal { value, .. } if value.to_u64() == Some(0)))
+        })
         .map(Stmt::id)
         .expect("busy clear");
     // Anchor: the reset-branch `rd_data_r <= 8'hff;`.
     let anchor = visit::stmts_of_module(m)
         .into_iter()
-        .find(|st| matches!(st, Stmt::NonBlocking { lhs, rhs, .. }
+        .find(|st| {
+            matches!(st, Stmt::NonBlocking { lhs, rhs, .. }
             if lhs.target_names() == vec!["rd_data_r"]
-                && matches!(rhs, Expr::Literal { .. })))
+                && matches!(rhs, Expr::Literal { .. }))
+        })
         .map(Stmt::id)
         .expect("reset rd_data_r");
     let patch = Patch {
@@ -370,14 +387,18 @@ fn decoder_two_numeric_fix() {
     let m = f.module("decoder_3_to_8").unwrap();
     let zero_lits: Vec<NodeId> = visit::exprs_of_module(m)
         .into_iter()
-        .filter(|e| matches!(e, Expr::Literal { value, .. }
-            if value.width() == 8 && value.to_u64() == Some(0)))
+        .filter(|e| {
+            matches!(e, Expr::Literal { value, .. }
+            if value.width() == 8 && value.to_u64() == Some(0))
+        })
         .map(Expr::id)
         .collect();
     let one_lits: Vec<NodeId> = visit::exprs_of_module(m)
         .into_iter()
-        .filter(|e| matches!(e, Expr::Literal { value, .. }
-            if value.width() == 8 && value.to_u64() == Some(1)))
+        .filter(|e| {
+            matches!(e, Expr::Literal { value, .. }
+            if value.width() == 8 && value.to_u64() == Some(1))
+        })
         .map(Expr::id)
         .collect();
     // First 8-bit zero in pre-order is the broken arm-000 output; the
@@ -404,8 +425,10 @@ fn mux_hex_fix_via_repeated_increments() {
     let m = f.module("mux_4_1").unwrap();
     let zero_labels: Vec<NodeId> = visit::exprs_of_module(m)
         .into_iter()
-        .filter(|e| matches!(e, Expr::Literal { value, .. }
-            if value.width() == 2 && value.to_u64() == Some(0)))
+        .filter(|e| {
+            matches!(e, Expr::Literal { value, .. }
+            if value.width() == 2 && value.to_u64() == Some(0))
+        })
         .map(Expr::id)
         .collect();
     // Three 2-bit zeros: the healthy `2'b00` label plus the two
@@ -413,11 +436,21 @@ fn mux_hex_fix_via_repeated_increments() {
     assert_eq!(zero_labels.len(), 3);
     let patch = Patch {
         edits: vec![
-            Edit::IncrementExpr { target: zero_labels[1] },
-            Edit::IncrementExpr { target: zero_labels[1] },
-            Edit::IncrementExpr { target: zero_labels[2] },
-            Edit::IncrementExpr { target: zero_labels[2] },
-            Edit::IncrementExpr { target: zero_labels[2] },
+            Edit::IncrementExpr {
+                target: zero_labels[1],
+            },
+            Edit::IncrementExpr {
+                target: zero_labels[1],
+            },
+            Edit::IncrementExpr {
+                target: zero_labels[2],
+            },
+            Edit::IncrementExpr {
+                target: zero_labels[2],
+            },
+            Edit::IncrementExpr {
+                target: zero_labels[2],
+            },
         ],
     };
     assert_fixes("mux_hex", &patch, true);

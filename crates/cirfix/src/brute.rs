@@ -10,14 +10,16 @@
 
 use std::time::{Duration, Instant};
 
+use cirfix_telemetry::{Event, Observer, Span};
 use rand::SeedableRng;
 
 use crate::faultloc::FaultLoc;
 use crate::fitness::FitnessParams;
-use crate::mutation::{mutate, MutationParams};
+use crate::mutation::{all_stmt_ids, mutate, MutationParams};
 use crate::oracle::RepairProblem;
-use crate::patch::{apply_patch, Patch};
-use crate::repair::{evaluate, RepairResult, RepairStatus};
+use crate::patch::{apply_patch, Edit, Patch};
+use crate::repair::{evaluate, RepairResult, RepairStatus, RunTotals};
+use crate::templates::applicable_templates;
 
 /// Resource bounds for the brute-force baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +32,8 @@ pub struct BruteConfig {
     pub seed: u64,
     /// Fitness weighting (used only for the success test).
     pub fitness: FitnessParams,
+    /// Telemetry destination. Defaults to a disabled observer.
+    pub observer: Observer,
 }
 
 impl Default for BruteConfig {
@@ -39,6 +43,7 @@ impl Default for BruteConfig {
             max_evals: 10_000,
             seed: 1,
             fitness: FitnessParams::default(),
+            observer: Observer::none(),
         }
     }
 }
@@ -48,38 +53,69 @@ impl Default for BruteConfig {
 /// the paper's "edits applied at uniform to a circuit design".
 pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> RepairResult {
     let started = Instant::now();
+    let _span = Span::enter("brute_force", config.observer.sink());
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let mut evals: u64 = 0;
     let mut best = (Patch::empty(), 0.0f64);
     let empty_fl = FaultLoc::default();
 
-    let try_patch = |patch: Patch,
-                         evals: &mut u64,
-                         best: &mut (Patch, f64)|
-     -> Option<RepairResult> {
-        let eval = evaluate(problem, &patch, config.fitness);
-        *evals += 1;
-        if eval.score > best.1 {
-            *best = (patch.clone(), eval.score);
-        }
-        if eval.score >= 1.0 {
-            return Some(RepairResult {
-                status: RepairStatus::Plausible,
-                best_fitness: 1.0,
-                unminimized_len: patch.len(),
-                patch,
-                generations: 0,
-                fitness_evals: *evals,
-                wall_time: started.elapsed(),
-                history: Vec::new(),
-                improvement_steps: Vec::new(),
-                repaired_source: None,
-            });
-        }
-        None
+    let observer = &config.observer;
+    let totals = |evals: u64, wall: Duration| RunTotals {
+        trials: 1,
+        fitness_evals: evals,
+        wall_time: wall,
+        generations: 0,
     };
+    let try_patch =
+        |patch: Patch, evals: &mut u64, best: &mut (Patch, f64)| -> Option<RepairResult> {
+            let eval = evaluate(problem, &patch, config.fitness);
+            *evals += 1;
+            observer.emit(|| Event::Candidate(eval.candidate_event(patch.len(), false)));
+            if eval.score > best.1 {
+                *best = (patch.clone(), eval.score);
+            }
+            if eval.score >= 1.0 {
+                let wall = started.elapsed();
+                return Some(RepairResult {
+                    status: RepairStatus::Plausible,
+                    best_fitness: 1.0,
+                    unminimized_len: patch.len(),
+                    patch,
+                    generations: 0,
+                    fitness_evals: *evals,
+                    wall_time: wall,
+                    history: Vec::new(),
+                    improvement_steps: Vec::new(),
+                    repaired_source: None,
+                    cache_hits: 0,
+                    minimize_evals: 0,
+                    totals: totals(*evals, wall),
+                });
+            }
+            None
+        };
 
-    // Random multi-edit patches, unguided and uniform.
+    // Phase 1: systematic single edits — every applicable template
+    // instance (with no fault localization, all nodes are fair game)
+    // plus deletion of every statement.
+    let empty_fl_all = FaultLoc::default();
+    let mut singles: Vec<Edit> =
+        applicable_templates(&problem.source, &problem.design_modules, &empty_fl_all);
+    singles.extend(
+        all_stmt_ids(&problem.source, &problem.design_modules)
+            .into_iter()
+            .map(|target| Edit::DeleteStmt { target }),
+    );
+    for edit in singles {
+        if started.elapsed() >= config.timeout || evals >= config.max_evals {
+            break;
+        }
+        if let Some(done) = try_patch(Patch::single(edit), &mut evals, &mut best) {
+            return done;
+        }
+    }
+
+    // Phase 2: random multi-edit patches, unguided and uniform.
     let params = MutationParams {
         fix_localization: false,
         ..MutationParams::default()
@@ -88,8 +124,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         let depth = 1 + (evals % 3) as usize;
         let mut patch = Patch::empty();
         for _ in 0..depth {
-            let (variant, _) =
-                apply_patch(&problem.source, &problem.design_modules, &patch);
+            let (variant, _) = apply_patch(&problem.source, &problem.design_modules, &patch);
             if let Some(edit) = mutate(
                 &variant,
                 &problem.design_modules,
@@ -108,6 +143,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         }
     }
 
+    let wall = started.elapsed();
     RepairResult {
         status: RepairStatus::Exhausted,
         best_fitness: best.1,
@@ -115,9 +151,12 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         patch: best.0,
         generations: 0,
         fitness_evals: evals,
-        wall_time: started.elapsed(),
+        wall_time: wall,
         history: Vec::new(),
         improvement_steps: Vec::new(),
         repaired_source: None,
+        cache_hits: 0,
+        minimize_evals: 0,
+        totals: totals(evals, wall),
     }
 }

@@ -35,7 +35,10 @@ mod tests {
 
     fn patch_of(ids: &[u32]) -> Patch {
         Patch {
-            edits: ids.iter().map(|i| Edit::DeleteStmt { target: *i }).collect(),
+            edits: ids
+                .iter()
+                .map(|i| Edit::DeleteStmt { target: *i })
+                .collect(),
         }
     }
 

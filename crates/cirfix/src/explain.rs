@@ -66,10 +66,9 @@ pub fn describe_edit(file: &SourceFile, design_modules: &[String], edit: &Edit) 
             first_line(&stmt_text(*donor)),
             first_line(&stmt_text(*target))
         ),
-        Edit::BlockingToNonBlocking { target } => format!(
-            "make assignment non-blocking: `{}`",
-            stmt_text(*target)
-        ),
+        Edit::BlockingToNonBlocking { target } => {
+            format!("make assignment non-blocking: `{}`", stmt_text(*target))
+        }
         Edit::NonBlockingToBlocking { target } => {
             format!("make assignment blocking: `{}`", stmt_text(*target))
         }
@@ -85,11 +84,7 @@ pub fn describe_edit(file: &SourceFile, design_modules: &[String], edit: &Edit) 
 /// Renders a whole patch as a numbered edit narrative. Edits are
 /// described against the progressively patched design, exactly as they
 /// apply.
-pub fn describe_patch(
-    original: &SourceFile,
-    design_modules: &[String],
-    patch: &Patch,
-) -> String {
+pub fn describe_patch(original: &SourceFile, design_modules: &[String], patch: &Patch) -> String {
     let mut out = String::new();
     let mut current = original.clone();
     for (i, edit) in patch.edits.iter().enumerate() {
@@ -203,11 +198,7 @@ mod tests {
         let text = describe_edit(&file, &mods, &Edit::NegateCond { target: iff });
         assert!(text.contains("negate"), "{text}");
         assert!(text.contains("if (c)"), "{text}");
-        let text = describe_edit(
-            &file,
-            &mods,
-            &Edit::NonBlockingToBlocking { target: nba },
-        );
+        let text = describe_edit(&file, &mods, &Edit::NonBlockingToBlocking { target: nba });
         assert!(text.contains("q <= q + 4'd1"), "{text}");
         let text = describe_edit(&file, &mods, &Edit::DeleteStmt { target: 9999 });
         assert!(text.contains("stale"), "{text}");
@@ -237,8 +228,11 @@ mod tests {
         let file = parse(SRC).unwrap();
         let mods = vec!["m".to_string()];
         let iff = stmt_id(&file, |s| matches!(s, Stmt::If { .. }));
-        let (repaired, _) =
-            apply_patch(&file, &mods, &Patch::single(Edit::NegateCond { target: iff }));
+        let (repaired, _) = apply_patch(
+            &file,
+            &mods,
+            &Patch::single(Edit::NegateCond { target: iff }),
+        );
         let diff = diff_designs(&file, &repaired, &mods);
         assert!(diff.contains("- "), "{diff}");
         assert!(diff.contains("+ "), "{diff}");

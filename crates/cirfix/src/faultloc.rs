@@ -36,6 +36,20 @@ impl FaultLoc {
     }
 }
 
+/// Builds the telemetry payload for one localization pass over
+/// `modules` (the same module slice the pass analyzed).
+pub fn fault_loc_event(fl: &FaultLoc, modules: &[&Module]) -> cirfix_telemetry::FaultLocEvent {
+    let mut total: usize = 0;
+    for m in modules {
+        visit::walk_module(m, &mut |_| total += 1);
+    }
+    cirfix_telemetry::FaultLocEvent {
+        implicated_nodes: fl.nodes.len() as u64,
+        mismatched_vars: fl.mismatch.len() as u64,
+        node_fraction: fl.nodes.len() as f64 / total.max(1) as f64,
+    }
+}
+
 /// One implication candidate gathered from the AST.
 struct Candidate {
     /// Names that trigger implication when they appear in the mismatch
@@ -96,8 +110,7 @@ fn subtree_idents_of_stmt(stmt: &Stmt) -> BTreeSet<String> {
                 names.insert(name.clone());
             }
             match e {
-                cirfix_ast::Expr::Index { base, .. }
-                | cirfix_ast::Expr::Range { base, .. } => {
+                cirfix_ast::Expr::Index { base, .. } | cirfix_ast::Expr::Range { base, .. } => {
                     names.insert(base.clone());
                 }
                 _ => {}
@@ -137,9 +150,7 @@ fn collect_candidates(module: &Module, out: &mut Vec<Candidate>) {
     for stmt in visit::stmts_of_module(module) {
         if stmt.is_assignment() {
             let (lhs, rhs) = match stmt {
-                Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
-                    (lhs, rhs)
-                }
+                Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => (lhs, rhs),
                 _ => unreachable!("is_assignment"),
             };
             let trigger: BTreeSet<String> =
@@ -311,8 +322,10 @@ mod tests {
         // the FL set too (children of implicated nodes are included).
         let inc = visit::stmts_of_module(module)
             .into_iter()
-            .find(|s| matches!(s, Stmt::NonBlocking { rhs, .. }
-                if matches!(rhs, cirfix_ast::Expr::Binary { .. })))
+            .find(|s| {
+                matches!(s, Stmt::NonBlocking { rhs, .. }
+                if matches!(rhs, cirfix_ast::Expr::Binary { .. }))
+            })
             .expect("increment assignment");
         for id in visit::ids_in_stmt(inc) {
             assert!(fl.nodes.contains(&id), "missing descendant {id}");

@@ -59,6 +59,28 @@ impl FitnessReport {
     }
 }
 
+/// Summary statistics over a population's fitness scores, for telemetry:
+/// `(best, median, mean, distinct-value count)`. Distinct values are
+/// counted up to 1e-9 — a diversity proxy for the search (many candidates
+/// collapsing onto few scores means a flat fitness landscape).
+pub fn population_stats(scores: &[f64]) -> (f64, f64, f64, u64) {
+    if scores.is_empty() {
+        return (0.0, 0.0, 0.0, 0);
+    }
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let best = *sorted.last().expect("non-empty");
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut distinct: u64 = 1;
+    for w in sorted.windows(2) {
+        if (w[1] - w[0]).abs() > 1e-9 {
+            distinct += 1;
+        }
+    }
+    (best, median, mean, distinct)
+}
+
 /// A fitness report representing a candidate that failed to compile or
 /// crashed the simulator: score 0, everything mismatched.
 pub fn failure_report(oracle: &Trace) -> FitnessReport {
@@ -169,7 +191,10 @@ mod tests {
     fn perfect_match_scores_one() {
         let o = trace_of(
             "q",
-            &[(10, LogicVec::from_u64(3, 4)), (20, LogicVec::from_u64(4, 4))],
+            &[
+                (10, LogicVec::from_u64(3, 4)),
+                (20, LogicVec::from_u64(4, 4)),
+            ],
         );
         let r = fitness(&o, &o, FitnessParams::default());
         assert_eq!(r.score, 1.0);

@@ -79,16 +79,17 @@ mod templates;
 mod verify;
 
 pub use brute::{brute_force_repair, BruteConfig};
+pub use cirfix_telemetry::Observer;
 pub use crossover::crossover;
-pub use faultloc::{fault_localization, FaultLoc};
-pub use fitness::{failure_report, fitness, FitnessParams, FitnessReport};
-pub use minimize::minimize;
+pub use faultloc::{fault_loc_event, fault_localization, FaultLoc};
+pub use fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
+pub use minimize::{minimize, minimize_observed};
 pub use mutation::{all_stmt_ids, mutate, MutationParams};
 pub use oracle::{degrade_oracle, oracle_from_golden, simulate_with_probe, RepairProblem};
 pub use patch::{apply_patch, ApplyStats, Edit, Patch, SensTemplate};
 pub use repair::{
-    evaluate, repair, repair_with_trials, strip_hierarchy, Evaluation, RepairConfig,
-    Repairer, RepairResult, RepairStatus,
+    evaluate, repair, repair_with_trials, strip_hierarchy, Evaluation, RepairConfig, RepairResult,
+    RepairStatus, Repairer, RunTotals,
 };
 pub use select::{elite_indices, tournament_select};
 pub use templates::{applicable_templates, random_template};

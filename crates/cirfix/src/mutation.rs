@@ -108,8 +108,7 @@ pub fn mutate(
         file.modules.iter().collect()
     };
 
-    let total =
-        params.delete_threshold + params.insert_threshold + params.replace_threshold;
+    let total = params.delete_threshold + params.insert_threshold + params.replace_threshold;
     let roll: f64 = rng.gen::<f64>() * total.max(f64::MIN_POSITIVE);
 
     if roll < params.delete_threshold {
@@ -164,7 +163,10 @@ pub fn mutate(
                 .collect();
             let pool = if in_fl.is_empty() { &controls } else { &in_fl };
             let target = *pool.choose(rng)?;
-            let donor = *controls.iter().filter(|c| **c != target).collect::<Vec<_>>()
+            let donor = *controls
+                .iter()
+                .filter(|c| **c != target)
+                .collect::<Vec<_>>()
                 .choose(rng)?;
             return Some(Edit::ReplaceSensitivity {
                 target,
@@ -261,8 +263,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut kinds = BTreeSet::new();
         for _ in 0..200 {
-            if let Some(edit) = mutate(&file, &mods, &fl, MutationParams::default(), &mut rng)
-            {
+            if let Some(edit) = mutate(&file, &mods, &fl, MutationParams::default(), &mut rng) {
                 kinds.insert(match edit {
                     Edit::DeleteStmt { .. } => "delete",
                     Edit::InsertStmt { .. } => "insert",
@@ -346,8 +347,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         let mut applied = 0;
         for _ in 0..100 {
-            if let Some(edit) = mutate(&file, &mods, &fl, MutationParams::default(), &mut rng)
-            {
+            if let Some(edit) = mutate(&file, &mods, &fl, MutationParams::default(), &mut rng) {
                 let (_, stats) = apply_patch(&file, &mods, &Patch::single(edit));
                 applied += stats.applied;
             }

@@ -122,10 +122,7 @@ mod tests {
         assert_eq!(a, b);
         let c = degrade_oracle(&o, 0.5, 8);
         // Very likely different subsets.
-        assert_ne!(
-            a.times().collect::<Vec<_>>(),
-            c.times().collect::<Vec<_>>()
-        );
+        assert_ne!(a.times().collect::<Vec<_>>(), c.times().collect::<Vec<_>>());
     }
 
     #[test]
@@ -151,8 +148,7 @@ mod tests {
         "#;
         let file = cirfix_parser::parse(src).unwrap();
         let probe = ProbeSpec::periodic(vec!["n".into()], 5, 10);
-        let trace =
-            oracle_from_golden(&file, "t", &probe, &SimConfig::default()).unwrap();
+        let trace = oracle_from_golden(&file, "t", &probe, &SimConfig::default()).unwrap();
         assert_eq!(trace.get(5, "n").unwrap().to_u64(), Some(1));
         assert_eq!(trace.get(55, "n").unwrap().to_u64(), Some(6));
     }

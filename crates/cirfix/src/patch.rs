@@ -182,9 +182,7 @@ fn design_mods<'a>(
     design_modules: &[String],
 ) -> impl Iterator<Item = &'a Module> {
     let names: Vec<String> = design_modules.to_vec();
-    file.modules
-        .iter()
-        .filter(move |m| names.contains(&m.name))
+    file.modules.iter().filter(move |m| names.contains(&m.name))
 }
 
 fn apply_edit(
@@ -384,7 +382,10 @@ fn adjust_expr(
     };
     let new_expr = match &expr {
         Expr::Literal {
-            id, value, base, sized,
+            id,
+            value,
+            base,
+            sized,
         } => {
             let one = LogicVec::from_u64(1, value.width());
             let new_value = if increment {
@@ -408,7 +409,11 @@ fn adjust_expr(
             };
             Expr::Binary {
                 id: ids.fresh(),
-                op: if increment { BinaryOp::Add } else { BinaryOp::Sub },
+                op: if increment {
+                    BinaryOp::Add
+                } else {
+                    BinaryOp::Sub
+                },
                 lhs: Box::new((*other).clone()),
                 rhs: Box::new(one),
             }
@@ -430,7 +435,11 @@ pub fn find_stmt_anywhere(
             return Some(s.clone());
         }
     }
-    for m in file.modules.iter().filter(|m| !design_modules.contains(&m.name)) {
+    for m in file
+        .modules
+        .iter()
+        .filter(|m| !design_modules.contains(&m.name))
+    {
         if let Some(s) = visit::find_stmt(m, id) {
             return Some(s.clone());
         }
@@ -450,7 +459,11 @@ pub fn find_expr_anywhere(
             return Some(e.clone());
         }
     }
-    for m in file.modules.iter().filter(|m| !design_modules.contains(&m.name)) {
+    for m in file
+        .modules
+        .iter()
+        .filter(|m| !design_modules.contains(&m.name))
+    {
         if let Some(e) = visit::find_expr(m, id) {
             return Some(e.clone());
         }
@@ -535,7 +548,10 @@ mod tests {
     fn empty_patch_is_identity() {
         let (file, mods) = setup();
         let (variant, stats) = apply_patch(&file, &mods, &Patch::empty());
-        assert_eq!(print::source_to_string(&variant), print::source_to_string(&file));
+        assert_eq!(
+            print::source_to_string(&variant),
+            print::source_to_string(&file)
+        );
         assert_eq!(stats.applied, 0);
     }
 
@@ -601,7 +617,13 @@ mod tests {
     fn assignment_kind_templates_swap() {
         let (file, mods) = setup();
         let nba = find_stmt_id(&file, |s| {
-            matches!(s, Stmt::NonBlocking { rhs: Expr::Binary { .. }, .. })
+            matches!(
+                s,
+                Stmt::NonBlocking {
+                    rhs: Expr::Binary { .. },
+                    ..
+                }
+            )
         });
         let patch = Patch::single(Edit::NonBlockingToBlocking { target: nba });
         let (variant, _) = apply_patch(&file, &mods, &patch);
@@ -609,7 +631,13 @@ mod tests {
         // And back.
         let (file2, _) = apply_patch(&file, &mods, &patch);
         let blocking = find_stmt_id(&file2, |s| {
-            matches!(s, Stmt::Blocking { rhs: Expr::Binary { .. }, .. })
+            matches!(
+                s,
+                Stmt::Blocking {
+                    rhs: Expr::Binary { .. },
+                    ..
+                }
+            )
         });
         let patch2 = Patch::single(Edit::BlockingToNonBlocking { target: blocking });
         let (variant2, _) = apply_patch(&file2, &mods, &patch2);
@@ -627,11 +655,17 @@ mod tests {
                 .map(|e| e.id())
                 .unwrap()
         };
-        let (variant, _) =
-            apply_patch(&file, &mods, &Patch::single(Edit::IncrementExpr { target: lit }));
+        let (variant, _) = apply_patch(
+            &file,
+            &mods,
+            &Patch::single(Edit::IncrementExpr { target: lit }),
+        );
         assert!(print::source_to_string(&variant).contains("q + 4'd2"));
-        let (variant, _) =
-            apply_patch(&file, &mods, &Patch::single(Edit::DecrementExpr { target: lit }));
+        let (variant, _) = apply_patch(
+            &file,
+            &mods,
+            &Patch::single(Edit::DecrementExpr { target: lit }),
+        );
         assert!(print::source_to_string(&variant).contains("q + 4'd0"));
     }
 
@@ -646,8 +680,11 @@ mod tests {
                 .map(|e| e.id())
                 .unwrap()
         };
-        let (variant, stats) =
-            apply_patch(&file, &mods, &Patch::single(Edit::IncrementExpr { target: ident }));
+        let (variant, stats) = apply_patch(
+            &file,
+            &mods,
+            &Patch::single(Edit::IncrementExpr { target: ident }),
+        );
         assert_eq!(stats.applied, 1);
         let printed = print::source_to_string(&variant);
         assert!(printed.contains("q + 1"), "{printed}");
@@ -657,10 +694,19 @@ mod tests {
     fn insert_copies_and_renumbers() {
         let (file, mods) = setup();
         let donor = find_stmt_id(&file, |s| {
-            matches!(s, Stmt::NonBlocking { rhs: Expr::Literal { .. }, .. })
+            matches!(
+                s,
+                Stmt::NonBlocking {
+                    rhs: Expr::Literal { .. },
+                    ..
+                }
+            )
         });
         let anchor = donor; // insert after itself (it is a block child)
-        let patch = Patch::single(Edit::InsertStmt { donor, after: anchor });
+        let patch = Patch::single(Edit::InsertStmt {
+            donor,
+            after: anchor,
+        });
         let (variant, stats) = apply_patch(&file, &mods, &patch);
         assert_eq!(stats.applied, 1);
         // Two copies of `q <= 4'd0;` now, with unique ids everywhere.
@@ -678,7 +724,13 @@ mod tests {
     fn replace_is_deterministic() {
         let (file, mods) = setup();
         let target = find_stmt_id(&file, |s| {
-            matches!(s, Stmt::NonBlocking { rhs: Expr::Literal { .. }, .. })
+            matches!(
+                s,
+                Stmt::NonBlocking {
+                    rhs: Expr::Literal { .. },
+                    ..
+                }
+            )
         });
         let donor = find_stmt_id(&file, |s| matches!(s, Stmt::If { .. }));
         let patch = Patch::single(Edit::ReplaceStmt { target, donor });

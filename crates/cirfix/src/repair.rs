@@ -11,13 +11,15 @@ use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use cirfix_ast::print;
+use cirfix_sim::SimMetrics;
+use cirfix_telemetry::{Event, GenerationStats, Observer, SimStats, Span};
 use rand::Rng;
 use rand::SeedableRng;
 
 use crate::crossover::crossover;
-use crate::faultloc::{fault_localization, FaultLoc};
-use crate::fitness::{failure_report, fitness, FitnessParams, FitnessReport};
-use crate::minimize::minimize;
+use crate::faultloc::{fault_loc_event, fault_localization, FaultLoc};
+use crate::fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
+use crate::minimize::minimize_observed;
 use crate::mutation::{mutate, MutationParams};
 use crate::oracle::{simulate_with_probe, RepairProblem};
 use crate::patch::{apply_patch, Patch};
@@ -62,6 +64,9 @@ pub struct RepairConfig {
     /// edits; parents longer than this reproduce from the original
     /// design instead.
     pub max_patch_len: usize,
+    /// Telemetry destination. Defaults to a disabled observer, in which
+    /// case no events are constructed.
+    pub observer: Observer,
 }
 
 impl RepairConfig {
@@ -84,6 +89,7 @@ impl RepairConfig {
             relocalize: true,
             max_growth: 3.0,
             max_patch_len: 32,
+            observer: Observer::none(),
         }
     }
 
@@ -114,6 +120,10 @@ pub struct Evaluation {
     pub report: Option<FitnessReport>,
     /// Error text, when it did not.
     pub error: Option<String>,
+    /// Variant AST size relative to the original (1.0 = unchanged).
+    pub growth: f64,
+    /// Simulator effort counters, when a simulation ran to completion.
+    pub sim_metrics: Option<SimMetrics>,
 }
 
 /// Why the search stopped.
@@ -123,6 +133,22 @@ pub enum RepairStatus {
     Plausible,
     /// Generations, evaluations, or wall clock ran out.
     Exhausted,
+}
+
+/// Aggregate resource totals for a whole run. For a single trial these
+/// repeat the per-trial numbers; [`repair_with_trials`] accumulates
+/// across every trial, including failed ones whose results are
+/// otherwise discarded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunTotals {
+    /// Trials executed.
+    pub trials: u32,
+    /// Fitness probes (design simulations) across all trials.
+    pub fitness_evals: u64,
+    /// Wall clock across all trials.
+    pub wall_time: Duration,
+    /// Generations completed across all trials.
+    pub generations: u32,
 }
 
 /// The outcome of one repair trial.
@@ -149,6 +175,13 @@ pub struct RepairResult {
     pub improvement_steps: Vec<f64>,
     /// Regenerated source of the repaired design, when plausible.
     pub repaired_source: Option<String>,
+    /// Evaluations answered from the patch cache (no simulation).
+    pub cache_hits: u64,
+    /// Extra fitness probes spent minimizing the winning patch
+    /// (included in [`RepairResult::fitness_evals`]).
+    pub minimize_evals: u64,
+    /// Resource totals across the whole run, including failed trials.
+    pub totals: RunTotals,
 }
 
 impl RepairResult {
@@ -162,8 +195,9 @@ impl RepairResult {
 /// fitness. Compile failures and runtime errors score 0.
 pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -> Evaluation {
     let (variant, _) = apply_patch(&problem.source, &problem.design_modules, patch);
+    let growth = node_count(&variant) as f64 / node_count(&problem.source).max(1) as f64;
     match simulate_with_probe(&variant, &problem.top, &problem.probe, &problem.sim) {
-        Ok((_, trace, _)) => {
+        Ok((outcome, trace, _)) => {
             let report = fitness(&trace, &problem.oracle, params);
             Evaluation {
                 score: report.score,
@@ -175,6 +209,8 @@ pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -
                     .collect(),
                 report: Some(report),
                 error: None,
+                growth,
+                sim_metrics: Some(outcome.metrics),
             }
         }
         Err(e) => {
@@ -190,6 +226,8 @@ pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -
                     .collect(),
                 report: Some(report),
                 error: Some(e.to_string()),
+                growth,
+                sim_metrics: None,
             }
         }
     }
@@ -208,6 +246,35 @@ fn node_count(file: &cirfix_ast::SourceFile) -> usize {
     n
 }
 
+/// Translates simulator effort counters into the telemetry payload.
+fn sim_stats(m: &SimMetrics) -> SimStats {
+    SimStats {
+        active_events: m.active_events,
+        inactive_events: m.inactive_events,
+        nba_flushes: m.nba_flushes,
+        timesteps: m.timesteps,
+        process_resumptions: m.process_resumptions,
+        peak_queue_depth: m.peak_queue_depth,
+    }
+}
+
+impl Evaluation {
+    /// The telemetry payload describing this evaluation of a
+    /// `patch_len`-edit candidate.
+    pub fn candidate_event(
+        &self,
+        patch_len: usize,
+        cached: bool,
+    ) -> cirfix_telemetry::CandidateEvent {
+        cirfix_telemetry::CandidateEvent {
+            patch_len: patch_len as u64,
+            growth_factor: self.growth,
+            fitness: self.score,
+            cached,
+        }
+    }
+}
+
 /// The repair engine: owns the evaluation cache and RNG for one trial.
 pub struct Repairer<'a> {
     problem: &'a RepairProblem,
@@ -215,25 +282,38 @@ pub struct Repairer<'a> {
     cache: HashMap<Patch, Evaluation>,
     rng: rand::rngs::StdRng,
     evals: u64,
+    cache_hits: u64,
+    minimize_evals: u64,
     started: Instant,
     node_budget: usize,
+    // Children per operator since the last GenerationStats emission.
+    mix: OperatorMix,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OperatorMix {
+    template: u64,
+    mutation: u64,
+    crossover: u64,
 }
 
 impl<'a> Repairer<'a> {
     /// Creates a repair engine for one trial.
     pub fn new(problem: &'a RepairProblem, config: RepairConfig) -> Repairer<'a> {
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-        let node_budget = ((node_count(&problem.source) as f64)
-            * config.max_growth.max(1.0))
-        .ceil() as usize;
+        let node_budget =
+            ((node_count(&problem.source) as f64) * config.max_growth.max(1.0)).ceil() as usize;
         Repairer {
             problem,
             config,
             cache: HashMap::new(),
             rng,
             evals: 0,
+            cache_hits: 0,
+            minimize_evals: 0,
             started: Instant::now(),
             node_budget,
+            mix: OperatorMix::default(),
         }
     }
 
@@ -244,16 +324,21 @@ impl<'a> Repairer<'a> {
     }
 
     fn out_of_budget(&self) -> bool {
-        self.evals >= self.config.max_fitness_evals
-            || self.started.elapsed() >= self.config.timeout
+        self.evals >= self.config.max_fitness_evals || self.started.elapsed() >= self.config.timeout
     }
 
     fn evaluate_cached(&mut self, patch: &Patch) -> Evaluation {
         if let Some(e) = self.cache.get(patch) {
-            return e.clone();
+            let eval = e.clone();
+            self.cache_hits += 1;
+            self.config
+                .observer
+                .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
+            return eval;
         }
         let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
-        let eval = if node_count(&variant) > self.node_budget {
+        let variant_nodes = node_count(&variant);
+        let eval = if variant_nodes > self.node_budget {
             // Bloat rejection: treated like a compile failure.
             Evaluation {
                 score: 0.0,
@@ -267,20 +352,26 @@ impl<'a> Repairer<'a> {
                     .collect(),
                 report: None,
                 error: Some("variant exceeds the AST growth budget".to_string()),
+                growth: variant_nodes as f64 / node_count(&self.problem.source).max(1) as f64,
+                sim_metrics: None,
             }
         } else {
             evaluate(self.problem, patch, self.config.fitness)
         };
         self.evals += 1;
+        if self.config.observer.enabled() {
+            if let Some(m) = &eval.sim_metrics {
+                self.config.observer.record(&Event::Sim(sim_stats(m)));
+            }
+            self.config
+                .observer
+                .record(&Event::Candidate(eval.candidate_event(patch.len(), false)));
+        }
         self.cache.insert(patch.clone(), eval.clone());
         eval
     }
 
-    fn localize_variant(
-        &self,
-        variant: &cirfix_ast::SourceFile,
-        eval: &Evaluation,
-    ) -> FaultLoc {
+    fn localize_variant(&self, variant: &cirfix_ast::SourceFile, eval: &Evaluation) -> FaultLoc {
         let modules: Vec<&cirfix_ast::Module> = variant
             .modules
             .iter()
@@ -291,16 +382,21 @@ impl<'a> Repairer<'a> {
 
     fn localize(&mut self, patch: &Patch, eval: &Evaluation) -> FaultLoc {
         let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
-        self.localize_variant(&variant, eval)
+        let fl = self.localize_variant(&variant, eval);
+        self.config.observer.emit(|| {
+            let modules: Vec<&cirfix_ast::Module> = variant
+                .modules
+                .iter()
+                .filter(|m| self.problem.design_modules.contains(&m.name))
+                .collect();
+            Event::FaultLoc(fault_loc_event(&fl, &modules))
+        });
+        fl
     }
 
     /// Produces one or two children from the population (lines 5–17 of
     /// Algorithm 1).
-    fn reproduce(
-        &mut self,
-        popn: &[(Patch, Evaluation)],
-        original_fl: &FaultLoc,
-    ) -> Vec<Patch> {
+    fn reproduce(&mut self, popn: &[(Patch, Evaluation)], original_fl: &FaultLoc) -> Vec<Patch> {
         let fitnesses: Vec<f64> = popn.iter().map(|(_, e)| e.score).collect();
         let pi = tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
         let (mut parent, mut parent_eval) = (popn[pi].0.clone(), popn[pi].1.clone());
@@ -326,12 +422,13 @@ impl<'a> Repairer<'a> {
         let roll: f64 = self.rng.gen();
         if roll <= self.config.rt_threshold {
             // Repair templates.
-            match random_template(&variant, &self.problem.design_modules, &fl, &mut self.rng)
-            {
+            self.mix.template += 1;
+            match random_template(&variant, &self.problem.design_modules, &fl, &mut self.rng) {
                 Some(edit) => vec![parent.with(edit)],
                 None => vec![parent.clone()],
             }
         } else if self.rng.gen::<f64>() <= self.config.mut_threshold {
+            self.mix.mutation += 1;
             match mutate(
                 &variant,
                 &self.problem.design_modules,
@@ -343,16 +440,41 @@ impl<'a> Repairer<'a> {
                 None => vec![parent.clone()],
             }
         } else {
-            let pj =
-                tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
+            self.mix.crossover += 2;
+            let pj = tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
             let parent2 = &popn[pj].0;
             let (c1, c2) = crossover(parent, parent2, &mut self.rng);
             vec![c1, c2]
         }
     }
 
+    /// Emits per-generation population statistics and resets the
+    /// operator-mix counters.
+    fn emit_generation(&mut self, generation: u64, popn: &[(Patch, Evaluation)], elites: u64) {
+        if self.config.observer.enabled() {
+            let scores: Vec<f64> = popn.iter().map(|(_, e)| e.score).collect();
+            let (best, median, mean, distinct) = population_stats(&scores);
+            self.config
+                .observer
+                .record(&Event::Generation(GenerationStats {
+                    generation,
+                    best_fitness: best,
+                    median_fitness: median,
+                    mean_fitness: mean,
+                    distinct_fitness: distinct,
+                    elites,
+                    template_children: self.mix.template,
+                    mutation_children: self.mix.mutation,
+                    crossover_children: self.mix.crossover,
+                }));
+        }
+        self.mix = OperatorMix::default();
+    }
+
     /// Runs the trial to completion.
     pub fn run(&mut self) -> RepairResult {
+        let obs = self.config.observer.clone();
+        let _span = Span::enter("repair", obs.sink());
         let original = Patch::empty();
         let original_eval = self.evaluate_cached(&original);
         let original_fl = self.localize(&original, &original_eval);
@@ -362,8 +484,7 @@ impl<'a> Repairer<'a> {
         let mut history = Vec::new();
         // The original is part of the population: if it already meets
         // the oracle, there is nothing to repair.
-        let mut found: Option<Patch> =
-            (original_eval.score >= 1.0).then(|| original.clone());
+        let mut found: Option<Patch> = (original_eval.score >= 1.0).then(|| original.clone());
 
         // Seed population (`seed_popn(C, popnSize)`): the original plus
         // single-edit variants *of the original* — matching GenProg's
@@ -383,6 +504,9 @@ impl<'a> Repairer<'a> {
                 popn.push((child, eval));
             }
         }
+        // The seed population is "generation 0": every trace contains at
+        // least one GenerationStats event.
+        self.emit_generation(0, &popn, 0);
 
         let mut generations = 0;
         'outer: while found.is_none()
@@ -414,14 +538,15 @@ impl<'a> Repairer<'a> {
             }
             // Elitism: the top e% of the current population survive.
             let fitnesses: Vec<f64> = popn.iter().map(|(_, e)| e.score).collect();
-            let mut next: Vec<(Patch, Evaluation)> = elite_indices(&fitnesses, self.config.elitism_pct)
-                .into_iter()
-                .map(|i| popn[i].clone())
-                .collect();
+            let elite = elite_indices(&fitnesses, self.config.elitism_pct);
+            let elites = elite.len() as u64;
+            let mut next: Vec<(Patch, Evaluation)> =
+                elite.into_iter().map(|i| popn[i].clone()).collect();
             next.extend(children);
             popn = next;
             generations += 1;
             history.push(best.1);
+            self.emit_generation(u64::from(generations), &popn, elites);
         }
 
         let (status, patch, unminimized_len, repaired_source) = match found {
@@ -449,6 +574,7 @@ impl<'a> Repairer<'a> {
             None => (RepairStatus::Exhausted, best.0.clone(), best.0.len(), None),
         };
 
+        let wall_time = self.started.elapsed();
         RepairResult {
             status,
             best_fitness: if status == RepairStatus::Plausible {
@@ -460,10 +586,18 @@ impl<'a> Repairer<'a> {
             unminimized_len,
             generations,
             fitness_evals: self.evals,
-            wall_time: self.started.elapsed(),
+            wall_time,
             history,
             improvement_steps,
             repaired_source,
+            cache_hits: self.cache_hits,
+            minimize_evals: self.minimize_evals,
+            totals: RunTotals {
+                trials: 1,
+                fitness_evals: self.evals,
+                wall_time,
+                generations,
+            },
         }
     }
 
@@ -472,7 +606,7 @@ impl<'a> Repairer<'a> {
         let params = self.config.fitness;
         let mut cache: HashMap<Patch, bool> = HashMap::new();
         let mut evals = 0u64;
-        let minimized = minimize(patch, |p| {
+        let minimized = minimize_observed(patch, &self.config.observer, |p| {
             if let Some(v) = cache.get(p) {
                 return *v;
             }
@@ -482,6 +616,7 @@ impl<'a> Repairer<'a> {
             ok
         });
         self.evals += evals;
+        self.minimize_evals += evals;
         minimized
     }
 }
@@ -500,12 +635,20 @@ pub fn repair_with_trials(
     trials: u32,
 ) -> RepairResult {
     let mut last = None;
+    // Failed trials used to vanish entirely; their resource consumption
+    // now accumulates into the returned result's totals.
+    let mut totals = RunTotals::default();
     for t in 0..trials.max(1) {
         let config = RepairConfig {
             seed: base.seed.wrapping_add(u64::from(t)),
             ..base.clone()
         };
-        let result = repair(problem, config);
+        let mut result = repair(problem, config);
+        totals.trials += 1;
+        totals.fitness_evals += result.fitness_evals;
+        totals.wall_time += result.wall_time;
+        totals.generations += result.generations;
+        result.totals = totals.clone();
         if result.is_plausible() {
             return result;
         }

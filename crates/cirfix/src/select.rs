@@ -29,8 +29,7 @@ pub fn elite_indices(fitnesses: &[f64], pct: f64) -> Vec<usize> {
     if fitnesses.is_empty() || pct <= 0.0 {
         return Vec::new();
     }
-    let count = ((fitnesses.len() as f64 * pct).ceil() as usize)
-        .clamp(1, fitnesses.len());
+    let count = ((fitnesses.len() as f64 * pct).ceil() as usize).clamp(1, fitnesses.len());
     let mut idx: Vec<usize> = (0..fitnesses.len()).collect();
     idx.sort_by(|a, b| {
         fitnesses[*b]

@@ -37,7 +37,9 @@ pub fn applicable_templates(
                 }
                 Stmt::EventControl { id, .. }
                     if in_fl(*id)
-                        || visit::ids_in_stmt(stmt).iter().any(|n| fl.nodes.contains(n)) =>
+                        || visit::ids_in_stmt(stmt)
+                            .iter()
+                            .any(|n| fl.nodes.contains(n)) =>
                 {
                     out.push(Edit::SetSensitivity {
                         control: *id,
@@ -143,17 +145,29 @@ mod tests {
         let fl = fault_localization(&[file.module("m").unwrap()], &mismatch);
         let edits = applicable_templates(&file, &mods, &fl);
         assert!(edits.iter().any(|e| matches!(e, Edit::NegateCond { .. })));
-        assert!(edits
-            .iter()
-            .any(|e| matches!(e, Edit::SetSensitivity { kind: SensTemplate::Negedge, .. })));
-        assert!(edits
-            .iter()
-            .any(|e| matches!(e, Edit::SetSensitivity { kind: SensTemplate::AnyChange, .. })));
+        assert!(edits.iter().any(|e| matches!(
+            e,
+            Edit::SetSensitivity {
+                kind: SensTemplate::Negedge,
+                ..
+            }
+        )));
+        assert!(edits.iter().any(|e| matches!(
+            e,
+            Edit::SetSensitivity {
+                kind: SensTemplate::AnyChange,
+                ..
+            }
+        )));
         assert!(edits
             .iter()
             .any(|e| matches!(e, Edit::NonBlockingToBlocking { .. })));
-        assert!(edits.iter().any(|e| matches!(e, Edit::IncrementExpr { .. })));
-        assert!(edits.iter().any(|e| matches!(e, Edit::DecrementExpr { .. })));
+        assert!(edits
+            .iter()
+            .any(|e| matches!(e, Edit::IncrementExpr { .. })));
+        assert!(edits
+            .iter()
+            .any(|e| matches!(e, Edit::DecrementExpr { .. })));
     }
 
     #[test]
@@ -194,8 +208,7 @@ mod tests {
             endmodule
         "#;
         let file = parse(src).unwrap();
-        let edits =
-            applicable_templates(&file, &["m".to_string()], &FaultLoc::default());
+        let edits = applicable_templates(&file, &["m".to_string()], &FaultLoc::default());
         assert!(!edits.iter().any(|e| matches!(
             e,
             Edit::SetSensitivity { signal: Some(s), .. } if s == "mem"

@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn golden_design_verifies_against_itself() {
         let golden = parse(GOLDEN).unwrap();
-        let ok = verify_repair(&golden, &["inv".to_string()], &golden, &verification())
-            .unwrap();
+        let ok = verify_repair(&golden, &["inv".to_string()], &golden, &verification()).unwrap();
         assert!(ok);
     }
 
@@ -140,8 +139,7 @@ mod tests {
     fn overfitting_design_fails_verification() {
         let golden = parse(GOLDEN).unwrap();
         let overfit = parse(OVERFIT).unwrap();
-        let ok = verify_repair(&overfit, &["inv".to_string()], &golden, &verification())
-            .unwrap();
+        let ok = verify_repair(&overfit, &["inv".to_string()], &golden, &verification()).unwrap();
         assert!(!ok);
     }
 
@@ -150,8 +148,7 @@ mod tests {
         let golden = parse(GOLDEN).unwrap();
         // A "repair" that does not even define the module.
         let broken = parse("module unrelated; endmodule").unwrap();
-        let ok = verify_repair(&broken, &["inv".to_string()], &golden, &verification())
-            .unwrap();
+        let ok = verify_repair(&broken, &["inv".to_string()], &golden, &verification()).unwrap();
         assert!(!ok);
     }
 

@@ -1,15 +1,20 @@
-//! Property-based tests for the repair machinery: patches never panic,
-//! ids stay unique, fitness stays normalized, minimization preserves
-//! plausibility.
+//! Randomized property tests for the repair machinery: patches never
+//! panic, ids stay unique, fitness stays normalized, minimization
+//! preserves plausibility.
+//!
+//! Formerly written with proptest; the build environment has no
+//! crates.io access, so each property drives a seeded RNG instead —
+//! deterministic per build, random in shape.
 
-use cirfix::{
-    apply_patch, crossover, fitness, minimize, Edit, FitnessParams, Patch, SensTemplate,
-};
+use cirfix::{apply_patch, crossover, fitness, minimize, Edit, FitnessParams, Patch, SensTemplate};
 use cirfix_ast::visit;
 use cirfix_logic::{Logic, LogicVec};
 use cirfix_parser::parse;
 use cirfix_sim::Trace;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 128;
 
 const DESIGN: &str = r#"
 module m (c, r, q);
@@ -44,8 +49,14 @@ fn edit_from_seed(seed: u64, max_id: u32) -> Edit {
     let a = (seed % span) as u32;
     let b = ((seed / span) % span) as u32;
     match seed % 11 {
-        0 => Edit::ReplaceStmt { target: a, donor: b },
-        1 => Edit::ReplaceExpr { target: a, donor: b },
+        0 => Edit::ReplaceStmt {
+            target: a,
+            donor: b,
+        },
+        1 => Edit::ReplaceExpr {
+            target: a,
+            donor: b,
+        },
         2 => Edit::InsertStmt { donor: a, after: b },
         3 => Edit::DeleteStmt { target: a },
         4 => Edit::NegateCond { target: a },
@@ -53,7 +64,10 @@ fn edit_from_seed(seed: u64, max_id: u32) -> Edit {
         6 => Edit::NonBlockingToBlocking { target: a },
         7 => Edit::IncrementExpr { target: a },
         8 => Edit::DecrementExpr { target: a },
-        9 => Edit::ReplaceSensitivity { target: a, donor: b },
+        9 => Edit::ReplaceSensitivity {
+            target: a,
+            donor: b,
+        },
         _ => Edit::SetSensitivity {
             control: a,
             kind: SensTemplate::AnyChange,
@@ -62,48 +76,41 @@ fn edit_from_seed(seed: u64, max_id: u32) -> Edit {
     }
 }
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+fn arb_logic(rng: &mut StdRng) -> Logic {
+    match rng.gen_range(0u32..4) {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
 }
 
-fn arb_trace(vars: usize, rows: usize, width: usize) -> impl Strategy<Value = Trace> {
+fn arb_trace(rng: &mut StdRng, vars: usize, rows: usize, width: usize) -> Trace {
     let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
-    proptest::collection::vec(
-        proptest::collection::vec(
-            proptest::collection::vec(arb_logic(), width).prop_map(LogicVec::from_bits_lsb),
-            vars,
-        ),
-        rows,
-    )
-    .prop_map(move |rows_data| {
-        let mut t = Trace::new(names.clone());
-        for (i, row) in rows_data.into_iter().enumerate() {
-            t.record(i as u64 * 10, row);
-        }
-        t
-    })
+    let mut t = Trace::new(names);
+    for i in 0..rows {
+        let row: Vec<LogicVec> = (0..vars)
+            .map(|_| {
+                let bits: Vec<Logic> = (0..width).map(|_| arb_logic(rng)).collect();
+                LogicVec::from_bits_lsb(bits)
+            })
+            .collect();
+        t.record(i as u64 * 10, row);
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Applying ANY sequence of (possibly nonsensical) edits never
-    /// panics and never produces duplicate node ids.
-    #[test]
-    fn random_patches_apply_safely(edit_seeds in proptest::collection::vec(any::<u64>(), 0..8)) {
-        let file = parse(DESIGN).expect("parses");
-        let max = visit::max_id(&file);
-        let mods = vec!["m".to_string()];
-        // Derive edits deterministically from the seeds.
-        let mut edits = Vec::new();
-        for seed in &edit_seeds {
-            edits.push(edit_from_seed(*seed, max));
-        }
+/// Applying ANY sequence of (possibly nonsensical) edits never panics
+/// and never produces duplicate node ids.
+#[test]
+fn random_patches_apply_safely() {
+    let file = parse(DESIGN).expect("parses");
+    let max = visit::max_id(&file);
+    let mods = vec!["m".to_string()];
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..8);
+        let edits: Vec<Edit> = (0..len).map(|_| edit_from_seed(rng.gen(), max)).collect();
         let patch = Patch { edits };
         let (variant, _) = apply_patch(&file, &mods, &patch);
         let mut ids = Vec::new();
@@ -111,88 +118,126 @@ proptest! {
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), n, "node ids stay unique");
+        assert_eq!(ids.len(), n, "node ids stay unique: {patch:?}");
     }
+}
 
-    /// Patch application is deterministic.
-    #[test]
-    fn patch_application_is_deterministic(targets in proptest::collection::vec(0u32..60, 0..6)) {
-        let file = parse(DESIGN).expect("parses");
-        let mods = vec!["m".to_string()];
+/// Patch application is deterministic.
+#[test]
+fn patch_application_is_deterministic() {
+    let file = parse(DESIGN).expect("parses");
+    let mods = vec!["m".to_string()];
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..6);
         let patch = Patch {
-            edits: targets
-                .iter()
-                .map(|t| Edit::DeleteStmt { target: *t })
+            edits: (0..len)
+                .map(|_| Edit::DeleteStmt {
+                    target: rng.gen_range(0u32..60),
+                })
                 .collect(),
         };
         let (v1, s1) = apply_patch(&file, &mods, &patch);
         let (v2, s2) = apply_patch(&file, &mods, &patch);
-        prop_assert_eq!(v1, v2);
-        prop_assert_eq!(s1, s2);
+        assert_eq!(v1, v2);
+        assert_eq!(s1, s2);
     }
+}
 
-    /// Fitness is always within [0, 1] and equals 1 on identical traces.
-    #[test]
-    fn fitness_is_normalized(o in arb_trace(2, 5, 4), s in arb_trace(2, 5, 4)) {
+/// Fitness is always within [0, 1] and equals 1 on identical traces.
+#[test]
+fn fitness_is_normalized() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..CASES {
+        let o = arb_trace(&mut rng, 2, 5, 4);
+        let s = arb_trace(&mut rng, 2, 5, 4);
         let r = fitness(&s, &o, FitnessParams::default());
-        prop_assert!((0.0..=1.0).contains(&r.score), "score {}", r.score);
+        assert!((0.0..=1.0).contains(&r.score), "score {}", r.score);
         let perfect = fitness(&o, &o, FitnessParams::default());
-        prop_assert_eq!(perfect.score, 1.0);
-        prop_assert!(perfect.mismatched_vars.is_empty());
+        assert_eq!(perfect.score, 1.0);
+        assert!(perfect.mismatched_vars.is_empty());
     }
+}
 
-    /// Fitness mismatched_vars is exactly the set of variables with a
-    /// differing cell somewhere.
-    #[test]
-    fn mismatch_set_is_sound(o in arb_trace(2, 4, 3), s in arb_trace(2, 4, 3)) {
+/// Fitness mismatched_vars is exactly the set of variables with a
+/// differing cell somewhere.
+#[test]
+fn mismatch_set_is_sound() {
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..CASES {
+        let o = arb_trace(&mut rng, 2, 4, 3);
+        let s = arb_trace(&mut rng, 2, 4, 3);
         let r = fitness(&s, &o, FitnessParams::default());
         for (t, var, expected) in o.cells() {
             let actual = s.get(t, var).expect("same shape");
             if expected != actual {
-                prop_assert!(r.mismatched_vars.contains(var));
+                assert!(r.mismatched_vars.contains(var));
             }
         }
     }
+}
 
-    /// Crossover preserves total edit count and edit multiset.
-    #[test]
-    fn crossover_preserves_edits(a in proptest::collection::vec(0u32..99, 0..6),
-                                 b in proptest::collection::vec(100u32..199, 0..6),
-                                 seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let p1 = Patch { edits: a.iter().map(|t| Edit::DeleteStmt { target: *t }).collect() };
-        let p2 = Patch { edits: b.iter().map(|t| Edit::DeleteStmt { target: *t }).collect() };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let (c1, c2) = crossover(&p1, &p2, &mut rng);
-        prop_assert_eq!(c1.len() + c2.len(), p1.len() + p2.len());
+/// Crossover preserves total edit count and edit multiset.
+#[test]
+fn crossover_preserves_edits() {
+    let mut rng = StdRng::seed_from_u64(35);
+    for _ in 0..CASES {
+        let alen = rng.gen_range(0usize..6);
+        let blen = rng.gen_range(0usize..6);
+        let p1 = Patch {
+            edits: (0..alen)
+                .map(|_| Edit::DeleteStmt {
+                    target: rng.gen_range(0u32..99),
+                })
+                .collect(),
+        };
+        let p2 = Patch {
+            edits: (0..blen)
+                .map(|_| Edit::DeleteStmt {
+                    target: rng.gen_range(100u32..199),
+                })
+                .collect(),
+        };
+        let mut xo_rng = StdRng::seed_from_u64(rng.gen());
+        let (c1, c2) = crossover(&p1, &p2, &mut xo_rng);
+        assert_eq!(c1.len() + c2.len(), p1.len() + p2.len());
         let mut all: Vec<&Edit> = c1.edits.iter().chain(&c2.edits).collect();
         let mut orig: Vec<&Edit> = p1.edits.iter().chain(&p2.edits).collect();
         all.sort_by_key(|e| format!("{e:?}"));
         orig.sort_by_key(|e| format!("{e:?}"));
-        prop_assert_eq!(all, orig);
+        assert_eq!(all, orig);
     }
+}
 
-    /// Minimization output is a subsequence of the input and stays
-    /// plausible under the given predicate.
-    #[test]
-    fn minimize_returns_plausible_subsequence(
-        targets in proptest::collection::vec(0u32..50, 1..10),
-        required in proptest::collection::vec(0usize..10, 1..3),
-    ) {
-        let edits: Vec<Edit> = targets.iter().map(|t| Edit::DeleteStmt { target: *t }).collect();
-        let required: Vec<Edit> = required
-            .iter()
-            .filter_map(|i| edits.get(*i).cloned())
+/// Minimization output is a subsequence of the input and stays
+/// plausible under the given predicate.
+#[test]
+fn minimize_returns_plausible_subsequence() {
+    let mut rng = StdRng::seed_from_u64(36);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..10);
+        let edits: Vec<Edit> = (0..len)
+            .map(|_| Edit::DeleteStmt {
+                target: rng.gen_range(0u32..50),
+            })
             .collect();
-        let patch = Patch { edits: edits.clone() };
+        let nreq = rng.gen_range(1usize..3);
+        let required: Vec<Edit> = (0..nreq)
+            .filter_map(|_| edits.get(rng.gen_range(0usize..10)).cloned())
+            .collect();
+        let patch = Patch {
+            edits: edits.clone(),
+        };
         let pred = |p: &Patch| required.iter().all(|e| p.edits.contains(e));
-        prop_assume!(pred(&patch));
+        if !pred(&patch) {
+            continue;
+        }
         let min = minimize(&patch, pred);
-        prop_assert!(pred(&min), "stays plausible");
+        assert!(pred(&min), "stays plausible");
         // Subsequence check.
         let mut it = edits.iter();
         for e in &min.edits {
-            prop_assert!(it.any(|x| x == e), "subsequence violated");
+            assert!(it.any(|x| x == e), "subsequence violated");
         }
     }
 }

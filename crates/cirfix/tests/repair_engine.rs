@@ -4,8 +4,8 @@
 use std::time::Duration;
 
 use cirfix::{
-    brute_force_repair, evaluate, oracle_from_golden, repair, repair_with_trials,
-    BruteConfig, FitnessParams, Patch, RepairConfig, RepairProblem, Repairer,
+    brute_force_repair, evaluate, oracle_from_golden, repair, repair_with_trials, BruteConfig,
+    FitnessParams, Patch, RepairConfig, RepairProblem, Repairer,
 };
 use cirfix_parser::parse;
 use cirfix_sim::{ProbeSpec, SimConfig};
@@ -179,10 +179,7 @@ fn improvement_steps_start_at_original_fitness() {
     let base = evaluate(&problem, &Patch::empty(), FitnessParams::default());
     let result = repair(&problem, RepairConfig::fast(5));
     assert_eq!(result.improvement_steps[0], base.score);
-    assert!(result
-        .improvement_steps
-        .windows(2)
-        .all(|w| w[1] >= w[0]));
+    assert!(result.improvement_steps.windows(2).all(|w| w[1] >= w[0]));
 }
 
 #[test]
@@ -190,8 +187,8 @@ fn bloat_cap_rejects_giant_variants() {
     let problem = problem_for(FAULTY_NEGATED);
     let mut config = RepairConfig::fast(6);
     config.max_growth = 1.01; // almost no growth allowed
-    // The search can still find the repair: templates do not grow the
-    // AST meaningfully.
+                              // The search can still find the repair: templates do not grow the
+                              // AST meaningfully.
     let result = repair(&problem, config);
     assert!(result.is_plausible());
 }

@@ -14,20 +14,29 @@
 //!                                                 the golden one on a held-out bench
 //! ```
 //!
+//! Observability flags (for `repair` and `simulate`):
+//!
+//! ```text
+//! --trace-out <path>   stream telemetry events as JSON lines to <path>
+//! --metrics            print an aggregate telemetry summary at the end
+//! ```
+//!
 //! See [`config::Config`] for the recognized keys.
 
 mod config;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cirfix::{
     apply_patch, evaluate, fault_localization, oracle_from_golden, repair_with_trials,
-    FitnessParams, Patch, RepairConfig, RepairProblem,
+    FitnessParams, Observer, Patch, RepairConfig, RepairProblem,
 };
 use cirfix_ast::{print, SourceFile};
 use cirfix_sim::{ProbeSpec, SimConfig};
+use cirfix_telemetry::{FanoutSink, JsonLinesSink, SummarySink, TelemetrySink};
 use config::{Config, ConfigError};
 
 fn main() -> ExitCode {
@@ -50,15 +59,24 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (command, rest) = args.split_first().ok_or_else(usage)?;
     let (config_path, overrides) = rest.split_first().ok_or_else(usage)?;
     let mut config = Config::load(Path::new(config_path))?;
+    // Valueless switches; everything else is a `--key value` pair.
+    const BOOL_FLAGS: &[&str] = &["metrics"];
     let mut i = 0;
     while i < overrides.len() {
         let key = overrides[i]
             .strip_prefix("--")
             .ok_or_else(|| ConfigError(format!("expected --key, got `{}`", overrides[i])))?;
+        // `--trace-out` and `trace_out` name the same config key.
+        let key = key.replace('-', "_");
+        if BOOL_FLAGS.contains(&key.as_str()) {
+            config.set(&key, "true");
+            i += 1;
+            continue;
+        }
         let value = overrides
             .get(i + 1)
             .ok_or_else(|| ConfigError(format!("--{key} needs a value")))?;
-        config.set(key, value);
+        config.set(&key, value);
         i += 2;
     }
 
@@ -116,6 +134,36 @@ fn build_problem(config: &Config) -> Result<RepairProblem, Box<dyn std::error::E
     })
 }
 
+/// The observability destinations requested by `trace_out` / `metrics`.
+struct Telemetry {
+    observer: Observer,
+    summary: Option<Arc<SummarySink>>,
+}
+
+fn build_telemetry(config: &Config) -> Result<Telemetry, Box<dyn std::error::Error>> {
+    let mut sinks: Vec<Box<dyn TelemetrySink>> = Vec::new();
+    if let Ok(path) = config.required("trace_out") {
+        let sink = JsonLinesSink::create(Path::new(path))
+            .map_err(|e| ConfigError(format!("cannot open {path}: {e}")))?;
+        sinks.push(Box::new(sink));
+    }
+    let mut summary = None;
+    if matches!(
+        config.string_or("metrics", "false").as_str(),
+        "true" | "1" | "yes"
+    ) {
+        let s = Arc::new(SummarySink::new());
+        sinks.push(Box::new(Arc::clone(&s)));
+        summary = Some(s);
+    }
+    let observer = if sinks.is_empty() {
+        Observer::none()
+    } else {
+        Observer::new(Arc::new(FanoutSink::new(sinks)))
+    };
+    Ok(Telemetry { observer, summary })
+}
+
 fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Error>> {
     let mut rc = RepairConfig::fast(config.num_or("seed", 1u64)?);
     rc.popn_size = config.num_or("popn_size", rc.popn_size)?;
@@ -130,13 +178,16 @@ fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Er
 
 fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     let problem = build_problem(config)?;
-    let rc = repair_config(config)?;
+    let mut rc = repair_config(config)?;
+    let telemetry = build_telemetry(config)?;
+    rc.observer = telemetry.observer.clone();
     let trials = config.num_or("trials", 3u32)?;
     println!(
         "searching: popn={} gens={} trials={trials} evals<={} timeout={:?}",
         rc.popn_size, rc.max_generations, rc.max_fitness_evals, rc.timeout
     );
     let result = repair_with_trials(&problem, &rc, trials);
+    telemetry.observer.flush();
     println!(
         "plausible: {}  best fitness: {:.4}  evaluations: {}  wall: {:.1?}",
         result.is_plausible(),
@@ -144,6 +195,17 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
         result.fitness_evals,
         result.wall_time
     );
+    let t = &result.totals;
+    println!("run totals:");
+    println!("  trials           {:>12}", t.trials);
+    println!("  generations      {:>12}", t.generations);
+    println!("  fitness evals    {:>12}", t.fitness_evals);
+    println!("  cache hits       {:>12}", result.cache_hits);
+    println!("  minimize evals   {:>12}", result.minimize_evals);
+    println!("  wall clock       {:>12.1?}", t.wall_time);
+    if let Some(summary) = &telemetry.summary {
+        print!("{}", summary.report());
+    }
     if result.is_plausible() {
         println!(
             "\nrepair patch:\n{}",
@@ -153,14 +215,15 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
                 &result.patch
             )
         );
-        let (repaired, _) =
-            apply_patch(&problem.source, &problem.design_modules, &result.patch);
+        let (repaired, _) = apply_patch(&problem.source, &problem.design_modules, &result.patch);
         println!(
             "diff:\n{}",
             cirfix::explain::diff_designs(&problem.source, &repaired, &problem.design_modules)
         );
         let out_path = config.string_or("output", "repaired.v");
-        let source = result.repaired_source.expect("plausible repairs have source");
+        let source = result
+            .repaired_source
+            .expect("plausible repairs have source");
         std::fs::write(&out_path, &source)
             .map_err(|e| ConfigError(format!("cannot write {out_path}: {e}")))?;
         println!("repaired design written to {out_path}");
@@ -172,16 +235,30 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_simulate(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     let problem = build_problem(config)?;
-    let (outcome, trace, log) = cirfix::simulate_with_probe(
-        &problem.source,
-        &problem.top,
-        &problem.probe,
-        &problem.sim,
-    )?;
+    let (outcome, trace, log) =
+        cirfix::simulate_with_probe(&problem.source, &problem.top, &problem.probe, &problem.sim)?;
     println!(
         "finished={} end_time={} ops={}",
         outcome.finished, outcome.end_time, outcome.total_ops
     );
+    let telemetry = build_telemetry(config)?;
+    if telemetry.observer.enabled() {
+        let m = &outcome.metrics;
+        telemetry
+            .observer
+            .record(&cirfix_telemetry::Event::Sim(cirfix_telemetry::SimStats {
+                active_events: m.active_events,
+                inactive_events: m.inactive_events,
+                nba_flushes: m.nba_flushes,
+                timesteps: m.timesteps,
+                process_resumptions: m.process_resumptions,
+                peak_queue_depth: m.peak_queue_depth,
+            }));
+        telemetry.observer.flush();
+    }
+    if let Some(summary) = &telemetry.summary {
+        eprint!("{}", summary.report());
+    }
     print!("{}", trace.to_csv());
     for line in log {
         eprintln!("$display: {line}");
@@ -228,9 +305,7 @@ fn cmd_localize(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     println!("implicated nodes: {}", fl.nodes.len());
     for m in &modules {
         for stmt in cirfix_ast::visit::stmts_of_module(m) {
-            if fl.nodes.contains(&stmt.id())
-                && (stmt.is_assignment() || stmt.is_conditional())
-            {
+            if fl.nodes.contains(&stmt.id()) && (stmt.is_assignment() || stmt.is_conditional()) {
                 let text = print::stmt_to_string(stmt);
                 let first = text.lines().next().unwrap_or("");
                 println!("  [{}] {first}", stmt.id());
@@ -268,8 +343,7 @@ fn cmd_verify(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
         },
     };
     let design_modules = config.list("design_modules")?;
-    let correct =
-        cirfix::verify_repair(&repaired, &design_modules, &golden, &verification)?;
+    let correct = cirfix::verify_repair(&repaired, &design_modules, &golden, &verification)?;
     if correct {
         println!("CORRECT: the design matches the golden design on the held-out bench");
         Ok(())

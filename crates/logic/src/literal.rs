@@ -125,7 +125,8 @@ impl LogicVec {
 
         let bits_msb_first: Vec<Logic> = match base {
             LiteralBase::Decimal => {
-                if cleaned.len() == 1 && Logic::from_char(cleaned[0]).is_some_and(|l| l.is_unknown())
+                if cleaned.len() == 1
+                    && Logic::from_char(cleaned[0]).is_some_and(|l| l.is_unknown())
                 {
                     let fill = Logic::from_char(cleaned[0]).expect("checked");
                     let w = width.unwrap_or(32);
@@ -170,7 +171,11 @@ impl LogicVec {
         let lsb_first: Vec<Logic> = bits_msb_first.iter().rev().copied().collect();
         let natural = LogicVec::from_bits_lsb(lsb_first);
         let leading = bits_msb_first[0];
-        let fill = if leading.is_unknown() { leading } else { Logic::Zero };
+        let fill = if leading.is_unknown() {
+            leading
+        } else {
+            Logic::Zero
+        };
         let w = width.unwrap_or_else(|| natural.width().max(32));
         Ok(natural.resized_with(w, fill))
     }

@@ -55,11 +55,7 @@ impl LogicVec {
         }
     }
 
-    fn arith2(
-        &self,
-        rhs: &LogicVec,
-        f: impl FnOnce(u128, u128, usize) -> LogicVec,
-    ) -> LogicVec {
+    fn arith2(&self, rhs: &LogicVec, f: impl FnOnce(u128, u128, usize) -> LogicVec) -> LogicVec {
         let w = self.width().max(rhs.width());
         match (self.to_u128(), rhs.to_u128()) {
             (Some(a), Some(b)) => f(a, b, w),
@@ -228,13 +224,7 @@ impl LogicVec {
                 let n = n as usize;
                 LogicVec::from_bits_lsb(
                     (0..w)
-                        .map(|i| {
-                            if i >= n {
-                                self.bit(i - n)
-                            } else {
-                                Logic::Zero
-                            }
-                        })
+                        .map(|i| if i >= n { self.bit(i - n) } else { Logic::Zero })
                         .collect(),
                 )
             }
@@ -350,10 +340,7 @@ mod tests {
         assert_eq!(v(0b1100, 4).bit_or(&v(0b1010, 4)).to_u64(), Some(0b1110));
         assert_eq!(v(0b1100, 4).bit_xor(&v(0b1010, 4)).to_u64(), Some(0b0110));
         assert_eq!(v(0b1100, 4).bit_not().to_u64(), Some(0b0011));
-        assert_eq!(
-            v(0b1100, 4).bit_xnor(&v(0b1010, 4)).to_u64(),
-            Some(0b1001)
-        );
+        assert_eq!(v(0b1100, 4).bit_xnor(&v(0b1010, 4)).to_u64(), Some(0b1001));
     }
 
     #[test]

@@ -1,138 +1,192 @@
-//! Property-based tests for the four-state value domain.
+//! Randomized property tests for the four-state value domain.
+//!
+//! Formerly written with proptest; the build environment has no
+//! crates.io access, so each property now drives its own seeded RNG —
+//! the cases differ per property but stay deterministic per build.
 
 use cirfix_logic::{Logic, LogicVec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_width() -> impl Strategy<Value = usize> {
-    1usize..=64
+const CASES: usize = 256;
+
+fn arb_width(rng: &mut StdRng) -> usize {
+    rng.gen_range(1usize..=64)
 }
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+fn arb_logic(rng: &mut StdRng) -> Logic {
+    match rng.gen_range(0u32..4) {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
 }
 
-proptest! {
-    /// Arithmetic on fully-known vectors agrees with wrapping u64
-    /// arithmetic at the same width.
-    #[test]
-    fn add_matches_u64(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX, w in arb_width()) {
+fn arb_bits(rng: &mut StdRng, len: usize) -> Vec<Logic> {
+    (0..len).map(|_| arb_logic(rng)).collect()
+}
+
+/// Arithmetic on fully-known vectors agrees with wrapping u64
+/// arithmetic at the same width.
+#[test]
+fn add_matches_u64() {
+    let mut rng = StdRng::seed_from_u64(0xadd);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
+        let w = arb_width(&mut rng);
         let va = LogicVec::from_u64(a, w);
         let vb = LogicVec::from_u64(b, w);
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
         let expected = (a & mask).wrapping_add(b & mask) & mask;
-        prop_assert_eq!(va.add(&vb).to_u64(), Some(expected));
+        assert_eq!(va.add(&vb).to_u64(), Some(expected));
     }
+}
 
-    #[test]
-    fn sub_is_inverse_of_add(a in 0u64..1 << 32, b in 0u64..1 << 32, w in 1usize..=32) {
+#[test]
+fn sub_is_inverse_of_add() {
+    let mut rng = StdRng::seed_from_u64(0x50b);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0u64..1 << 32);
+        let b = rng.gen_range(0u64..1 << 32);
+        let w = rng.gen_range(1usize..=32);
         let va = LogicVec::from_u64(a, w);
         let vb = LogicVec::from_u64(b, w);
         let back = va.add(&vb).sub(&vb);
-        prop_assert_eq!(back.to_u64(), va.to_u64());
+        assert_eq!(back.to_u64(), va.to_u64());
     }
+}
 
-    /// Any unknown input bit poisons the whole arithmetic result.
-    #[test]
-    fn unknown_operands_poison_arithmetic(w in arb_width(), v in 0u64..=u64::MAX) {
-        let known = LogicVec::from_u64(v, w);
+/// Any unknown input bit poisons the whole arithmetic result.
+#[test]
+fn unknown_operands_poison_arithmetic() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let w = arb_width(&mut rng);
+        let known = LogicVec::from_u64(rng.gen(), w);
         let unknown = LogicVec::unknown(w);
-        prop_assert!(known.add(&unknown).has_unknown());
-        prop_assert!(unknown.mul(&known).has_unknown());
-        prop_assert_eq!(known.lt(&unknown), Logic::X);
+        assert!(known.add(&unknown).has_unknown());
+        assert!(unknown.mul(&known).has_unknown());
+        assert_eq!(known.lt(&unknown), Logic::X);
     }
+}
 
-    /// Bitwise NOT is an involution on known bits and maps x/z to x.
-    #[test]
-    fn bit_not_involution(w in arb_width(), bits in proptest::collection::vec(arb_logic(), 1..64)) {
-        let _ = w;
-        let v = LogicVec::from_bits_lsb(bits);
+/// Bitwise NOT is an involution on known bits and maps x/z to x.
+#[test]
+fn bit_not_involution() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..64);
+        let v = LogicVec::from_bits_lsb(arb_bits(&mut rng, len));
         let twice = v.bit_not().bit_not();
         for i in 0..v.width() {
             match v.bit(i) {
-                Logic::Zero | Logic::One => prop_assert_eq!(twice.bit(i), v.bit(i)),
-                _ => prop_assert_eq!(twice.bit(i), Logic::X),
+                Logic::Zero | Logic::One => assert_eq!(twice.bit(i), v.bit(i)),
+                _ => assert_eq!(twice.bit(i), Logic::X),
             }
         }
     }
+}
 
-    /// Concatenation width is the sum of part widths, and slicing the
-    /// result recovers the parts.
-    #[test]
-    fn concat_slice_round_trip(aw in 1usize..16, bw in 1usize..16, a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
-        let va = LogicVec::from_u64(a, aw);
-        let vb = LogicVec::from_u64(b, bw);
+/// Concatenation width is the sum of part widths, and slicing the
+/// result recovers the parts.
+#[test]
+fn concat_slice_round_trip() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let aw = rng.gen_range(1usize..16);
+        let bw = rng.gen_range(1usize..16);
+        let va = LogicVec::from_u64(rng.gen(), aw);
+        let vb = LogicVec::from_u64(rng.gen(), bw);
         let cat = LogicVec::concat(&[va.clone(), vb.clone()]);
-        prop_assert_eq!(cat.width(), aw + bw);
+        assert_eq!(cat.width(), aw + bw);
         // {a, b}: b occupies the low bits.
-        prop_assert_eq!(cat.slice(bw - 1, 0), vb);
-        prop_assert_eq!(cat.slice(aw + bw - 1, bw), va);
+        assert_eq!(cat.slice(bw - 1, 0), vb);
+        assert_eq!(cat.slice(aw + bw - 1, bw), va);
     }
+}
 
-    /// Replication n times multiplies the width and repeats the bits.
-    #[test]
-    fn replicate_repeats(w in 1usize..8, n in 1usize..6, v in 0u64..256) {
-        let base = LogicVec::from_u64(v, w);
+/// Replication n times multiplies the width and repeats the bits.
+#[test]
+fn replicate_repeats() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..8);
+        let n = rng.gen_range(1usize..6);
+        let base = LogicVec::from_u64(rng.gen_range(0u64..256), w);
         let rep = base.replicate(n);
-        prop_assert_eq!(rep.width(), w * n);
+        assert_eq!(rep.width(), w * n);
         for k in 0..n {
-            prop_assert_eq!(rep.slice((k + 1) * w - 1, k * w), base.clone());
+            assert_eq!(rep.slice((k + 1) * w - 1, k * w), base.clone());
         }
     }
+}
 
-    /// Shifting left then right by the same known amount preserves the
-    /// low bits that survive.
-    #[test]
-    fn shl_shr_partial_inverse(w in 8usize..32, v in 0u64..=u64::MAX, n in 0u64..8) {
+/// Shifting left then right by the same known amount preserves the
+/// low bits that survive.
+#[test]
+fn shl_shr_partial_inverse() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let w = rng.gen_range(8usize..32);
+        let v: u64 = rng.gen();
+        let n = rng.gen_range(0u64..8);
         let base = LogicVec::from_u64(v, w);
         let amount = LogicVec::from_u64(n, 8);
         let round = base.shl(&amount).shr(&amount);
         // The top n bits are lost; the rest must match.
         for i in 0..w - n as usize {
-            prop_assert_eq!(round.bit(i), base.bit(i));
+            assert_eq!(round.bit(i), base.bit(i));
         }
     }
+}
 
-    /// Logical equality is reflexive for known values and x otherwise.
-    #[test]
-    fn eq_reflexive(w in arb_width(), bits in proptest::collection::vec(arb_logic(), 1..64)) {
-        let _ = w;
-        let v = LogicVec::from_bits_lsb(bits);
+/// Logical equality is reflexive for known values and x otherwise.
+#[test]
+fn eq_reflexive() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..64);
+        let v = LogicVec::from_bits_lsb(arb_bits(&mut rng, len));
         let eq = v.logic_eq(&v);
         if v.is_fully_known() {
-            prop_assert_eq!(eq, Logic::One);
+            assert_eq!(eq, Logic::One);
         } else {
-            prop_assert_eq!(eq, Logic::X);
+            assert_eq!(eq, Logic::X);
         }
         // Case equality is always reflexive.
-        prop_assert_eq!(v.case_eq(&v), Logic::One);
+        assert_eq!(v.case_eq(&v), Logic::One);
     }
+}
 
-    /// The ternary merge never invents a known bit the branches
-    /// disagree on.
-    #[test]
-    fn select_merge_sound(w in 1usize..16, t in 0u64..=u64::MAX, e in 0u64..=u64::MAX) {
-        let vt = LogicVec::from_u64(t, w);
-        let ve = LogicVec::from_u64(e, w);
+/// The ternary merge never invents a known bit the branches
+/// disagree on.
+#[test]
+fn select_merge_sound() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..16);
+        let vt = LogicVec::from_u64(rng.gen(), w);
+        let ve = LogicVec::from_u64(rng.gen(), w);
         let m = LogicVec::scalar(Logic::X).select(&vt, &ve);
         for i in 0..w {
             if vt.bit(i) == ve.bit(i) {
-                prop_assert_eq!(m.bit(i), vt.bit(i));
+                assert_eq!(m.bit(i), vt.bit(i));
             } else {
-                prop_assert_eq!(m.bit(i), Logic::X);
+                assert_eq!(m.bit(i), Logic::X);
             }
         }
     }
+}
 
-    /// Literal formatting in any base parses back to the same value.
-    #[test]
-    fn based_string_round_trips(w in 1usize..32, v in 0u64..=u64::MAX) {
-        use cirfix_logic::LiteralBase;
-        let vec = LogicVec::from_u64(v, w);
+/// Literal formatting in any base parses back to the same value.
+#[test]
+fn based_string_round_trips() {
+    use cirfix_logic::LiteralBase;
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..32);
+        let vec = LogicVec::from_u64(rng.gen(), w);
         for base in [LiteralBase::Binary, LiteralBase::Hex, LiteralBase::Decimal] {
             let s = vec.to_based_string(base);
             // Format: W'bDIGITS
@@ -140,18 +194,23 @@ proptest! {
             let width: usize = width_part.parse().expect("width");
             let digits = &rest[1..];
             let parsed = LogicVec::parse_based(Some(width), base, digits).expect("parses");
-            prop_assert_eq!(parsed, vec.clone());
+            assert_eq!(parsed, vec.clone());
         }
     }
+}
 
-    /// Write-then-read of a slice returns what was written (within
-    /// range).
-    #[test]
-    fn write_slice_read_back(w in 4usize..32, v in 0u64..=u64::MAX, lo in 0usize..4, len in 1usize..8) {
+/// Write-then-read of a slice returns what was written (within range).
+#[test]
+fn write_slice_read_back() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let w = rng.gen_range(4usize..32);
+        let lo = rng.gen_range(0usize..4);
+        let len = rng.gen_range(1usize..8);
         let hi = (lo + len - 1).min(w - 1);
         let mut target = LogicVec::zero(w);
-        let data = LogicVec::from_u64(v, hi - lo + 1);
+        let data = LogicVec::from_u64(rng.gen(), hi - lo + 1);
         target.write_slice(hi, lo, &data);
-        prop_assert_eq!(target.slice(hi, lo), data);
+        assert_eq!(target.slice(hi, lo), data);
     }
 }

@@ -111,7 +111,11 @@ impl fmt::Display for Token {
         match self {
             Token::Ident(s) => write!(f, "{s}"),
             Token::SysIdent(s) => write!(f, "${s}"),
-            Token::Number { width, base, digits } => {
+            Token::Number {
+                width,
+                base,
+                digits,
+            } => {
                 if let Some(w) = width {
                     write!(f, "{w}")?;
                 }

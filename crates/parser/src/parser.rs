@@ -53,10 +53,37 @@ struct Parser<'a> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "integer", "event",
-    "parameter", "localparam", "assign", "always", "initial", "begin", "end", "if", "else",
-    "case", "casez", "casex", "endcase", "default", "for", "while", "repeat", "forever",
-    "posedge", "negedge", "or", "wait",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "integer",
+    "event",
+    "parameter",
+    "localparam",
+    "assign",
+    "always",
+    "initial",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casez",
+    "casex",
+    "endcase",
+    "default",
+    "for",
+    "while",
+    "repeat",
+    "forever",
+    "posedge",
+    "negedge",
+    "or",
+    "wait",
 ];
 
 impl Parser<'_> {
@@ -70,7 +97,9 @@ impl Parser<'_> {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }

@@ -58,7 +58,14 @@ fn parses_ansi_ports() {
 
 #[test]
 fn parses_always_with_sensitivity_variants() {
-    for sens in ["@(posedge clk)", "@(negedge clk)", "@(a or b)", "@(a, b)", "@*", "@(*)"] {
+    for sens in [
+        "@(posedge clk)",
+        "@(negedge clk)",
+        "@(a or b)",
+        "@(a, b)",
+        "@*",
+        "@(*)",
+    ] {
         let src = format!("module m; reg q; always {sens} q = 1'b0; endmodule");
         let file = parse(&src).unwrap_or_else(|e| panic!("{sens}: {e}"));
         let m = &file.modules[0];
@@ -100,7 +107,13 @@ fn parses_case_variants() {
     let m = &file.modules[0];
     let mut found = false;
     for s in visit::stmts_of_module(m) {
-        if let Stmt::Case { kind, arms, default, .. } = s {
+        if let Stmt::Case {
+            kind,
+            arms,
+            default,
+            ..
+        } = s
+        {
             assert_eq!(*kind, CaseKind::Casez);
             assert_eq!(arms.len(), 2);
             assert_eq!(arms[1].labels.len(), 2);
@@ -157,9 +170,9 @@ fn parses_nonblocking_with_delay() {
     let src = "module m; reg [3:0] q; always @(q) q <= #1 q + 1; endmodule";
     let file = parse(src).unwrap();
     let m = &file.modules[0];
-    let has_nba_delay = visit::stmts_of_module(m).iter().any(|s| {
-        matches!(s, Stmt::NonBlocking { delay: Some(_), .. })
-    });
+    let has_nba_delay = visit::stmts_of_module(m)
+        .iter()
+        .any(|s| matches!(s, Stmt::NonBlocking { delay: Some(_), .. }));
     assert!(has_nba_delay);
     assert_round_trip(src);
 }

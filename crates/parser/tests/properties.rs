@@ -1,79 +1,89 @@
-//! Property-based round-trip tests: generated ASTs survive
+//! Randomized round-trip tests: generated ASTs survive
 //! print → parse → print.
+//!
+//! Formerly written with proptest; the build environment has no
+//! crates.io access, so the generators are hand-rolled over a seeded
+//! RNG — deterministic per build, random in shape.
 
 use cirfix_ast::{print, BinaryOp, Expr, NodeIdGen, UnaryOp};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
-fn arb_binop() -> impl Strategy<Value = BinaryOp> {
-    prop_oneof![
-        Just(BinaryOp::Add),
-        Just(BinaryOp::Sub),
-        Just(BinaryOp::Mul),
-        Just(BinaryOp::Div),
-        Just(BinaryOp::Rem),
-        Just(BinaryOp::Eq),
-        Just(BinaryOp::Neq),
-        Just(BinaryOp::CaseEq),
-        Just(BinaryOp::CaseNeq),
-        Just(BinaryOp::Lt),
-        Just(BinaryOp::Le),
-        Just(BinaryOp::Gt),
-        Just(BinaryOp::Ge),
-        Just(BinaryOp::LogicAnd),
-        Just(BinaryOp::LogicOr),
-        Just(BinaryOp::BitAnd),
-        Just(BinaryOp::BitOr),
-        Just(BinaryOp::BitXor),
-        Just(BinaryOp::BitXnor),
-        Just(BinaryOp::Shl),
-        Just(BinaryOp::Shr),
-    ]
+const BINOPS: &[BinaryOp] = &[
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Div,
+    BinaryOp::Rem,
+    BinaryOp::Eq,
+    BinaryOp::Neq,
+    BinaryOp::CaseEq,
+    BinaryOp::CaseNeq,
+    BinaryOp::Lt,
+    BinaryOp::Le,
+    BinaryOp::Gt,
+    BinaryOp::Ge,
+    BinaryOp::LogicAnd,
+    BinaryOp::LogicOr,
+    BinaryOp::BitAnd,
+    BinaryOp::BitOr,
+    BinaryOp::BitXor,
+    BinaryOp::BitXnor,
+    BinaryOp::Shl,
+    BinaryOp::Shr,
+];
+
+const UNOPS: &[UnaryOp] = &[
+    UnaryOp::LogicNot,
+    UnaryOp::BitNot,
+    UnaryOp::Minus,
+    UnaryOp::RedAnd,
+    UnaryOp::RedOr,
+    UnaryOp::RedXor,
+    UnaryOp::RedNand,
+    UnaryOp::RedNor,
+    UnaryOp::RedXnor,
+];
+
+fn arb_leaf(rng: &mut StdRng) -> Expr {
+    let mut ids = NodeIdGen::new();
+    if rng.gen_bool(0.5) {
+        let v = rng.gen_range(0u64..256);
+        let w = rng.gen_range(1usize..16);
+        Expr::literal_u64(&mut ids, v % (1 << w.min(16)), w)
+    } else {
+        let name = *["a", "b", "c", "sel"].choose(rng).expect("non-empty");
+        Expr::ident(&mut ids, name)
+    }
 }
 
-fn arb_unop() -> impl Strategy<Value = UnaryOp> {
-    prop_oneof![
-        Just(UnaryOp::LogicNot),
-        Just(UnaryOp::BitNot),
-        Just(UnaryOp::Minus),
-        Just(UnaryOp::RedAnd),
-        Just(UnaryOp::RedOr),
-        Just(UnaryOp::RedXor),
-        Just(UnaryOp::RedNand),
-        Just(UnaryOp::RedNor),
-        Just(UnaryOp::RedXnor),
-    ]
-}
-
-/// Random expression trees over a small identifier alphabet.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u64..256, 1usize..16).prop_map(|(v, w)| {
-            let mut ids = NodeIdGen::new();
-            Expr::literal_u64(&mut ids, v % (1 << w.min(16)), w)
-        }),
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("sel")].prop_map(|n| {
-            let mut ids = NodeIdGen::new();
-            Expr::ident(&mut ids, n)
-        }),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
-                let mut ids = NodeIdGen::new();
-                Expr::binary(&mut ids, op, l, r)
-            }),
-            (arb_unop(), inner.clone()).prop_map(|(op, a)| {
-                let mut ids = NodeIdGen::new();
-                Expr::unary(&mut ids, op, a)
-            }),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Cond {
-                id: 1,
-                cond: Box::new(c),
-                then_e: Box::new(t),
-                else_e: Box::new(e),
-            }),
-        ]
-    })
+/// Random expression trees over a small identifier alphabet, bounded in
+/// depth.
+fn arb_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 {
+        return arb_leaf(rng);
+    }
+    let mut ids = NodeIdGen::new();
+    match rng.gen_range(0u32..4) {
+        0 => arb_leaf(rng),
+        1 => {
+            let op = *BINOPS.choose(rng).expect("non-empty");
+            let l = arb_expr(rng, depth - 1);
+            let r = arb_expr(rng, depth - 1);
+            Expr::binary(&mut ids, op, l, r)
+        }
+        2 => {
+            let op = *UNOPS.choose(rng).expect("non-empty");
+            Expr::unary(&mut ids, op, arb_expr(rng, depth - 1))
+        }
+        _ => Expr::Cond {
+            id: 1,
+            cond: Box::new(arb_expr(rng, depth - 1)),
+            then_e: Box::new(arb_expr(rng, depth - 1)),
+            else_e: Box::new(arb_expr(rng, depth - 1)),
+        },
+    }
 }
 
 /// Strips node ids by printing — two ASTs are "equal modulo ids" when
@@ -82,46 +92,68 @@ fn printed(e: &Expr) -> String {
     print::expr_to_string(e)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// print → parse → print is a fixed point for generated expressions.
-    #[test]
-    fn expr_print_parse_round_trip(e in arb_expr()) {
+/// print → parse → print is a fixed point for generated expressions.
+#[test]
+fn expr_print_parse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..200 {
+        let e = arb_expr(&mut rng, 4);
         let text = printed(&e);
         // Embed in a module so the parser accepts it.
-        let src = format!(
-            "module m; wire [15:0] a, b, c, sel, y; assign y = {text}; endmodule"
-        );
+        let src = format!("module m; wire [15:0] a, b, c, sel, y; assign y = {text}; endmodule");
         let file = cirfix_parser::parse(&src)
             .unwrap_or_else(|err| panic!("reparse failed: {err}\nexpr: {text}"));
         let reprinted = print::source_to_string(&file);
         let file2 = cirfix_parser::parse(&reprinted).expect("fixed point parse");
-        prop_assert_eq!(reprinted, print::source_to_string(&file2));
+        assert_eq!(reprinted, print::source_to_string(&file2));
     }
+}
 
-    /// The printed expression preserves evaluation-relevant structure:
-    /// reparsing and reprinting yields the same text (idempotence).
-    #[test]
-    fn expr_printing_is_idempotent(e in arb_expr()) {
+/// The printed expression preserves evaluation-relevant structure:
+/// reparsing and reprinting yields the same text (idempotence).
+#[test]
+fn expr_printing_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(22);
+    for _ in 0..200 {
+        let e = arb_expr(&mut rng, 4);
         let text = printed(&e);
         let src = format!("module m; wire a, b, c, sel; wire y; assign y = {text}; endmodule");
         if let Ok(file) = cirfix_parser::parse(&src) {
             let again = print::source_to_string(&file);
             let file2 = cirfix_parser::parse(&again).expect("parses");
-            prop_assert_eq!(again, print::source_to_string(&file2));
+            assert_eq!(again, print::source_to_string(&file2));
         }
     }
+}
 
-    /// Random identifier-ish strings never panic the lexer.
-    #[test]
-    fn lexer_never_panics(s in "[ -~]{0,60}") {
+fn arb_string(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.gen_range(0usize..=max_len);
+    (0..len)
+        .map(|_| *alphabet.choose(rng).expect("non-empty") as char)
+        .collect()
+}
+
+/// Random printable-ASCII strings never panic the lexer.
+#[test]
+fn lexer_never_panics() {
+    let printable: Vec<u8> = (b' '..=b'~').collect();
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..500 {
+        let s = arb_string(&mut rng, &printable, 60);
         let _ = cirfix_parser::tokenize(&s);
     }
+}
 
-    /// Random token soup never panics the parser.
-    #[test]
-    fn parser_never_panics(s in "[a-z0-9_\\[\\]:;=<>@#(){},.'\" ]{0,80}") {
+/// Random token soup never panics the parser.
+#[test]
+fn parser_never_panics() {
+    let alphabet: Vec<u8> = (b'a'..=b'z')
+        .chain(b'0'..=b'9')
+        .chain(*b"_[]:;=<>@#(){},.'\" ")
+        .collect();
+    let mut rng = StdRng::seed_from_u64(24);
+    for _ in 0..500 {
+        let s = arb_string(&mut rng, &alphabet, 80);
         let _ = cirfix_parser::parse(&s);
     }
 }

@@ -471,9 +471,9 @@ impl Compiler<'_> {
                 Some(ScopeEntry::Mem(_)) => Err(CompileError::new(format!(
                     "cannot assign whole memory `{name}`"
                 ))),
-                Some(ScopeEntry::Param(_)) => {
-                    Err(CompileError::new(format!("cannot assign parameter `{name}`")))
-                }
+                Some(ScopeEntry::Param(_)) => Err(CompileError::new(format!(
+                    "cannot assign parameter `{name}`"
+                ))),
                 None => Err(CompileError::new(format!("undeclared identifier `{name}`"))),
             },
             LValue::Index { base, index, .. } => match self.scope.lookup(base) {
@@ -488,9 +488,9 @@ impl Compiler<'_> {
                     mem: *mem,
                     index: index.clone(),
                 }),
-                Some(ScopeEntry::Param(_)) => {
-                    Err(CompileError::new(format!("cannot assign parameter `{base}`")))
-                }
+                Some(ScopeEntry::Param(_)) => Err(CompileError::new(format!(
+                    "cannot assign parameter `{base}`"
+                ))),
                 None => Err(CompileError::new(format!("undeclared identifier `{base}`"))),
             },
             LValue::Range { base, msb, lsb, .. } => match self.scope.lookup(base) {
@@ -515,9 +515,7 @@ impl Compiler<'_> {
                         return Err(CompileError::new("part-select msb < lsb"));
                     }
                     if hi - lo + 1 > crate::eval::MAX_SELECT_WIDTH {
-                        return Err(CompileError::new(
-                            "part-select exceeds the width limit",
-                        ));
+                        return Err(CompileError::new("part-select exceeds the width limit"));
                     }
                     Ok(Target::Bits {
                         sig: *sig,
@@ -546,9 +544,7 @@ impl Compiler<'_> {
             SignalKind::Wire => Err(CompileError::new(format!(
                 "procedural assignment to wire `{name}`"
             ))),
-            SignalKind::Event => Err(CompileError::new(format!(
-                "assignment to event `{name}`"
-            ))),
+            SignalKind::Event => Err(CompileError::new(format!("assignment to event `{name}`"))),
         }
     }
 }
@@ -684,8 +680,9 @@ mod tests {
             if let cirfix_ast::Item::Decl(d) = item {
                 for v in &d.vars {
                     let kind = match d.kind {
-                        cirfix_ast::DeclKind::Reg
-                        | cirfix_ast::DeclKind::Integer => SignalKind::Reg,
+                        cirfix_ast::DeclKind::Reg | cirfix_ast::DeclKind::Integer => {
+                            SignalKind::Reg
+                        }
                         cirfix_ast::DeclKind::Event => SignalKind::Event,
                         cirfix_ast::DeclKind::Output if d.also_reg => SignalKind::Reg,
                         _ => SignalKind::Wire,
@@ -710,9 +707,8 @@ mod tests {
 
     #[test]
     fn compiles_if_else_with_correct_targets() {
-        let (scope, kinds, body, always) = scope_for(
-            "module m; reg a, c; always @(c) if (c) a = 1'b1; else a = 1'b0; endmodule",
-        );
+        let (scope, kinds, body, always) =
+            scope_for("module m; reg a, c; always @(c) if (c) a = 1'b1; else a = 1'b0; endmodule");
         let p = compile_process(&body, &scope, &kinds, always).unwrap();
         // WaitEvent, JumpIfFalse, Assign, Jump, Assign, Jump(0)
         assert!(matches!(p.ops[0], Op::WaitEvent { .. }));
@@ -733,7 +729,11 @@ mod tests {
             .ops
             .iter()
             .find_map(|op| match op {
-                Op::CaseJump { arms, default_target, .. } => Some((arms.clone(), *default_target)),
+                Op::CaseJump {
+                    arms,
+                    default_target,
+                    ..
+                } => Some((arms.clone(), *default_target)),
                 _ => None,
             })
             .expect("has case");
@@ -759,9 +759,8 @@ mod tests {
 
     #[test]
     fn star_sensitivity_collects_reads() {
-        let (scope, kinds, body, always) = scope_for(
-            "module m; reg a, b, q; always @* q = a & b; endmodule",
-        );
+        let (scope, kinds, body, always) =
+            scope_for("module m; reg a, b, q; always @* q = a & b; endmodule");
         let p = compile_process(&body, &scope, &kinds, always).unwrap();
         let Op::WaitEvent { events } = &p.ops[0] else {
             panic!("expected wait");
@@ -795,16 +794,14 @@ mod tests {
             scope_for("module m; event go; initial -> go; endmodule");
         let p = compile_process(&body, &scope, &kinds, always).unwrap();
         assert!(matches!(p.ops[0], Op::Trigger { .. }));
-        let (scope, kinds, body, always) =
-            scope_for("module m; reg go; initial -> go; endmodule");
+        let (scope, kinds, body, always) = scope_for("module m; reg go; initial -> go; endmodule");
         assert!(compile_process(&body, &scope, &kinds, always).is_err());
     }
 
     #[test]
     fn read_set_excludes_written_targets_but_keeps_indices() {
-        let (_, _, body, _) = scope_for(
-            "module m; reg [3:0] q; reg [1:0] i; reg a; always @* q[i] = a; endmodule",
-        );
+        let (_, _, body, _) =
+            scope_for("module m; reg [3:0] q; reg [1:0] i; reg a; always @* q[i] = a; endmodule");
         let reads = read_set(&body);
         assert!(reads.contains("a"));
         assert!(reads.contains("i"), "index of lvalue is read");

@@ -97,13 +97,12 @@ impl<'a> Elaborator<'a> {
                     if let Some(over) = param_overrides.get(&p.name) {
                         over.clone()
                     } else {
-                        eval_const(&p.value, &params)
-                            .map_err(|e| {
-                                SimError::elab(format!(
-                                    "parameter `{}` of `{}`: {}",
-                                    p.name, module.name, e.0
-                                ))
-                            })?
+                        eval_const(&p.value, &params).map_err(|e| {
+                            SimError::elab(format!(
+                                "parameter `{}` of `{}`: {}",
+                                p.name, module.name, e.0
+                            ))
+                        })?
                     }
                 } else {
                     eval_const(&p.value, &params).map_err(|e| {
@@ -218,16 +217,14 @@ impl<'a> Elaborator<'a> {
         }
 
         let scope = Rc::new(scope);
-        let signal_kinds: Vec<SignalKind> =
-            self.design.signals.iter().map(|s| s.kind).collect();
+        let signal_kinds: Vec<SignalKind> = self.design.signals.iter().map(|s| s.kind).collect();
 
         // Pass 2: behaviour.
         for item in &module.items {
             match item {
                 Item::Decl(_) | Item::Param(_) => {}
                 Item::Assign { lhs, rhs, .. } => {
-                    let target =
-                        self.resolve_net_target(lhs, &scope, &params, &module.name)?;
+                    let target = self.resolve_net_target(lhs, &scope, &params, &module.name)?;
                     self.design.cassigns.push(ContAssign {
                         target,
                         rhs: rhs.clone(),
@@ -237,9 +234,7 @@ impl<'a> Elaborator<'a> {
                 }
                 Item::Always { body, .. } => {
                     let program = compile_process(body, &scope, &signal_kinds, true)
-                        .map_err(|e| {
-                            SimError::elab(format!("in `{}`: {}", module.name, e.0))
-                        })?;
+                        .map_err(|e| SimError::elab(format!("in `{}`: {}", module.name, e.0)))?;
                     self.design.processes.push(Process {
                         program,
                         scope: Rc::clone(&scope),
@@ -249,9 +244,7 @@ impl<'a> Elaborator<'a> {
                 }
                 Item::Initial { body, .. } => {
                     let program = compile_process(body, &scope, &signal_kinds, false)
-                        .map_err(|e| {
-                            SimError::elab(format!("in `{}`: {}", module.name, e.0))
-                        })?;
+                        .map_err(|e| SimError::elab(format!("in `{}`: {}", module.name, e.0)))?;
                     self.design.processes.push(Process {
                         program,
                         scope: Rc::clone(&scope),
@@ -312,12 +305,10 @@ impl<'a> Elaborator<'a> {
         }
         let range = match &d.range {
             Some((msb, lsb)) => {
-                let hi = eval_const_u64(msb, params).map_err(|e| {
-                    SimError::elab(format!("range in `{}`: {}", module.name, e.0))
-                })?;
-                let lo = eval_const_u64(lsb, params).map_err(|e| {
-                    SimError::elab(format!("range in `{}`: {}", module.name, e.0))
-                })?;
+                let hi = eval_const_u64(msb, params)
+                    .map_err(|e| SimError::elab(format!("range in `{}`: {}", module.name, e.0)))?;
+                let lo = eval_const_u64(lsb, params)
+                    .map_err(|e| SimError::elab(format!("range in `{}`: {}", module.name, e.0)))?;
                 if hi < lo {
                     return Err(SimError::elab(format!(
                         "descending ranges are not supported ([{hi}:{lo}] in `{}`)",
@@ -578,7 +569,12 @@ impl<'a> Elaborator<'a> {
             child
                 .ports
                 .iter()
-                .zip(inst.ports.iter().map(|c| c.expr.as_ref()).chain(std::iter::repeat(None)))
+                .zip(
+                    inst.ports
+                        .iter()
+                        .map(|c| c.expr.as_ref())
+                        .chain(std::iter::repeat(None)),
+                )
                 .map(|(p, e)| (p.clone(), e))
                 .collect()
         };
@@ -612,12 +608,8 @@ impl<'a> Elaborator<'a> {
                             inst.name
                         ))
                     })?;
-                    let target = self.resolve_net_target(
-                        &lv,
-                        parent_scope,
-                        parent_params,
-                        &parent.name,
-                    )?;
+                    let target =
+                        self.resolve_net_target(&lv, parent_scope, parent_params, &parent.name)?;
                     let mut ids = cirfix_ast::NodeIdGen::new();
                     self.design.cassigns.push(ContAssign {
                         target,
@@ -657,7 +649,10 @@ fn expr_as_lvalue(expr: &Expr) -> Option<LValue> {
             lsb: (**lsb).clone(),
         }),
         Expr::Concat { id, parts } => {
-            let parts = parts.iter().map(expr_as_lvalue).collect::<Option<Vec<_>>>()?;
+            let parts = parts
+                .iter()
+                .map(expr_as_lvalue)
+                .collect::<Option<Vec<_>>>()?;
             Some(LValue::Concat { id: *id, parts })
         }
         _ => None,
@@ -770,9 +765,7 @@ mod tests {
         // Continuous assignment to reg.
         assert!(elab("module m; reg r; assign r = 1'b0; endmodule", "m").is_err());
         // Conflicting ranges.
-        assert!(
-            elab("module m (q); output [3:0] q; reg [7:0] q; endmodule", "m").is_err()
-        );
+        assert!(elab("module m (q); output [3:0] q; reg [7:0] q; endmodule", "m").is_err());
         // input reg.
         assert!(elab("module m (a); input a; reg a; endmodule", "m").is_err());
         // Recursive instantiation.

@@ -56,6 +56,27 @@ pub struct SimOutcome {
     pub end_time: u64,
     /// Total operations executed.
     pub total_ops: u64,
+    /// Effort counters for the run.
+    pub metrics: SimMetrics,
+}
+
+/// Scheduler effort counters, maintained as plain integers so the hot
+/// loop pays one add per region event. Returned inside [`SimOutcome`];
+/// higher layers translate them into telemetry events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Events processed from the active region.
+    pub active_events: u64,
+    /// Events promoted out of the inactive (`#0`) region.
+    pub inactive_events: u64,
+    /// Times the NBA region was flushed.
+    pub nba_flushes: u64,
+    /// Distinct simulation times visited (beyond time 0).
+    pub timesteps: u64,
+    /// Behavioral process resumptions.
+    pub process_resumptions: u64,
+    /// Largest combined region queue depth observed.
+    pub peak_queue_depth: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -182,6 +203,7 @@ pub struct Simulator {
     finished: bool,
     total_ops: u64,
     deltas_this_step: u64,
+    metrics: SimMetrics,
     rng: Lcg,
     sig_lsb: Vec<usize>,
     mem_offset: Vec<u64>,
@@ -269,6 +291,7 @@ impl Simulator {
             finished: false,
             total_ops: 0,
             deltas_this_step: 0,
+            metrics: SimMetrics::default(),
             rng: Lcg::new(seed),
             sig_lsb,
             mem_offset,
@@ -290,15 +313,17 @@ impl Simulator {
         }
         let mut sig_ids = Vec::new();
         for name in &spec.signals {
-            let id = self.design.signal_named(name).ok_or_else(|| {
-                SimError::elab(format!("probed signal `{name}` not found"))
-            })?;
+            let id = self
+                .design
+                .signal_named(name)
+                .ok_or_else(|| SimError::elab(format!("probed signal `{name}` not found")))?;
             sig_ids.push(id);
         }
         if let ProbeSchedule::OnEdge { signal, edge } = &spec.schedule {
-            let sig = self.design.signal_named(signal).ok_or_else(|| {
-                SimError::elab(format!("probe clock `{signal}` not found"))
-            })?;
+            let sig = self
+                .design
+                .signal_named(signal)
+                .ok_or_else(|| SimError::elab(format!("probe clock `{signal}` not found")))?;
             self.probe_edges[sig].push((self.probes.len(), *edge));
         }
         self.probes.push(ProbeState {
@@ -312,7 +337,9 @@ impl Simulator {
 
     /// The current value of a signal by hierarchical name.
     pub fn signal(&self, name: &str) -> Option<&LogicVec> {
-        self.design.signal_named(name).map(|id| &self.store.signals[id])
+        self.design
+            .signal_named(name)
+            .map(|id| &self.store.signals[id])
     }
 
     /// `$display` output accumulated so far.
@@ -356,6 +383,7 @@ impl Simulator {
             }
             let slot = self.future.remove(&t).expect("slot exists");
             self.now = t;
+            self.metrics.timesteps += 1;
             self.deltas_this_step = 0;
             self.active.extend(slot.active);
             self.nba = slot.nba;
@@ -373,7 +401,15 @@ impl Simulator {
             finished: self.finished,
             end_time: self.now,
             total_ops: self.total_ops,
+            metrics: self.metrics.clone(),
         })
+    }
+
+    /// Effort counters accumulated so far (complete after
+    /// [`Simulator::run`] returns; also valid after an error, where no
+    /// [`SimOutcome`] is produced).
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
     }
 
     fn init(&mut self) {
@@ -422,8 +458,13 @@ impl Simulator {
     /// Drains the active → inactive → NBA regions of the current step.
     fn process_regions(&mut self) -> Result<(), SimError> {
         loop {
+            let depth = (self.active.len() + self.inactive.len() + self.nba.len()) as u64;
+            if depth > self.metrics.peak_queue_depth {
+                self.metrics.peak_queue_depth = depth;
+            }
             if let Some(ev) = self.active.pop_front() {
                 self.bump_delta()?;
+                self.metrics.active_events += 1;
                 match ev {
                     Ev::Resume(p) => self.resume(p)?,
                     Ev::EvalCassign(ci) => self.eval_cassign(ci)?,
@@ -435,12 +476,14 @@ impl Simulator {
             }
             if !self.inactive.is_empty() {
                 self.bump_delta()?;
+                self.metrics.inactive_events += self.inactive.len() as u64;
                 let moved: Vec<Ev> = self.inactive.drain(..).collect();
                 self.active.extend(moved);
                 continue;
             }
             if !self.nba.is_empty() {
                 self.bump_delta()?;
+                self.metrics.nba_flushes += 1;
                 let updates = std::mem::take(&mut self.nba);
                 for up in updates {
                     self.apply_write(&up.parts, up.value);
@@ -678,6 +721,7 @@ impl Simulator {
         if self.procs[p].status == ProcStatus::Done {
             return Ok(());
         }
+        self.metrics.process_resumptions += 1;
         self.procs[p].status = ProcStatus::Ready;
         let prog = Rc::clone(&self.progs[p]);
         let scope = Rc::clone(&self.scopes[p]);
@@ -834,8 +878,7 @@ impl Simulator {
                     let mut jumped = false;
                     'arms: for (labels, target) in arms {
                         for label in labels {
-                            let lv =
-                                self.eval_in(label, &scope).map_err(|e| self.runtime(e))?;
+                            let lv = self.eval_in(label, &scope).map_err(|e| self.runtime(e))?;
                             let hit = match kind {
                                 cirfix_ast::CaseKind::Case => sv.case_match(&lv),
                                 cirfix_ast::CaseKind::Casez => sv.casez_match(&lv),
@@ -1070,6 +1113,30 @@ mod tests {
     }
 
     #[test]
+    fn metrics_count_scheduler_effort() {
+        let sim = run_src(
+            r#"module t;
+                reg clk;
+                reg [7:0] n;
+                initial begin clk = 0; n = 0; end
+                always #5 clk = !clk;
+                always @(posedge clk) n <= n + 1;
+                initial #44 $finish;
+            endmodule"#,
+            "t",
+        );
+        let m = sim.metrics();
+        // Clock toggles at 5,10,...: several timesteps beyond t=0.
+        assert!(m.timesteps >= 8, "{m:?}");
+        // Each posedge resumes the counter process; plus clock restarts.
+        assert!(m.process_resumptions >= 10, "{m:?}");
+        // Four posedges by t=44, each flushing one NBA region.
+        assert!(m.nba_flushes >= 4, "{m:?}");
+        assert!(m.active_events >= m.process_resumptions, "{m:?}");
+        assert!(m.peak_queue_depth >= 1, "{m:?}");
+    }
+
+    #[test]
     fn clock_oscillates_and_counter_counts() {
         let sim = run_src(
             r#"module t;
@@ -1184,10 +1251,8 @@ mod tests {
 
     #[test]
     fn pure_wire_loops_settle_at_x() {
-        let file = parse(
-            "module t; wire a, b; assign a = ~b; assign b = a; initial ; endmodule",
-        )
-        .unwrap();
+        let file =
+            parse("module t; wire a, b; assign a = ~b; assign b = a; initial ; endmodule").unwrap();
         let mut sim = Simulator::new(&file, "t", SimConfig::default()).unwrap();
         sim.run().unwrap();
         assert!(sim.signal("a").unwrap().has_unknown());
@@ -1230,8 +1295,7 @@ mod tests {
         );
         // The monitor samples at the end of each time step, so the t=0
         // value is the post-assignment 0, not the initial x.
-        let monitor_lines: Vec<_> =
-            sim.log().iter().filter(|l| l.starts_with("q=")).collect();
+        let monitor_lines: Vec<_> = sim.log().iter().filter(|l| l.starts_with("q=")).collect();
         assert_eq!(monitor_lines, vec!["q=0", "q=1", "q=2"]);
     }
 
@@ -1305,8 +1369,12 @@ mod tests {
         let src = src.replace("initial begin #7 force_init; end", "");
         let file = parse(&src).unwrap();
         let mut sim = Simulator::new(&file, "t", SimConfig::default()).unwrap();
-        sim.add_probe(&ProbeSpec::periodic(vec!["dut.q".into(), "q".into()], 5, 10))
-            .unwrap();
+        sim.add_probe(&ProbeSpec::periodic(
+            vec!["dut.q".into(), "q".into()],
+            5,
+            10,
+        ))
+        .unwrap();
         sim.run().unwrap();
         // q starts x and stays x (x+1 = x) — but the probe still records.
         let trace = sim.probe_trace(0);

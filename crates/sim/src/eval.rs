@@ -22,7 +22,9 @@ impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Lcg {
         Lcg {
-            state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+            state: seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
         }
     }
 
@@ -186,9 +188,10 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
             match ctx.scope.lookup(base) {
                 Some(ScopeEntry::Sig(id)) => {
                     let off = ctx.sig_lsb[*id] as u64;
-                    let raw_lo = lo.checked_sub(off).ok_or_else(|| {
-                        EvalFault::new("part-select below the declared range")
-                    })? as usize;
+                    let raw_lo = lo
+                        .checked_sub(off)
+                        .ok_or_else(|| EvalFault::new("part-select below the declared range"))?
+                        as usize;
                     let raw_hi = raw_lo + (width - 1) as usize;
                     Ok(ctx.store.signals[*id].slice(raw_hi, raw_lo))
                 }
@@ -230,7 +233,9 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
         Expr::SysCall { name, .. } => match name.as_str() {
             "time" => Ok(LogicVec::from_u64(ctx.time, 64)),
             "random" => Ok(LogicVec::from_u64(u64::from(ctx.rng.next_u32()), 32)),
-            other => Err(EvalFault::new(format!("unsupported system function ${other}"))),
+            other => Err(EvalFault::new(format!(
+                "unsupported system function ${other}"
+            ))),
         },
     }
 }
@@ -242,10 +247,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
 ///
 /// Returns an [`EvalFault`] if the expression references anything other
 /// than literals and parameters.
-pub fn eval_const(
-    expr: &Expr,
-    params: &HashMap<String, LogicVec>,
-) -> Result<LogicVec, EvalFault> {
+pub fn eval_const(expr: &Expr, params: &HashMap<String, LogicVec>) -> Result<LogicVec, EvalFault> {
     let scope = Scope {
         path: String::new(),
         entries: params
@@ -274,10 +276,7 @@ pub fn eval_const(
 /// # Errors
 ///
 /// As [`eval_const`], plus unknown (`x`/`z`) results.
-pub fn eval_const_u64(
-    expr: &Expr,
-    params: &HashMap<String, LogicVec>,
-) -> Result<u64, EvalFault> {
+pub fn eval_const_u64(expr: &Expr, params: &HashMap<String, LogicVec>) -> Result<u64, EvalFault> {
     eval_const(expr, params)?
         .to_u64()
         .ok_or_else(|| EvalFault::new("constant expression is unknown"))
@@ -363,10 +362,7 @@ mod tests {
         scope.entries.insert("mem".into(), ScopeEntry::Mem(0));
         let store = Store {
             signals: vec![],
-            memories: vec![vec![
-                LogicVec::from_u64(7, 8),
-                LogicVec::from_u64(9, 8),
-            ]],
+            memories: vec![vec![LogicVec::from_u64(7, 8), LogicVec::from_u64(9, 8)]],
         };
         let mut rng = Lcg::new(1);
         let mut ctx = EvalCtx {

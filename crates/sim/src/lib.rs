@@ -52,7 +52,7 @@ pub use design::{
     SignalKind, Store, Target,
 };
 pub use elab::elaborate;
-pub use engine::{SimConfig, SimOutcome, Simulator};
+pub use engine::{SimConfig, SimMetrics, SimOutcome, Simulator};
 pub use error::SimError;
 pub use eval::{eval_const, eval_const_u64, eval_expr, EvalCtx, EvalFault, Lcg};
 pub use probe::{ProbeSchedule, ProbeSpec, Trace};

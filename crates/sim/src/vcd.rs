@@ -104,18 +104,9 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new(vec!["clk".into(), "q".into()]);
-        t.record(
-            0,
-            vec![LogicVec::from_u64(0, 1), LogicVec::unknown(4)],
-        );
-        t.record(
-            5,
-            vec![LogicVec::from_u64(1, 1), LogicVec::from_u64(3, 4)],
-        );
-        t.record(
-            10,
-            vec![LogicVec::from_u64(0, 1), LogicVec::from_u64(3, 4)],
-        );
+        t.record(0, vec![LogicVec::from_u64(0, 1), LogicVec::unknown(4)]);
+        t.record(5, vec![LogicVec::from_u64(1, 1), LogicVec::from_u64(3, 4)]);
+        t.record(10, vec![LogicVec::from_u64(0, 1), LogicVec::from_u64(3, 4)]);
         t
     }
 

@@ -1,0 +1,187 @@
+//! The typed event model: one variant per pipeline stage worth
+//! observing, mapped to the paper's Algorithm 1 / §3.2 structure.
+
+use crate::json::JsonValue;
+
+/// Per-generation population statistics (Algorithm 1's outer loop).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GenerationStats {
+    /// Generation index; 0 is the seed population.
+    pub generation: u64,
+    /// Best fitness in the population after evaluation.
+    pub best_fitness: f64,
+    /// Median fitness of the population.
+    pub median_fitness: f64,
+    /// Mean fitness of the population.
+    pub mean_fitness: f64,
+    /// Number of distinct fitness values — a diversity proxy.
+    pub distinct_fitness: u64,
+    /// Individuals carried over by elitism.
+    pub elites: u64,
+    /// Children produced by a repair template this generation.
+    pub template_children: u64,
+    /// Children produced by a random mutation this generation.
+    pub mutation_children: u64,
+    /// Children produced by crossover this generation.
+    pub crossover_children: u64,
+}
+
+/// One candidate patch evaluation (Algorithm 1's `fitness` call).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CandidateEvent {
+    /// Number of edits in the candidate patch.
+    pub patch_len: u64,
+    /// Variant AST size relative to the original (1.0 = unchanged).
+    pub growth_factor: f64,
+    /// The fitness score in [0, 1].
+    pub fitness: f64,
+    /// Whether the score came from the evaluation cache rather than a
+    /// fresh simulation.
+    pub cached: bool,
+}
+
+/// One fault-localization pass (Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultLocEvent {
+    /// Number of implicated AST nodes.
+    pub implicated_nodes: u64,
+    /// Number of mismatched output variables that seeded the pass.
+    pub mismatched_vars: u64,
+    /// Implicated nodes as a fraction of the design's nodes, in [0, 1].
+    pub node_fraction: f64,
+}
+
+/// Simulator effort counters for one run (the stratified event queue of
+/// §3.2's instrumented testbench evaluation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Events processed from the active region.
+    pub active_events: u64,
+    /// Events promoted from the inactive region.
+    pub inactive_events: u64,
+    /// Non-blocking assignments flushed from the NBA region.
+    pub nba_flushes: u64,
+    /// Simulation timesteps advanced.
+    pub timesteps: u64,
+    /// Behavioral process resumptions.
+    pub process_resumptions: u64,
+    /// Largest queue depth observed across all regions.
+    pub peak_queue_depth: u64,
+}
+
+/// A closed span: a named phase and its wall-clock duration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanEvent {
+    /// Phase name, e.g. `"repair"` or `"minimize"`.
+    pub name: String,
+    /// Elapsed wall-clock time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Any telemetry event the pipeline can emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Per-generation population statistics.
+    Generation(GenerationStats),
+    /// One candidate evaluation.
+    Candidate(CandidateEvent),
+    /// One fault-localization pass.
+    FaultLoc(FaultLocEvent),
+    /// One simulation run's effort counters.
+    Sim(SimStats),
+    /// A completed timing span.
+    Span(SpanEvent),
+}
+
+impl Event {
+    /// The event's type tag, as written to the JSON stream.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Generation(_) => "generation",
+            Event::Candidate(_) => "candidate",
+            Event::FaultLoc(_) => "fault_loc",
+            Event::Sim(_) => "sim",
+            Event::Span(_) => "span",
+        }
+    }
+
+    /// Serializes the event as a single-line JSON object with a
+    /// `"type"` tag followed by the variant's fields.
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![("type", JsonValue::Str(self.kind().into()))];
+        match self {
+            Event::Generation(g) => {
+                pairs.push(("generation", JsonValue::Uint(g.generation)));
+                pairs.push(("best_fitness", JsonValue::Float(g.best_fitness)));
+                pairs.push(("median_fitness", JsonValue::Float(g.median_fitness)));
+                pairs.push(("mean_fitness", JsonValue::Float(g.mean_fitness)));
+                pairs.push(("distinct_fitness", JsonValue::Uint(g.distinct_fitness)));
+                pairs.push(("elites", JsonValue::Uint(g.elites)));
+                pairs.push(("template_children", JsonValue::Uint(g.template_children)));
+                pairs.push(("mutation_children", JsonValue::Uint(g.mutation_children)));
+                pairs.push(("crossover_children", JsonValue::Uint(g.crossover_children)));
+            }
+            Event::Candidate(c) => {
+                pairs.push(("patch_len", JsonValue::Uint(c.patch_len)));
+                pairs.push(("growth_factor", JsonValue::Float(c.growth_factor)));
+                pairs.push(("fitness", JsonValue::Float(c.fitness)));
+                pairs.push(("cached", JsonValue::Bool(c.cached)));
+            }
+            Event::FaultLoc(f) => {
+                pairs.push(("implicated_nodes", JsonValue::Uint(f.implicated_nodes)));
+                pairs.push(("mismatched_vars", JsonValue::Uint(f.mismatched_vars)));
+                pairs.push(("node_fraction", JsonValue::Float(f.node_fraction)));
+            }
+            Event::Sim(s) => {
+                pairs.push(("active_events", JsonValue::Uint(s.active_events)));
+                pairs.push(("inactive_events", JsonValue::Uint(s.inactive_events)));
+                pairs.push(("nba_flushes", JsonValue::Uint(s.nba_flushes)));
+                pairs.push(("timesteps", JsonValue::Uint(s.timesteps)));
+                pairs.push((
+                    "process_resumptions",
+                    JsonValue::Uint(s.process_resumptions),
+                ));
+                pairs.push(("peak_queue_depth", JsonValue::Uint(s.peak_queue_depth)));
+            }
+            Event::Span(sp) => {
+                pairs.push(("name", JsonValue::Str(sp.name.clone())));
+                pairs.push(("nanos", JsonValue::Uint(sp.nanos)));
+            }
+        }
+        JsonValue::obj(pairs).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json_line;
+
+    #[test]
+    fn every_variant_serializes_to_valid_json() {
+        let events = [
+            Event::Generation(GenerationStats {
+                generation: 3,
+                best_fitness: 0.99,
+                ..GenerationStats::default()
+            }),
+            Event::Candidate(CandidateEvent {
+                patch_len: 2,
+                growth_factor: 1.5,
+                fitness: 0.75,
+                cached: true,
+            }),
+            Event::FaultLoc(FaultLocEvent::default()),
+            Event::Sim(SimStats::default()),
+            Event::Span(SpanEvent {
+                name: "repair \"quoted\"".into(),
+                nanos: 12345,
+            }),
+        ];
+        for e in &events {
+            let line = e.to_json();
+            validate_json_line(&line).expect("valid JSON");
+            assert!(line.contains(&format!("\"type\":\"{}\"", e.kind())));
+        }
+    }
+}

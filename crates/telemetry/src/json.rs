@@ -1,0 +1,348 @@
+//! A minimal JSON writer and line validator.
+//!
+//! The build environment has no crates.io access, so serde is
+//! unavailable; events carry only strings, integers, floats, and bools,
+//! which this module serializes by hand. The validator exists so tests
+//! (and downstream consumers) can check that an emitted trace parses
+//! line-by-line without a full JSON library.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer (serialized without an exponent).
+    Int(i64),
+    /// Unsigned integer wide enough for counters.
+    Uint(u64),
+    /// A finite float; NaN and infinities serialize as `null`.
+    Float(f64),
+    /// A string, escaped on write.
+    Str(String),
+    /// An ordered list of key/value pairs (objects keep insertion order).
+    Object(Vec<(String, JsonValue)>),
+    /// An array of values.
+    Array(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for objects.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes to a compact single-line JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    // `{f:?}` keeps a decimal point or exponent, so the
+                    // output re-parses as a float rather than an int.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks that `line` is one complete, well-formed JSON value.
+///
+/// This is a structural validator, not a parser: it verifies tokens,
+/// nesting, and separators, which is what the trace-format tests need.
+pub fn validate_json_line(line: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected {other:?} in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected {other:?} in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'u') => {
+                        self.pos += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                _ => return Err("bad \\u escape".into()),
+                            }
+                        }
+                    }
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        self.pos += 1;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("expected digits at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err("expected fraction digits".into());
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err("expected exponent digits".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_escaped_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd".into());
+        assert_eq!(v.to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn writes_nested_objects() {
+        let v = JsonValue::obj(vec![
+            ("k", JsonValue::Uint(3)),
+            ("f", JsonValue::Float(0.5)),
+            (
+                "a",
+                JsonValue::Array(vec![JsonValue::Int(-1), JsonValue::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(v.to_json(), r#"{"k":3,"f":0.5,"a":[-1,true]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(JsonValue::Float(1.0).to_json(), "1.0");
+    }
+
+    #[test]
+    fn validator_accepts_writer_output() {
+        let v = JsonValue::obj(vec![
+            ("s", JsonValue::Str("x\t\"y\"".into())),
+            ("n", JsonValue::Float(6.02e23)),
+            (
+                "nested",
+                JsonValue::obj(vec![("empty", JsonValue::Array(vec![]))]),
+            ),
+        ]);
+        validate_json_line(&v.to_json()).expect("valid");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "01e",
+            "1.",
+        ] {
+            assert!(validate_json_line(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency observability for the repair pipeline.
+//!
+//! The crate provides three layers:
+//!
+//! * **Primitives** — [`Span`] wall-clock timers and atomic
+//!   [`Counter`]/[`Gauge`] registries ([`MetricsRegistry`]), safe to
+//!   bump from multiple threads.
+//! * **Typed events** — [`Event`] and its payloads
+//!   ([`GenerationStats`], [`CandidateEvent`], [`FaultLocEvent`],
+//!   [`SimStats`], [`SpanEvent`]) describing what each pipeline stage
+//!   did, in terms that map to the paper's Algorithm 1 / §3.2.
+//! * **Sinks** — the [`TelemetrySink`] trait and its implementations:
+//!   [`NullSink`] (default, near-zero overhead), [`JsonLinesSink`]
+//!   (machine-readable event stream), [`SummarySink`] (human-readable
+//!   end-of-run report), and [`FanoutSink`] (several at once).
+//!
+//! Producers hold an [`Observer`] — a cloneable `Arc` handle that fits
+//! inside config structs — and call [`Observer::emit`] with a closure
+//! so that event construction is skipped entirely when nothing is
+//! listening.
+
+mod event;
+mod json;
+mod metrics;
+mod observer;
+mod sink;
+
+pub use event::{CandidateEvent, Event, FaultLocEvent, GenerationStats, SimStats, SpanEvent};
+pub use json::{validate_json_line, JsonValue};
+pub use metrics::{Counter, Gauge, MetricsRegistry, Span};
+pub use observer::Observer;
+pub use sink::{FanoutSink, JsonLinesSink, NullSink, SummarySink, TelemetrySink};

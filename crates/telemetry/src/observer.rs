@@ -1,0 +1,83 @@
+//! A cheap, cloneable handle carrying a shared sink through config
+//! structs.
+
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::sink::{NullSink, TelemetrySink};
+
+/// A shared handle to a [`TelemetrySink`], designed to ride inside
+/// config structs that derive `Clone`/`PartialEq`/`Debug`.
+///
+/// Equality is sink *identity* (two observers are equal when they share
+/// the same sink allocation), which is what config comparison wants.
+#[derive(Clone)]
+pub struct Observer {
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl Observer {
+    /// An observer that records nothing (the default).
+    pub fn none() -> Observer {
+        Observer {
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Wraps a sink.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Observer {
+        Observer { sink }
+    }
+
+    /// Whether events will be observed. Callers should gate event
+    /// construction on this to keep the disabled path nearly free.
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Records one event.
+    pub fn record(&self, event: &Event) {
+        self.sink.record(event);
+    }
+
+    /// Builds and records an event only when enabled — the common
+    /// hot-path form.
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if self.enabled() {
+            self.sink.record(&make());
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+
+    /// Borrows the sink for APIs that take `&dyn TelemetrySink`.
+    pub fn sink(&self) -> &dyn TelemetrySink {
+        self.sink.as_ref()
+    }
+}
+
+impl Default for Observer {
+    fn default() -> Observer {
+        Observer::none()
+    }
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl PartialEq for Observer {
+    fn eq(&self, other: &Observer) -> bool {
+        Arc::ptr_eq(&self.sink, &other.sink)
+            // Two disabled observers are interchangeable, which keeps
+            // `Config::default() == Config::default()` true.
+            || (!self.enabled() && !other.enabled())
+    }
+}

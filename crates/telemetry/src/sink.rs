@@ -1,0 +1,245 @@
+//! Event sinks: where telemetry goes.
+//!
+//! [`NullSink`] drops everything (the default; near-zero overhead
+//! because producers check [`TelemetrySink::enabled`] before even
+//! building events). [`JsonLinesSink`] appends one JSON object per
+//! event to a writer for machine consumption. [`SummarySink`]
+//! accumulates aggregates and renders a human-readable end-of-run
+//! report.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A destination for telemetry events.
+///
+/// Object-safe and `Send + Sync`, so one sink can be shared (behind an
+/// `Arc`) across the repair loop and, later, parallel evaluators.
+pub trait TelemetrySink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+
+    /// Whether events will be observed at all. Producers should skip
+    /// event construction when this is `false`; the default is `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output. The default is a no-op.
+    fn flush(&self) {}
+}
+
+/// Shared sinks forward through the `Arc`, so a caller can keep a
+/// handle (e.g. to render a [`SummarySink`] report after the run) while
+/// the same sink participates in a [`FanoutSink`].
+impl<T: TelemetrySink + ?Sized> TelemetrySink for Arc<T> {
+    fn record(&self, event: &Event) {
+        (**self).record(event);
+    }
+
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// The default sink: ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Writes one JSON object per line to an arbitrary writer.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl JsonLinesSink<BufWriter<File>> {
+    /// Opens (truncating) `path` for a buffered JSON-lines stream.
+    pub fn create(path: &Path) -> std::io::Result<JsonLinesSink<BufWriter<File>>> {
+        Ok(JsonLinesSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps an existing writer.
+    pub fn new(writer: W) -> JsonLinesSink<W> {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Consumes the sink and returns the inner writer (flushing is the
+    /// caller's job for raw writers; buffered writers flush on drop).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("sink poisoned")
+    }
+}
+
+impl<W: Write + Send> TelemetrySink for JsonLinesSink<W> {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("sink poisoned");
+        // Telemetry must never take down a repair run; drop on error.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
+/// Running aggregates for the summary report.
+#[derive(Debug, Default, Clone)]
+struct SummaryState {
+    generations: u64,
+    last_best: f64,
+    candidates: u64,
+    cached: u64,
+    fitness_sum: f64,
+    max_patch_len: u64,
+    fault_loc_passes: u64,
+    implicated_last: u64,
+    sim_runs: u64,
+    sim_events: u64,
+    sim_timesteps: u64,
+    nba_flushes: u64,
+    peak_queue_depth: u64,
+    spans: Vec<(String, u64, u64)>, // name, count, total nanos
+}
+
+/// Accumulates events and renders a human-readable end-of-run report.
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    state: Mutex<SummaryState>,
+}
+
+impl SummarySink {
+    /// Creates an empty summary.
+    pub fn new() -> SummarySink {
+        SummarySink::default()
+    }
+
+    /// Renders the report from everything recorded so far.
+    pub fn report(&self) -> String {
+        let s = self.state.lock().expect("sink poisoned").clone();
+        let mut out = String::new();
+        let _ = writeln!(out, "=== telemetry summary ===");
+        let _ = writeln!(out, "search:");
+        let _ = writeln!(out, "  generations          {:>12}", s.generations);
+        let _ = writeln!(out, "  best fitness         {:>12.4}", s.last_best);
+        let _ = writeln!(out, "  candidates evaluated {:>12}", s.candidates);
+        let cache_pct = if s.candidates > 0 {
+            100.0 * s.cached as f64 / s.candidates as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  cache hit rate       {:>11.1}%", cache_pct);
+        let mean = if s.candidates > 0 {
+            s.fitness_sum / s.candidates as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  mean cand. fitness   {:>12.4}", mean);
+        let _ = writeln!(out, "  max patch length     {:>12}", s.max_patch_len);
+        let _ = writeln!(out, "fault localization:");
+        let _ = writeln!(out, "  passes               {:>12}", s.fault_loc_passes);
+        let _ = writeln!(out, "  implicated (last)    {:>12}", s.implicated_last);
+        let _ = writeln!(out, "simulation:");
+        let _ = writeln!(out, "  runs                 {:>12}", s.sim_runs);
+        let _ = writeln!(out, "  events processed     {:>12}", s.sim_events);
+        let _ = writeln!(out, "  timesteps            {:>12}", s.sim_timesteps);
+        let _ = writeln!(out, "  NBA flushes          {:>12}", s.nba_flushes);
+        let _ = writeln!(out, "  peak queue depth     {:>12}", s.peak_queue_depth);
+        if !s.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for (name, count, nanos) in &s.spans {
+                let ms = *nanos as f64 / 1e6;
+                let _ = writeln!(out, "  {name:<20} {count:>6}x {ms:>12.3} ms");
+            }
+        }
+        out
+    }
+}
+
+impl TelemetrySink for SummarySink {
+    fn record(&self, event: &Event) {
+        let mut s = self.state.lock().expect("sink poisoned");
+        match event {
+            Event::Generation(g) => {
+                s.generations = s.generations.max(g.generation);
+                s.last_best = g.best_fitness;
+            }
+            Event::Candidate(c) => {
+                s.candidates += 1;
+                if c.cached {
+                    s.cached += 1;
+                }
+                s.fitness_sum += c.fitness;
+                s.max_patch_len = s.max_patch_len.max(c.patch_len);
+            }
+            Event::FaultLoc(f) => {
+                s.fault_loc_passes += 1;
+                s.implicated_last = f.implicated_nodes;
+            }
+            Event::Sim(m) => {
+                s.sim_runs += 1;
+                s.sim_events += m.active_events + m.inactive_events;
+                s.sim_timesteps += m.timesteps;
+                s.nba_flushes += m.nba_flushes;
+                s.peak_queue_depth = s.peak_queue_depth.max(m.peak_queue_depth);
+            }
+            Event::Span(sp) => {
+                if let Some(entry) = s.spans.iter_mut().find(|(n, _, _)| *n == sp.name) {
+                    entry.1 += 1;
+                    entry.2 += sp.nanos;
+                } else {
+                    s.spans.push((sp.name.clone(), 1, sp.nanos));
+                }
+            }
+        }
+    }
+}
+
+/// Broadcasts each event to every inner sink (e.g. a JSON trace and a
+/// summary at the same time).
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// Builds a fanout over `sinks`.
+    pub fn new(sinks: Vec<Box<dyn TelemetrySink>>) -> FanoutSink {
+        FanoutSink { sinks }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}

@@ -28,8 +28,7 @@ fn main() {
     // Show the implicated statements as source text.
     println!("implicated statements:");
     for stmt in visit::stmts_of_module(module) {
-        if fl.nodes.contains(&stmt.id()) && (stmt.is_assignment() || stmt.is_conditional())
-        {
+        if fl.nodes.contains(&stmt.id()) && (stmt.is_assignment() || stmt.is_conditional()) {
             let text = print::stmt_to_string(stmt);
             let first = text.lines().next().unwrap_or("");
             println!("  [node {:>3}] {}", stmt.id(), first);

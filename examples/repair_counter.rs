@@ -6,9 +6,7 @@
 //! cargo run --release --example repair_counter
 //! ```
 
-use cirfix::{
-    evaluate, fault_localization, repair, FitnessParams, Patch, RepairConfig,
-};
+use cirfix::{evaluate, fault_localization, repair, FitnessParams, Patch, RepairConfig};
 use cirfix_benchmarks::scenario;
 
 fn main() {

@@ -2,8 +2,8 @@
 //! scenarios, verification classification, and oracle degradation.
 
 use cirfix::{
-    degrade_oracle, evaluate, fault_localization, repair, strip_hierarchy, FitnessParams,
-    Patch, RepairConfig,
+    degrade_oracle, evaluate, fault_localization, repair, strip_hierarchy, FitnessParams, Patch,
+    RepairConfig,
 };
 use cirfix_benchmarks::{project, scenario};
 
@@ -60,8 +60,12 @@ fn repaired_counter_passes_heldout_verification() {
     let s = scenario("counter_sens_list").unwrap();
     let p = project("counter").unwrap();
     let problem = s.problem().unwrap();
-    let result = repair(&problem, fast(1));
-    assert!(result.is_plausible());
+    // The search is stochastic; retry over a few seeds like try_repair.
+    let result = [1, 2, 3]
+        .iter()
+        .map(|&seed| repair(&problem, fast(seed)))
+        .find(|r| r.is_plausible())
+        .expect("plausible repair");
     let (repaired_full, _) =
         cirfix::apply_patch(&problem.source, &problem.design_modules, &result.patch);
     let correct = cirfix::verify_repair(
@@ -85,11 +89,11 @@ fn motivating_example_fault_localization() {
     assert!(eval.score < 1.0 && eval.score > 0.3, "score {}", eval.score);
     assert!(eval.mismatched.contains("overflow_out"));
     let faulty = s.faulty_design_file().unwrap();
-    let fl = fault_localization(
-        &[faulty.module("counter").unwrap()],
-        &eval.mismatched,
+    let fl = fault_localization(&[faulty.module("counter").unwrap()], &eval.mismatched);
+    assert!(
+        fl.mismatch.contains("counter_out"),
+        "Add-Child pulls in counter_out"
     );
-    assert!(fl.mismatch.contains("counter_out"), "Add-Child pulls in counter_out");
     assert!(!fl.nodes.is_empty());
 }
 
@@ -116,7 +120,10 @@ fn register_size_defect_is_never_correctly_repaired() {
             &p.verification().unwrap(),
         )
         .unwrap();
-        assert!(!correct, "a width repair cannot be synthesized by the operators");
+        assert!(
+            !correct,
+            "a width repair cannot be synthesized by the operators"
+        );
     } else {
         assert!(result.best_fitness < 1.0);
     }
@@ -128,8 +135,12 @@ fn oracle_degradation_preserves_plausibility_check() {
     // degraded oracle (less information can only relax the bar).
     let s = scenario("counter_sens_list").unwrap();
     let mut problem = s.problem().unwrap();
-    let result = repair(&problem, fast(1));
-    assert!(result.is_plausible());
+    // The search is stochastic; retry over a few seeds like try_repair.
+    let result = [1, 2, 3]
+        .iter()
+        .map(|&seed| repair(&problem, fast(seed)))
+        .find(|r| r.is_plausible())
+        .expect("plausible repair");
     problem.oracle = degrade_oracle(&problem.oracle, 0.5, 7);
     let eval = evaluate(&problem, &result.patch, FitnessParams::default());
     assert_eq!(eval.score, 1.0);
