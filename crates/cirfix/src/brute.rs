@@ -65,6 +65,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         fitness_evals: evals,
         wall_time: wall,
         generations: 0,
+        mutants_rejected_static: 0,
     };
     let try_patch =
         |patch: Patch, evals: &mut u64, best: &mut (Patch, f64)| -> Option<RepairResult> {
@@ -88,6 +89,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
                     improvement_steps: Vec::new(),
                     repaired_source: None,
                     cache_hits: 0,
+                    rejected_static: 0,
                     minimize_evals: 0,
                     totals: totals(*evals, wall),
                 });
@@ -157,6 +159,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         repaired_source: None,
         cache_hits: 0,
         minimize_evals: 0,
+        rejected_static: 0,
         totals: totals(evals, wall),
     }
 }

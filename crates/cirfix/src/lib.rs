@@ -75,6 +75,7 @@ mod oracle;
 mod patch;
 mod repair;
 mod select;
+mod staticfilter;
 mod templates;
 mod verify;
 
@@ -84,7 +85,7 @@ pub use crossover::crossover;
 pub use faultloc::{fault_loc_event, fault_localization, FaultLoc};
 pub use fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
 pub use minimize::{minimize, minimize_observed};
-pub use mutation::{all_stmt_ids, mutate, MutationParams};
+pub use mutation::{all_stmt_ids, mutate, mutate_with_prior, MutationParams};
 pub use oracle::{degrade_oracle, oracle_from_golden, simulate_with_probe, RepairProblem};
 pub use patch::{apply_patch, ApplyStats, Edit, Patch, SensTemplate};
 pub use repair::{
@@ -92,5 +93,6 @@ pub use repair::{
     RepairStatus, Repairer, RunTotals,
 };
 pub use select::{elite_indices, tournament_select};
+pub use staticfilter::{lint_prior, StaticFilter, LINT_BOOST};
 pub use templates::{applicable_templates, random_template};
 pub use verify::{combine, extract_modules, verify_repair, Verification};

@@ -7,10 +7,11 @@
 //! search stops at the first plausible repair (fitness 1.0) or when
 //! resources are exhausted, and the winning patch is minimized.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use cirfix_ast::print;
+use cirfix_ast::NodeId;
 use cirfix_sim::SimMetrics;
 use cirfix_telemetry::{Event, GenerationStats, Observer, SimStats, Span};
 use rand::Rng;
@@ -20,10 +21,11 @@ use crate::crossover::crossover;
 use crate::faultloc::{fault_loc_event, fault_localization, FaultLoc};
 use crate::fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
 use crate::minimize::minimize_observed;
-use crate::mutation::{mutate, MutationParams};
+use crate::mutation::{mutate_with_prior, MutationParams};
 use crate::oracle::{simulate_with_probe, RepairProblem};
 use crate::patch::{apply_patch, Patch};
 use crate::select::{elite_indices, tournament_select};
+use crate::staticfilter::{lint_prior, StaticFilter};
 use crate::templates::random_template;
 
 /// Tunable parameters of Algorithm 1.
@@ -64,6 +66,14 @@ pub struct RepairConfig {
     /// edits; parents longer than this reproduce from the original
     /// design instead.
     pub max_patch_len: usize,
+    /// Lint-gate candidate mutants: variants that introduce new
+    /// error-severity static findings (relative to the original faulty
+    /// design) score 0 without being simulated, and are not counted as
+    /// fitness evaluations.
+    pub static_filter: bool,
+    /// Weight mutation targets by lint findings on the original
+    /// design: implicated nodes are sampled more often.
+    pub lint_prior: bool,
     /// Telemetry destination. Defaults to a disabled observer, in which
     /// case no events are constructed.
     pub observer: Observer,
@@ -89,6 +99,8 @@ impl RepairConfig {
             relocalize: true,
             max_growth: 3.0,
             max_patch_len: 32,
+            static_filter: false,
+            lint_prior: false,
             observer: Observer::none(),
         }
     }
@@ -149,6 +161,9 @@ pub struct RunTotals {
     pub wall_time: Duration,
     /// Generations completed across all trials.
     pub generations: u32,
+    /// Candidate mutants rejected by the static lint filter before
+    /// simulation (not included in [`RunTotals::fitness_evals`]).
+    pub mutants_rejected_static: u64,
 }
 
 /// The outcome of one repair trial.
@@ -180,6 +195,9 @@ pub struct RepairResult {
     /// Extra fitness probes spent minimizing the winning patch
     /// (included in [`RepairResult::fitness_evals`]).
     pub minimize_evals: u64,
+    /// Candidates rejected by the static lint filter without being
+    /// simulated (zero unless [`RepairConfig::static_filter`] is on).
+    pub rejected_static: u64,
     /// Resource totals across the whole run, including failed trials.
     pub totals: RunTotals,
 }
@@ -284,6 +302,9 @@ pub struct Repairer<'a> {
     evals: u64,
     cache_hits: u64,
     minimize_evals: u64,
+    rejected_static: u64,
+    filter: Option<StaticFilter>,
+    prior: BTreeMap<NodeId, u32>,
     started: Instant,
     node_budget: usize,
     // Children per operator since the last GenerationStats emission.
@@ -303,6 +324,14 @@ impl<'a> Repairer<'a> {
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let node_budget =
             ((node_count(&problem.source) as f64) * config.max_growth.max(1.0)).ceil() as usize;
+        let filter = config
+            .static_filter
+            .then(|| StaticFilter::new(&problem.source, &problem.design_modules));
+        let prior = if config.lint_prior {
+            lint_prior(&problem.source, &problem.design_modules)
+        } else {
+            BTreeMap::new()
+        };
         Repairer {
             problem,
             config,
@@ -311,6 +340,9 @@ impl<'a> Repairer<'a> {
             evals: 0,
             cache_hits: 0,
             minimize_evals: 0,
+            rejected_static: 0,
+            filter,
+            prior,
             started: Instant::now(),
             node_budget,
             mix: OperatorMix::default(),
@@ -338,6 +370,10 @@ impl<'a> Repairer<'a> {
         }
         let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
         let variant_nodes = node_count(&variant);
+        let growth = variant_nodes as f64 / node_count(&self.problem.source).max(1) as f64;
+        // Static rejections are free (no simulation ran), so they do
+        // not count against the fitness-evaluation budget.
+        let mut simulated = true;
         let eval = if variant_nodes > self.node_budget {
             // Bloat rejection: treated like a compile failure.
             Evaluation {
@@ -352,13 +388,41 @@ impl<'a> Repairer<'a> {
                     .collect(),
                 report: None,
                 error: Some("variant exceeds the AST growth budget".to_string()),
-                growth: variant_nodes as f64 / node_count(&self.problem.source).max(1) as f64,
+                growth,
+                sim_metrics: None,
+            }
+        } else if let Some((module, diag)) = self.filter.as_ref().and_then(|f| f.check(&variant)) {
+            // Lint gate: the mutation introduced a new error-severity
+            // static finding; score 0 without paying for simulation.
+            simulated = false;
+            self.rejected_static += 1;
+            self.config
+                .observer
+                .emit(|| cirfix_lint::diagnostic_event(&module, &diag));
+            Evaluation {
+                score: 0.0,
+                compiled: false,
+                mismatched: self
+                    .problem
+                    .oracle
+                    .vars()
+                    .iter()
+                    .map(|v| strip_hierarchy(v))
+                    .collect(),
+                report: None,
+                error: Some(format!(
+                    "rejected by static filter: {}",
+                    diag.render(&module)
+                )),
+                growth,
                 sim_metrics: None,
             }
         } else {
             evaluate(self.problem, patch, self.config.fitness)
         };
-        self.evals += 1;
+        if simulated {
+            self.evals += 1;
+        }
         if self.config.observer.enabled() {
             if let Some(m) = &eval.sim_metrics {
                 self.config.observer.record(&Event::Sim(sim_stats(m)));
@@ -429,12 +493,13 @@ impl<'a> Repairer<'a> {
             }
         } else if self.rng.gen::<f64>() <= self.config.mut_threshold {
             self.mix.mutation += 1;
-            match mutate(
+            match mutate_with_prior(
                 &variant,
                 &self.problem.design_modules,
                 &fl,
                 self.config.mutation,
                 &mut self.rng,
+                &self.prior,
             ) {
                 Some(edit) => vec![parent.with(edit)],
                 None => vec![parent.clone()],
@@ -592,11 +657,13 @@ impl<'a> Repairer<'a> {
             repaired_source,
             cache_hits: self.cache_hits,
             minimize_evals: self.minimize_evals,
+            rejected_static: self.rejected_static,
             totals: RunTotals {
                 trials: 1,
                 fitness_evals: self.evals,
                 wall_time,
                 generations,
+                mutants_rejected_static: self.rejected_static,
             },
         }
     }
@@ -648,6 +715,7 @@ pub fn repair_with_trials(
         totals.fitness_evals += result.fitness_evals;
         totals.wall_time += result.wall_time;
         totals.generations += result.generations;
+        totals.mutants_rejected_static += result.rejected_static;
         result.totals = totals.clone();
         if result.is_plausible() {
             return result;

@@ -1,0 +1,141 @@
+//! Static pre-simulation filtering of candidate mutants, and the lint
+//! prior that sharpens fault localization.
+//!
+//! Mutation operators happily produce variants that no engineer would
+//! write — a second driver for a register, a blocking assignment
+//! spliced into a clocked block. Simulating those just to watch them
+//! score 0 wastes the budget Algorithm 1 meters out per trial.
+//! [`StaticFilter`] lints each variant first and rejects it when it
+//! introduces *new* error-severity findings relative to the original
+//! faulty design (counted per diagnostic code, because inserted nodes
+//! get fresh ids): the original's own defects never block the search,
+//! only regressions the mutation added.
+//!
+//! [`lint_prior`] is the complementary positive signal: AST nodes
+//! implicated by lint findings on the original design get a boosted
+//! sampling weight when mutation picks its targets, steering the
+//! search toward statically suspicious code.
+
+use std::collections::BTreeMap;
+
+use cirfix_ast::{NodeId, SourceFile};
+use cirfix_lint::{error_code_counts, lint_modules, Diagnostic};
+
+/// Sampling-weight boost for lint-implicated nodes (default weight 1).
+pub const LINT_BOOST: u32 = 4;
+
+/// Rejects variants that introduce new error-severity lint findings.
+#[derive(Debug)]
+pub struct StaticFilter {
+    design_modules: Vec<String>,
+    baseline: BTreeMap<&'static str, usize>,
+}
+
+impl StaticFilter {
+    /// Lints the original (faulty) design and records its per-code
+    /// error counts as the baseline.
+    pub fn new(original: &SourceFile, design_modules: &[String]) -> StaticFilter {
+        let diags: Vec<Diagnostic> = lint_modules(original, design_modules)
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect();
+        StaticFilter {
+            design_modules: design_modules.to_vec(),
+            baseline: error_code_counts(&diags),
+        }
+    }
+
+    /// The baseline per-code error counts of the original design.
+    pub fn baseline(&self) -> &BTreeMap<&'static str, usize> {
+        &self.baseline
+    }
+
+    /// Checks a candidate variant. Returns `(module, diagnostic)` for
+    /// the first diagnostic code whose error count exceeds the
+    /// baseline, or `None` when the variant is statically no worse
+    /// than the original.
+    pub fn check(&self, variant: &SourceFile) -> Option<(String, Diagnostic)> {
+        let diags = lint_modules(variant, &self.design_modules);
+        let errors: Vec<Diagnostic> = diags.iter().map(|(_, d)| d.clone()).collect();
+        for (code, count) in error_code_counts(&errors) {
+            if count > self.baseline.get(code).copied().unwrap_or(0) {
+                let offending = diags
+                    .iter()
+                    .rev()
+                    .find(|(_, d)| d.code == code)
+                    .expect("counted code present");
+                return Some(offending.clone());
+            }
+        }
+        None
+    }
+}
+
+/// Builds the mutation-target prior from lint findings on the original
+/// design: every implicated node gets weight [`LINT_BOOST`]; nodes
+/// absent from the map default to weight 1.
+pub fn lint_prior(file: &SourceFile, design_modules: &[String]) -> BTreeMap<NodeId, u32> {
+    let mut prior = BTreeMap::new();
+    for (_, d) in lint_modules(file, design_modules) {
+        prior.insert(d.node_id, LINT_BOOST);
+    }
+    prior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirfix_parser::parse;
+
+    const CLEAN: &str = "
+        module m (c, q);
+            input c;
+            output reg q;
+            always @(posedge c) q <= ~q;
+        endmodule
+    ";
+
+    const DOUBLE_DRIVEN: &str = "
+        module m (c, q);
+            input c;
+            output reg q;
+            always @(posedge c) q <= ~q;
+            always @(posedge c) q <= 1'b0;
+        endmodule
+    ";
+
+    fn mods() -> Vec<String> {
+        vec!["m".to_string()]
+    }
+
+    #[test]
+    fn clean_baseline_rejects_regressed_variant() {
+        let filter = StaticFilter::new(&parse(CLEAN).unwrap(), &mods());
+        assert!(filter.baseline().is_empty());
+        assert!(filter.check(&parse(CLEAN).unwrap()).is_none());
+        let (module, diag) = filter
+            .check(&parse(DOUBLE_DRIVEN).unwrap())
+            .expect("double-driven variant must be rejected");
+        assert_eq!(module, "m");
+        assert_eq!(diag.code, "multiple-drivers");
+    }
+
+    #[test]
+    fn dirty_baseline_tolerates_its_own_defects() {
+        // When the *original* design is already multiply driven, the
+        // same defect in a variant is not grounds for rejection.
+        let filter = StaticFilter::new(&parse(DOUBLE_DRIVEN).unwrap(), &mods());
+        assert!(!filter.baseline().is_empty());
+        assert!(filter.check(&parse(DOUBLE_DRIVEN).unwrap()).is_none());
+        // Repairing the defect is fine too.
+        assert!(filter.check(&parse(CLEAN).unwrap()).is_none());
+    }
+
+    #[test]
+    fn lint_prior_boosts_implicated_nodes() {
+        let file = parse(DOUBLE_DRIVEN).unwrap();
+        let prior = lint_prior(&file, &mods());
+        assert!(!prior.is_empty());
+        assert!(prior.values().all(|&w| w == LINT_BOOST));
+    }
+}

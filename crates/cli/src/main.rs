@@ -12,6 +12,7 @@
 //! cirfix localize <repair.conf>                   print the fault-localization set
 //! cirfix verify <repair.conf>                     check a repaired design against
 //!                                                 the golden one on a held-out bench
+//! cirfix lint <design.v|repair.conf> [--json]     run the static-analysis passes
 //! ```
 //!
 //! Observability flags (for `repair` and `simulate`):
@@ -19,6 +20,13 @@
 //! ```text
 //! --trace-out <path>   stream telemetry events as JSON lines to <path>
 //! --metrics            print an aggregate telemetry summary at the end
+//! ```
+//!
+//! Search-space pruning flags (for `repair`):
+//!
+//! ```text
+//! --static-filter      lint-gate mutants before simulation
+//! --lint-prior         bias mutation targets toward lint findings
 //! ```
 //!
 //! See [`config::Config`] for the recognized keys.
@@ -51,16 +59,22 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: cirfix <repair|simulate|fitness|localize|verify> <config-file> [--key value ...]"
+    "usage: cirfix <repair|simulate|fitness|localize|verify> <config-file> [--key value ...]\n\
+     \u{20}      cirfix lint <design.v|repair.conf> [--json]"
         .to_string()
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (command, rest) = args.split_first().ok_or_else(usage)?;
+    // `lint` takes a raw Verilog file (or a config), so it parses its
+    // own arguments instead of going through config loading.
+    if command == "lint" {
+        return cmd_lint(rest);
+    }
     let (config_path, overrides) = rest.split_first().ok_or_else(usage)?;
     let mut config = Config::load(Path::new(config_path))?;
     // Valueless switches; everything else is a `--key value` pair.
-    const BOOL_FLAGS: &[&str] = &["metrics"];
+    const BOOL_FLAGS: &[&str] = &["metrics", "static_filter", "lint_prior"];
     let mut i = 0;
     while i < overrides.len() {
         let key = overrides[i]
@@ -173,6 +187,14 @@ fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Er
     rc.fitness = FitnessParams {
         phi: config.num_or("phi", 2.0f64)?,
     };
+    let flag = |key: &str| {
+        matches!(
+            config.string_or(key, "false").as_str(),
+            "true" | "1" | "yes"
+        )
+    };
+    rc.static_filter = flag("static_filter");
+    rc.lint_prior = flag("lint_prior");
     Ok(rc)
 }
 
@@ -200,6 +222,7 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     println!("  trials           {:>12}", t.trials);
     println!("  generations      {:>12}", t.generations);
     println!("  fitness evals    {:>12}", t.fitness_evals);
+    println!("  static rejects   {:>12}", t.mutants_rejected_static);
     println!("  cache hits       {:>12}", result.cache_hits);
     println!("  minimize evals   {:>12}", result.minimize_evals);
     println!("  wall clock       {:>12.1?}", t.wall_time);
@@ -311,6 +334,62 @@ fn cmd_localize(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
                 println!("  [{}] {first}", stmt.id());
             }
         }
+    }
+    Ok(())
+}
+
+/// `cirfix lint`: run the static-analysis passes over a design and print
+/// the findings, one per line. Accepts either a raw Verilog file (all
+/// modules are linted) or a `repair.conf` (the `design` file is linted,
+/// restricted to `design_modules`). With `--json` each finding is
+/// emitted as a telemetry JSON line instead of human-readable text.
+///
+/// The exit code is 0 even when findings are reported — lint is a
+/// reporting tool, not a gate; the gate lives in the repair loop's
+/// static filter.
+fn cmd_lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let lint_usage = "usage: cirfix lint <design.v|repair.conf> [--json]";
+    let (input, flags) = args.split_first().ok_or(lint_usage)?;
+    let mut json = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            other => return Err(format!("unknown lint flag `{other}`\n{lint_usage}").into()),
+        }
+    }
+
+    let path = Path::new(input);
+    let read = |p: &Path| -> Result<String, Box<dyn std::error::Error>> {
+        Ok(std::fs::read_to_string(p)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", p.display())))?)
+    };
+    let is_conf = path.extension().is_some_and(|e| e == "conf");
+    let (source_path, modules) = if is_conf {
+        let config = Config::load(path)?;
+        (config.path("design")?, Some(config.list("design_modules")?))
+    } else {
+        (PathBuf::from(input), None)
+    };
+    let file = cirfix_parser::parse(&read(&source_path)?)?;
+    let findings = match &modules {
+        Some(names) => cirfix_lint::lint_modules(&file, names),
+        None => cirfix_lint::lint_file(&file),
+    };
+
+    let (mut errors, mut warnings) = (0usize, 0usize);
+    for (module, diag) in &findings {
+        match diag.severity {
+            cirfix_lint::Severity::Error => errors += 1,
+            cirfix_lint::Severity::Warning => warnings += 1,
+        }
+        if json {
+            println!("{}", cirfix_lint::diagnostic_event(module, diag).to_json());
+        } else {
+            println!("{}: {}", source_path.display(), diag.render(module));
+        }
+    }
+    if !json {
+        println!("{errors} error(s), {warnings} warning(s)");
     }
     Ok(())
 }

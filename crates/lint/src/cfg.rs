@@ -1,0 +1,399 @@
+//! Per-process control-flow graphs and the dataflow facts the lint
+//! passes need (reachability, must-assign).
+//!
+//! The graph is statement-granular: each basic block holds the ids of
+//! the simple statements that execute straight through it, plus an
+//! optional branching statement (`if`/`case`/loop header) whose
+//! outgoing edges end the block. A dedicated entry and exit block make
+//! the dataflow equations uniform.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use cirfix_ast::{NodeId, Stmt};
+
+/// Index of a basic block within its [`Cfg`].
+pub type BlockId = usize;
+
+/// One basic block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Ids of straight-line statements, in execution order.
+    pub stmts: Vec<NodeId>,
+    /// Id of the branching statement that terminates the block, if any.
+    pub branch: Option<NodeId>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+}
+
+/// A control-flow graph for one process body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All blocks; `entry` and `exit` index into this.
+    pub blocks: Vec<Block>,
+    /// The unique entry block.
+    pub entry: BlockId,
+    /// The unique exit block (unreachable if the body never falls off
+    /// the end, e.g. a `forever` loop).
+    pub exit: BlockId,
+}
+
+struct Builder<'a> {
+    blocks: Vec<Block>,
+    /// `case` statements known to cover every subject value, so the
+    /// implicit fall-through edge is omitted.
+    full_cases: &'a BTreeSet<NodeId>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Lowers `stmt` starting in block `cur`; returns the block where
+    /// control continues afterwards.
+    fn build(&mut self, stmt: &Stmt, cur: BlockId) -> BlockId {
+        match stmt {
+            Stmt::Block { stmts, .. } => {
+                let mut b = cur;
+                for s in stmts {
+                    b = self.build(s, b);
+                }
+                b
+            }
+            Stmt::If {
+                id, then_s, else_s, ..
+            } => {
+                self.blocks[cur].branch = Some(*id);
+                let join = self.new_block();
+                let then_entry = self.new_block();
+                self.edge(cur, then_entry);
+                let then_exit = self.build(then_s, then_entry);
+                self.edge(then_exit, join);
+                match else_s {
+                    Some(e) => {
+                        let else_entry = self.new_block();
+                        self.edge(cur, else_entry);
+                        let else_exit = self.build(e, else_entry);
+                        self.edge(else_exit, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            Stmt::Case {
+                id, arms, default, ..
+            } => {
+                self.blocks[cur].branch = Some(*id);
+                let join = self.new_block();
+                for arm in arms {
+                    let entry = self.new_block();
+                    self.edge(cur, entry);
+                    let exit = self.build(&arm.body, entry);
+                    self.edge(exit, join);
+                }
+                match default {
+                    Some(d) => {
+                        let entry = self.new_block();
+                        self.edge(cur, entry);
+                        let exit = self.build(d, entry);
+                        self.edge(exit, join);
+                    }
+                    // Without a default arm, an unmatched subject falls
+                    // through — unless the labels are exhaustive.
+                    None => {
+                        if !self.full_cases.contains(id) {
+                            self.edge(cur, join);
+                        }
+                    }
+                }
+                join
+            }
+            Stmt::For {
+                id,
+                init,
+                step,
+                body,
+                ..
+            } => {
+                let after_init = self.build(init, cur);
+                let header = self.new_block();
+                self.blocks[header].branch = Some(*id);
+                self.edge(after_init, header);
+                let body_entry = self.new_block();
+                self.edge(header, body_entry);
+                let body_exit = self.build(body, body_entry);
+                let after_step = self.build(step, body_exit);
+                self.edge(after_step, header);
+                let after = self.new_block();
+                self.edge(header, after);
+                after
+            }
+            Stmt::While { id, body, .. } | Stmt::Repeat { id, body, .. } => {
+                // `repeat (n)` may run zero times when n folds to 0, so
+                // both loops get the header→after edge.
+                let header = self.new_block();
+                self.blocks[header].branch = Some(*id);
+                self.edge(cur, header);
+                let body_entry = self.new_block();
+                self.edge(header, body_entry);
+                let body_exit = self.build(body, body_entry);
+                self.edge(body_exit, header);
+                let after = self.new_block();
+                self.edge(header, after);
+                after
+            }
+            Stmt::Forever { id, body } => {
+                self.blocks[cur].branch = Some(*id);
+                let body_entry = self.new_block();
+                self.edge(cur, body_entry);
+                let body_exit = self.build(body, body_entry);
+                self.edge(body_exit, body_entry);
+                // Control never falls through a forever loop; anything
+                // after it lands in a predecessor-less (dead) block.
+                self.new_block()
+            }
+            Stmt::Delay { id, body, .. }
+            | Stmt::EventControl { id, body, .. }
+            | Stmt::Wait { id, body, .. } => {
+                self.blocks[cur].stmts.push(*id);
+                match body {
+                    Some(b) => self.build(b, cur),
+                    None => cur,
+                }
+            }
+            Stmt::Blocking { id, .. }
+            | Stmt::NonBlocking { id, .. }
+            | Stmt::EventTrigger { id, .. }
+            | Stmt::SysCall { id, .. }
+            | Stmt::Null { id } => {
+                self.blocks[cur].stmts.push(*id);
+                cur
+            }
+        }
+    }
+}
+
+impl Cfg {
+    /// Builds the graph for one process body. `full_cases` lists the
+    /// `case` statements whose labels provably cover every subject
+    /// value (computed by the structure layer from declared widths).
+    pub fn build(body: &Stmt, full_cases: &BTreeSet<NodeId>) -> Cfg {
+        let mut b = Builder {
+            blocks: Vec::new(),
+            full_cases,
+        };
+        let entry = b.new_block();
+        let last = b.build(body, entry);
+        let exit = b.new_block();
+        b.edge(last, exit);
+        Cfg {
+            blocks: b.blocks,
+            entry,
+            exit,
+        }
+    }
+
+    /// Which blocks are reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut queue = VecDeque::from([self.entry]);
+        seen[self.entry] = true;
+        while let Some(b) = queue.pop_front() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Forward must-assign analysis: the set of names assigned on
+    /// *every* path from entry to exit. `gen` maps a statement id to
+    /// the names it definitely assigns (empty for non-assignments).
+    pub fn must_assign_at_exit(&self, gen: &dyn Fn(NodeId) -> Vec<String>) -> BTreeSet<String> {
+        let n = self.blocks.len();
+        let mut gen_sets: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+        let mut universe = BTreeSet::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            for &s in &block.stmts {
+                for name in gen(s) {
+                    universe.insert(name.clone());
+                    gen_sets[i].insert(name);
+                }
+            }
+        }
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(i);
+            }
+        }
+        // out[b] starts at ⊤ (the universe) everywhere except the
+        // entry, then shrinks monotonically to the fixed point.
+        let mut out: Vec<BTreeSet<String>> = vec![universe.clone(); n];
+        out[self.entry] = gen_sets[self.entry].clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if b == self.entry {
+                    continue;
+                }
+                let mut inset: Option<BTreeSet<String>> = None;
+                for &p in &preds[b] {
+                    inset = Some(match inset {
+                        None => out[p].clone(),
+                        Some(acc) => acc.intersection(&out[p]).cloned().collect(),
+                    });
+                }
+                // Predecessor-less (unreachable) blocks stay at ⊤ so
+                // they never weaken a join they can't actually reach.
+                let mut new_out = inset.unwrap_or_else(|| universe.clone());
+                new_out.extend(gen_sets[b].iter().cloned());
+                if new_out != out[b] {
+                    out[b] = new_out;
+                    changed = true;
+                }
+            }
+        }
+        out[self.exit].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirfix_ast::{Expr, LValue, NodeIdGen, Stmt};
+
+    fn assign(g: &mut NodeIdGen, name: &str) -> (NodeId, Stmt) {
+        let id = g.fresh();
+        let s = Stmt::Blocking {
+            id,
+            lhs: LValue::Ident {
+                id: g.fresh(),
+                name: name.into(),
+            },
+            delay: None,
+            rhs: Expr::literal_u64(g, 0, 1),
+        };
+        (id, s)
+    }
+
+    fn gen_for(map: Vec<(NodeId, String)>) -> impl Fn(NodeId) -> Vec<String> {
+        move |id| {
+            map.iter()
+                .filter(|(i, _)| *i == id)
+                .map(|(_, n)| n.to_string())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn if_without_else_is_not_must() {
+        let mut g = NodeIdGen::new();
+        let (a_id, a) = assign(&mut g, "a");
+        let (b_id, b) = assign(&mut g, "b");
+        let body = Stmt::Block {
+            id: g.fresh(),
+            name: None,
+            stmts: vec![
+                a,
+                Stmt::If {
+                    id: g.fresh(),
+                    cond: Expr::ident(&mut g, "c"),
+                    then_s: Box::new(b),
+                    else_s: None,
+                },
+            ],
+        };
+        let cfg = Cfg::build(&body, &BTreeSet::new());
+        let must = cfg.must_assign_at_exit(&gen_for(vec![(a_id, "a".into()), (b_id, "b".into())]));
+        assert!(must.contains("a"));
+        assert!(!must.contains("b"));
+    }
+
+    #[test]
+    fn if_else_covering_both_paths_is_must() {
+        let mut g = NodeIdGen::new();
+        let (t_id, t) = assign(&mut g, "q");
+        let (e_id, e) = assign(&mut g, "q");
+        let body = Stmt::If {
+            id: g.fresh(),
+            cond: Expr::ident(&mut g, "c"),
+            then_s: Box::new(t),
+            else_s: Some(Box::new(e)),
+        };
+        let cfg = Cfg::build(&body, &BTreeSet::new());
+        let must = cfg.must_assign_at_exit(&gen_for(vec![(t_id, "q".into()), (e_id, "q".into())]));
+        assert!(must.contains("q"));
+    }
+
+    #[test]
+    fn full_case_omits_fall_through() {
+        let mut g = NodeIdGen::new();
+        let (a_id, a) = assign(&mut g, "q");
+        let (b_id, b) = assign(&mut g, "q");
+        let case_id = g.fresh();
+        let body = Stmt::Case {
+            id: case_id,
+            kind: cirfix_ast::CaseKind::Case,
+            subject: Expr::ident(&mut g, "s"),
+            arms: vec![
+                cirfix_ast::CaseArm {
+                    id: g.fresh(),
+                    labels: vec![Expr::literal_u64(&mut g, 0, 1)],
+                    body: a,
+                },
+                cirfix_ast::CaseArm {
+                    id: g.fresh(),
+                    labels: vec![Expr::literal_u64(&mut g, 1, 1)],
+                    body: b,
+                },
+            ],
+            default: None,
+        };
+        let gen = gen_for(vec![(a_id, "q".into()), (b_id, "q".into())]);
+        let sparse = Cfg::build(&body, &BTreeSet::new());
+        assert!(!sparse.must_assign_at_exit(&gen).contains("q"));
+        let full: BTreeSet<NodeId> = [case_id].into_iter().collect();
+        let dense = Cfg::build(&body, &full);
+        assert!(dense.must_assign_at_exit(&gen).contains("q"));
+    }
+
+    #[test]
+    fn code_after_forever_is_unreachable() {
+        let mut g = NodeIdGen::new();
+        let (a_id, a) = assign(&mut g, "clk");
+        let (b_id, b) = assign(&mut g, "late");
+        let body = Stmt::Block {
+            id: g.fresh(),
+            name: None,
+            stmts: vec![
+                Stmt::Forever {
+                    id: g.fresh(),
+                    body: Box::new(a),
+                },
+                b,
+            ],
+        };
+        let cfg = Cfg::build(&body, &BTreeSet::new());
+        let reach = cfg.reachable();
+        let find_block = |id: NodeId| {
+            cfg.blocks
+                .iter()
+                .position(|blk| blk.stmts.contains(&id))
+                .unwrap()
+        };
+        assert!(reach[find_block(a_id)]);
+        assert!(!reach[find_block(b_id)]);
+    }
+}

@@ -1,0 +1,136 @@
+#![warn(missing_docs)]
+
+//! Verilog static analysis for the CirFix repair pipeline.
+//!
+//! The crate has three layers:
+//!
+//! * **Structure** — [`ModuleStructure`] summarizes one module:
+//!   resolved parameters and signal widths, per-process clocking
+//!   classification and control-flow graph ([`Cfg`]), assignment
+//!   sites, a driver map, and def/use chains.
+//! * **Passes** — [`all_passes`] enumerates the registered checks,
+//!   each a pure function from a structure to [`Diagnostic`]s. The
+//!   initial set targets the paper's Table 2–3 defect classes:
+//!   inferred latches and incomplete cases, blocking/non-blocking
+//!   misuse, multiple drivers, dead code, x-prone comparisons, and
+//!   assignment width mismatches.
+//! * **Entry points** — [`lint_module`] / [`lint_file`] /
+//!   [`lint_modules`] run everything, and [`diagnostic_event`] bridges
+//!   findings into the `cirfix-telemetry` event stream so the `lint`
+//!   CLI and the repair loop's static filter emit identical JSON.
+//!
+//! The repair engine uses this crate two ways: the **static filter**
+//!   rejects candidate mutants that introduce new error-severity
+//!   findings before paying for simulation, and the **lint prior**
+//!   boosts fault-localization suspiciousness of implicated nodes.
+
+pub mod cfg;
+pub mod diagnostic;
+pub mod passes;
+pub mod structure;
+
+use std::collections::BTreeMap;
+
+use cirfix_ast::{Module, SourceFile};
+
+pub use cfg::{Block, BlockId, Cfg};
+pub use diagnostic::{diagnostic_event, Diagnostic, Severity};
+pub use passes::{all_passes, Pass};
+pub use structure::{
+    AssignSite, Clocking, DriverOrigin, DriverSite, ModuleStructure, ProcessInfo, SignalInfo,
+};
+
+/// Runs every registered pass over one module, sorted by node id.
+pub fn lint_module(module: &Module) -> Vec<Diagnostic> {
+    let s = ModuleStructure::new(module);
+    let mut out = Vec::new();
+    for pass in all_passes() {
+        out.extend((pass.run)(&s));
+    }
+    out.sort_by(|a, b| (a.node_id, a.code).cmp(&(b.node_id, b.code)));
+    out
+}
+
+/// Lints every module of a source file; returns `(module name,
+/// diagnostic)` pairs in module order.
+pub fn lint_file(file: &SourceFile) -> Vec<(String, Diagnostic)> {
+    let mut out = Vec::new();
+    for m in &file.modules {
+        for d in lint_module(m) {
+            out.push((m.name.clone(), d));
+        }
+    }
+    out
+}
+
+/// Lints only the named modules (e.g. the design under repair,
+/// skipping the testbench).
+pub fn lint_modules(file: &SourceFile, names: &[String]) -> Vec<(String, Diagnostic)> {
+    let mut out = Vec::new();
+    for m in file.modules.iter().filter(|m| names.contains(&m.name)) {
+        for d in lint_module(m) {
+            out.push((m.name.clone(), d));
+        }
+    }
+    out
+}
+
+/// Counts error-severity diagnostics per code — the shape the repair
+/// loop's static filter compares against its baseline.
+pub fn error_code_counts(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    for d in diags.iter().filter(|d| d.severity == Severity::Error) {
+        *out.entry(d.code).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_six_passes_with_unique_codes() {
+        let passes = all_passes();
+        assert_eq!(passes.len(), 6);
+        let mut codes: Vec<_> = passes.iter().flat_map(|p| p.codes.iter()).collect();
+        codes.sort();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate diagnostic code registered");
+    }
+
+    #[test]
+    fn clean_design_produces_no_errors() {
+        let src = "
+            module counter(clk, rst, q);
+                input clk, rst;
+                output reg [3:0] q;
+                always @(posedge clk) begin
+                    if (rst)
+                        q <= 4'd0;
+                    else
+                        q <= q + 4'd1;
+                end
+            endmodule
+        ";
+        let file = cirfix_parser::parse(src).expect("parse");
+        let diags = lint_file(&file);
+        assert!(
+            diags.iter().all(|(_, d)| d.severity != Severity::Error),
+            "unexpected errors: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn error_code_counts_ignores_warnings() {
+        let diags = vec![
+            Diagnostic::error("multiple-drivers", 1, "m"),
+            Diagnostic::error("multiple-drivers", 2, "m"),
+            Diagnostic::warning("inferred-latch", 3, "m"),
+        ];
+        let counts = error_code_counts(&diags);
+        assert_eq!(counts.get("multiple-drivers"), Some(&2));
+        assert!(!counts.contains_key("inferred-latch"));
+    }
+}

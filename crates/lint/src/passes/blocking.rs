@@ -1,0 +1,51 @@
+//! Assignment-operator style checks (the paper's "blocking instead of
+//! non-blocking" defect class, Table 3).
+//!
+//! In a clocked process, a blocking `=` creates an unintended
+//! read-after-write ordering between registers sampled on the same
+//! edge — reported as an error because the repair loop's mutation
+//! operators can introduce exactly this defect. The dual (`<=` in a
+//! combinational process) merely delays settling and is a warning.
+
+use crate::diagnostic::Diagnostic;
+use crate::structure::{Clocking, ModuleStructure};
+
+/// Runs the pass over one module.
+pub fn run(s: &ModuleStructure) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for proc_ in &s.processes {
+        if !proc_.is_always {
+            continue;
+        }
+        match proc_.clocking {
+            Clocking::Clocked => {
+                for a in proc_.assigns.iter().filter(|a| a.blocking) {
+                    let name = a.names.first().map(String::as_str).unwrap_or("?");
+                    out.push(Diagnostic::error(
+                        "blocking-in-sync",
+                        a.stmt_id,
+                        format!(
+                            "blocking assignment to `{name}` in a clocked always \
+                             block; use `<=` so reads sample pre-edge values"
+                        ),
+                    ));
+                }
+            }
+            Clocking::Combinational => {
+                for a in proc_.assigns.iter().filter(|a| !a.blocking) {
+                    let name = a.names.first().map(String::as_str).unwrap_or("?");
+                    out.push(Diagnostic::warning(
+                        "nonblocking-in-comb",
+                        a.stmt_id,
+                        format!(
+                            "non-blocking assignment to `{name}` in a combinational \
+                             process; use `=` for combinational logic"
+                        ),
+                    ));
+                }
+            }
+            Clocking::Unclocked => {}
+        }
+    }
+    out
+}

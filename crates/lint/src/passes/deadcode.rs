@@ -1,0 +1,106 @@
+//! Unreachable case arms and dead branches.
+//!
+//! Three sources of dead code, all common in buggy (and machine-mutated)
+//! designs:
+//! * a `case` arm whose labels are all shadowed by earlier arms,
+//! * an `if` whose condition folds to a constant, and
+//! * statements the CFG proves unreachable (e.g. after a `forever`).
+
+use std::collections::BTreeSet;
+
+use cirfix_ast::visit::{walk_stmt, NodeRef};
+use cirfix_ast::Stmt;
+use cirfix_logic::Truth;
+
+use crate::diagnostic::Diagnostic;
+use crate::structure::ModuleStructure;
+
+/// Runs the pass over one module.
+pub fn run(s: &ModuleStructure) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for proc_ in &s.processes {
+        let Some(body) = proc_.body else { continue };
+
+        walk_stmt(body, &mut |n| {
+            let NodeRef::Stmt(stmt) = n else { return };
+            match stmt {
+                Stmt::Case { arms, .. } => {
+                    let mut seen = BTreeSet::new();
+                    for arm in arms {
+                        let folded: Vec<_> = arm
+                            .labels
+                            .iter()
+                            .map(|l| s.const_eval(l).and_then(|v| v.to_u64()))
+                            .collect();
+                        if !folded.is_empty()
+                            && folded
+                                .iter()
+                                .all(|v| matches!(v, Some(x) if seen.contains(x)))
+                        {
+                            out.push(Diagnostic::warning(
+                                "unreachable-arm",
+                                arm.id,
+                                "every label of this case arm is shadowed by an \
+                                 earlier arm"
+                                    .to_string(),
+                            ));
+                        }
+                        for v in folded.into_iter().flatten() {
+                            seen.insert(v);
+                        }
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                    ..
+                } => {
+                    if let Some(v) = s.const_eval(cond) {
+                        match v.truth() {
+                            Truth::True => {
+                                if let Some(e) = else_s {
+                                    out.push(Diagnostic::warning(
+                                        "dead-branch",
+                                        e.id(),
+                                        "condition is constantly true; the else \
+                                         branch never executes"
+                                            .to_string(),
+                                    ));
+                                }
+                            }
+                            Truth::False | Truth::Unknown => {
+                                out.push(Diagnostic::warning(
+                                    "dead-branch",
+                                    then_s.id(),
+                                    "condition is constantly false; the then \
+                                     branch never executes"
+                                        .to_string(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+
+        // Statements in CFG-unreachable blocks (code after `forever`).
+        if let Some(cfg) = proc_.cfg.as_ref() {
+            let reach = cfg.reachable();
+            for (i, block) in cfg.blocks.iter().enumerate() {
+                if reach[i] {
+                    continue;
+                }
+                if let Some(&first) = block.stmts.first() {
+                    out.push(Diagnostic::warning(
+                        "dead-branch",
+                        first,
+                        "statement is unreachable".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,81 @@
+//! Inferred-latch detection (the paper's "incomplete sensitivity /
+//! missing assignment" defect class).
+//!
+//! A combinational `always` process that assigns a signal on some but
+//! not all paths makes the signal hold its old value on the uncovered
+//! paths — synthesis infers a latch. The must-assign dataflow over the
+//! process [`Cfg`](crate::cfg::Cfg) finds exactly those signals; a
+//! defaultless, non-exhaustive `case` is reported separately because it
+//! is the most common way the coverage hole appears.
+
+use std::collections::BTreeSet;
+
+use cirfix_ast::visit::{walk_stmt, NodeRef};
+use cirfix_ast::{NodeId, Stmt};
+
+use crate::diagnostic::Diagnostic;
+use crate::structure::{Clocking, ModuleStructure};
+
+/// Runs the pass over one module.
+pub fn run(s: &ModuleStructure) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for proc_ in &s.processes {
+        if !proc_.is_always || proc_.clocking != Clocking::Combinational {
+            continue;
+        }
+        let (Some(body), Some(cfg)) = (proc_.body, proc_.cfg.as_ref()) else {
+            continue;
+        };
+
+        walk_stmt(body, &mut |n| {
+            if let NodeRef::Stmt(Stmt::Case {
+                id,
+                arms,
+                default: None,
+                ..
+            }) = n
+            {
+                if !s.full_cases.contains(id) {
+                    out.push(Diagnostic::warning(
+                        "incomplete-case",
+                        *id,
+                        format!(
+                            "case with {} arm(s) has no default and does not cover \
+                             every subject value; unmatched values latch the outputs",
+                            arms.len()
+                        ),
+                    ));
+                }
+            }
+        });
+
+        // Whole-signal writes are the only ones that fully define a
+        // signal, so only they count toward the must-assign set.
+        let assigns = &proc_.assigns;
+        let gen = |id: NodeId| -> Vec<String> {
+            assigns
+                .iter()
+                .filter(|a| a.stmt_id == id)
+                .flat_map(|a| a.whole.iter().cloned())
+                .collect()
+        };
+        let must = cfg.must_assign_at_exit(&gen);
+        let mut flagged = BTreeSet::new();
+        for a in assigns {
+            for name in &a.names {
+                if must.contains(name) || !flagged.insert(name.clone()) {
+                    continue;
+                }
+                out.push(Diagnostic::warning(
+                    "inferred-latch",
+                    a.stmt_id,
+                    format!(
+                        "`{name}` is not assigned on every path through this \
+                         combinational process; a latch is inferred"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,68 @@
+//! The pass registry: each pass is a pure function from a
+//! [`ModuleStructure`] to diagnostics, registered with its codes so
+//! tooling can enumerate what the linter checks.
+
+pub mod blocking;
+pub mod deadcode;
+pub mod latch;
+pub mod multidrive;
+pub mod width;
+pub mod xcompare;
+
+use crate::diagnostic::Diagnostic;
+use crate::structure::ModuleStructure;
+
+/// One registered lint pass.
+pub struct Pass {
+    /// Short pass name, e.g. `"latch"`.
+    pub name: &'static str,
+    /// The diagnostic codes the pass can emit.
+    pub codes: &'static [&'static str],
+    /// One-line description of what the pass looks for.
+    pub description: &'static str,
+    /// The pass body.
+    pub run: fn(&ModuleStructure) -> Vec<Diagnostic>,
+}
+
+/// Every pass, in the order they run.
+pub fn all_passes() -> &'static [Pass] {
+    static PASSES: &[Pass] = &[
+        Pass {
+            name: "latch",
+            codes: &["inferred-latch", "incomplete-case"],
+            description: "signals not assigned on every path of a combinational process",
+            run: latch::run,
+        },
+        Pass {
+            name: "blocking",
+            codes: &["blocking-in-sync", "nonblocking-in-comb"],
+            description: "assignment operator does not match the process's clocking style",
+            run: blocking::run,
+        },
+        Pass {
+            name: "multidrive",
+            codes: &["multiple-drivers"],
+            description: "one signal driven from several always blocks or continuous assigns",
+            run: multidrive::run,
+        },
+        Pass {
+            name: "deadcode",
+            codes: &["unreachable-arm", "dead-branch"],
+            description: "case arms shadowed by earlier labels and branches that never execute",
+            run: deadcode::run,
+        },
+        Pass {
+            name: "xcompare",
+            codes: &["x-comparison"],
+            description: "`==`/`!=` against x/z literals, which never match in four-state logic",
+            run: xcompare::run,
+        },
+        Pass {
+            name: "width",
+            codes: &["width-mismatch"],
+            description: "assignments whose right-hand side is wider than the target",
+            run: width::run,
+        },
+    ];
+    PASSES
+}

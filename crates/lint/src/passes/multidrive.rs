@@ -1,0 +1,41 @@
+//! Multiply-driven signal detection.
+//!
+//! A signal written as a whole from more than one construct (several
+//! `always` blocks, several continuous assigns, or a mix) races in
+//! simulation and shorts in synthesis. The driver map excludes
+//! `initial` blocks, so the common `initial clk = 0; always #5 clk =
+//! !clk;` testbench idiom is not flagged. Writes that are all partial
+//! (bit or part selects) are skipped: disjoint slices driven from
+//! different places are unusual but legal.
+
+use std::collections::BTreeSet;
+
+use crate::diagnostic::Diagnostic;
+use crate::structure::ModuleStructure;
+
+/// Runs the pass over one module.
+pub fn run(s: &ModuleStructure) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, sites) in &s.drivers {
+        let origins: BTreeSet<_> = sites.iter().map(|d| d.origin).collect();
+        if origins.len() < 2 || !sites.iter().any(|d| d.whole) {
+            continue;
+        }
+        // Anchor the finding at the first write that is not from the
+        // first driver — the likeliest "extra" driver.
+        let first = sites[0].origin;
+        let extra = sites
+            .iter()
+            .find(|d| d.origin != first)
+            .unwrap_or(&sites[0]);
+        out.push(Diagnostic::error(
+            "multiple-drivers",
+            extra.site,
+            format!(
+                "`{name}` is driven from {} distinct always/assign constructs",
+                origins.len()
+            ),
+        ));
+    }
+    out
+}

@@ -1,0 +1,43 @@
+//! X-prone comparisons.
+//!
+//! In four-state logic, `==`/`!=` against a literal containing `x` or
+//! `z` bits evaluates to `x` — never true — so `if (q == 4'bxxxx)`
+//! silently takes the else path on every simulation. The author almost
+//! certainly meant the case-equality operators (`===`/`!==`) or a
+//! `casez` wildcard.
+
+use cirfix_ast::visit::{walk_module, NodeRef};
+use cirfix_ast::{BinaryOp, Expr};
+
+use crate::diagnostic::Diagnostic;
+use crate::structure::ModuleStructure;
+
+fn is_xz_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Literal { value, .. } if value.has_unknown())
+}
+
+/// Runs the pass over one module.
+pub fn run(s: &ModuleStructure) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    walk_module(s.module, &mut |n| {
+        if let NodeRef::Expr(Expr::Binary {
+            id, op, lhs, rhs, ..
+        }) = n
+        {
+            if matches!(op, BinaryOp::Eq | BinaryOp::Neq)
+                && (is_xz_literal(lhs) || is_xz_literal(rhs))
+            {
+                let op_str = if *op == BinaryOp::Eq { "==" } else { "!=" };
+                out.push(Diagnostic::warning(
+                    "x-comparison",
+                    *id,
+                    format!(
+                        "`{op_str}` with an x/z literal always evaluates to x; \
+                         use `{op_str}=` (case equality) or casez"
+                    ),
+                ));
+            }
+        }
+    });
+    out
+}

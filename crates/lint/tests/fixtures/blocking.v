@@ -1,0 +1,10 @@
+// Fixture for the `blocking` pass: a blocking assignment in a clocked
+// block (error) and a nonblocking assignment in a combinational block
+// (warning).
+module blk (clk, d, q, y);
+  input clk, d;
+  output reg q;
+  output reg y;
+  always @(posedge clk) q = d;
+  always @(*) y <= d;
+endmodule

@@ -1,0 +1,17 @@
+// Fixture for the `deadcode` pass: the third case arm repeats the
+// label 2'b00 (unreachable), and the `if` condition is constant false
+// (dead then-branch).
+module dead (s, y);
+  input [1:0] s;
+  output reg y;
+  always @(*) begin
+    case (s)
+      2'b00: y = 1'b0;
+      2'b01: y = 1'b1;
+      2'b00: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+    if (1'b0)
+      y = 1'b1;
+  end
+endmodule

@@ -1,0 +1,14 @@
+// Fixture for the `latch` pass: `y` is only assigned when the single
+// case arm matches, and `z` only when `sel` is high — both latch.
+// The defaultless, non-full case is flagged too.
+module latchy (sel, a, b, y, z);
+  input sel, a, b;
+  output reg y, z;
+  always @(*) begin
+    case (sel)
+      1'b0: y = a;
+    endcase
+    if (sel)
+      z = b;
+  end
+endmodule

@@ -1,0 +1,8 @@
+// Fixture for the `multidrive` pass: `q` is written from two distinct
+// always blocks.
+module dd (clk, q);
+  input clk;
+  output reg q;
+  always @(posedge clk) q <= 1'b0;
+  always @(posedge clk) q <= 1'b1;
+endmodule

@@ -1,0 +1,9 @@
+// Fixture for the `width` pass: a 4-bit expression is truncated into
+// 2-bit sinks, once through a continuous assign and once procedurally.
+module wid (a, y);
+  input [3:0] a;
+  output reg [1:0] y;
+  wire [1:0] w;
+  assign w = a;
+  always @(*) y = a;
+endmodule

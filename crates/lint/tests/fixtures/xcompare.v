@@ -1,0 +1,12 @@
+// Fixture for the `xcompare` pass: `==` against a literal containing
+// x bits can only ever yield x, never true.
+module xc (a, y);
+  input [3:0] a;
+  output reg y;
+  always @(*) begin
+    if (a == 4'bxxxx)
+      y = 1'b1;
+    else
+      y = 1'b0;
+  end
+endmodule

@@ -309,13 +309,13 @@ impl<'a> Elaborator<'a> {
                     .map_err(|e| SimError::elab(format!("range in `{}`: {}", module.name, e.0)))?;
                 let lo = eval_const_u64(lsb, params)
                     .map_err(|e| SimError::elab(format!("range in `{}`: {}", module.name, e.0)))?;
-                if hi < lo {
-                    return Err(SimError::elab(format!(
+                let width = crate::width::part_select_width(hi, lo).ok_or_else(|| {
+                    SimError::elab(format!(
                         "descending ranges are not supported ([{hi}:{lo}] in `{}`)",
                         module.name
-                    )));
-                }
-                if hi - lo + 1 > crate::eval::MAX_SELECT_WIDTH {
+                    ))
+                })?;
+                if width > crate::eval::MAX_SELECT_WIDTH {
                     return Err(SimError::elab(format!(
                         "range [{hi}:{lo}] in `{}` exceeds the width limit",
                         module.name
@@ -427,12 +427,12 @@ impl<'a> Elaborator<'a> {
                     let lo = eval_const_u64(lsb, params).map_err(|e| {
                         SimError::elab(format!("part select in `{module_name}`: {}", e.0))
                     })?;
-                    if hi < lo {
-                        return Err(SimError::elab(format!(
+                    let width = crate::width::part_select_width(hi, lo).ok_or_else(|| {
+                        SimError::elab(format!(
                             "part-select msb < lsb on `{base}` in `{module_name}`"
-                        )));
-                    }
-                    if hi - lo + 1 > crate::eval::MAX_SELECT_WIDTH {
+                        ))
+                    })?;
+                    if width > crate::eval::MAX_SELECT_WIDTH {
                         return Err(SimError::elab(format!(
                             "part-select on `{base}` in `{module_name}` exceeds the width limit"
                         )));

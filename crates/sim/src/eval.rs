@@ -176,9 +176,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
             let lo = eval_expr(lsb, ctx)?
                 .to_u64()
                 .ok_or_else(|| EvalFault::new("part-select bound is unknown"))?;
-            let width = hi
-                .checked_sub(lo)
-                .and_then(|d| d.checked_add(1))
+            let width = crate::width::part_select_width(hi, lo)
                 .ok_or_else(|| EvalFault::new("part-select msb < lsb"))?;
             if width > MAX_SELECT_WIDTH {
                 return Err(EvalFault::new(format!(
@@ -231,8 +229,14 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
             Ok(LogicVec::concat(&vals).replicate(n as usize))
         }
         Expr::SysCall { name, .. } => match name.as_str() {
-            "time" => Ok(LogicVec::from_u64(ctx.time, 64)),
-            "random" => Ok(LogicVec::from_u64(u64::from(ctx.rng.next_u32()), 32)),
+            "time" => Ok(LogicVec::from_u64(
+                ctx.time,
+                crate::width::SYSCALL_TIME_WIDTH,
+            )),
+            "random" => Ok(LogicVec::from_u64(
+                u64::from(ctx.rng.next_u32()),
+                crate::width::SYSCALL_RANDOM_WIDTH,
+            )),
             other => Err(EvalFault::new(format!(
                 "unsupported system function ${other}"
             ))),

@@ -45,6 +45,7 @@ mod error;
 mod eval;
 mod probe;
 pub mod vcd;
+pub mod width;
 
 pub use compile::{CompileError, Op, Program, WaitSpec};
 pub use design::{

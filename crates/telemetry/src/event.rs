@@ -69,6 +69,22 @@ pub struct SimStats {
     pub peak_queue_depth: u64,
 }
 
+/// One static-analysis diagnostic (a lint finding, or a mutant rejected
+/// by the repair loop's static filter before simulation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintEvent {
+    /// Module the diagnostic is anchored in.
+    pub module: String,
+    /// Stable diagnostic code, e.g. `"multiple-drivers"`.
+    pub code: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// AST node id the diagnostic points at.
+    pub node_id: u64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
 /// A closed span: a named phase and its wall-clock duration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpanEvent {
@@ -89,6 +105,8 @@ pub enum Event {
     FaultLoc(FaultLocEvent),
     /// One simulation run's effort counters.
     Sim(SimStats),
+    /// One static-analysis diagnostic.
+    Lint(LintEvent),
     /// A completed timing span.
     Span(SpanEvent),
 }
@@ -101,6 +119,7 @@ impl Event {
             Event::Candidate(_) => "candidate",
             Event::FaultLoc(_) => "fault_loc",
             Event::Sim(_) => "sim",
+            Event::Lint(_) => "lint",
             Event::Span(_) => "span",
         }
     }
@@ -143,6 +162,13 @@ impl Event {
                 ));
                 pairs.push(("peak_queue_depth", JsonValue::Uint(s.peak_queue_depth)));
             }
+            Event::Lint(l) => {
+                pairs.push(("module", JsonValue::Str(l.module.clone())));
+                pairs.push(("code", JsonValue::Str(l.code.clone())));
+                pairs.push(("severity", JsonValue::Str(l.severity.clone())));
+                pairs.push(("node_id", JsonValue::Uint(l.node_id)));
+                pairs.push(("message", JsonValue::Str(l.message.clone())));
+            }
             Event::Span(sp) => {
                 pairs.push(("name", JsonValue::Str(sp.name.clone())));
                 pairs.push(("nanos", JsonValue::Uint(sp.nanos)));
@@ -173,6 +199,13 @@ mod tests {
             }),
             Event::FaultLoc(FaultLocEvent::default()),
             Event::Sim(SimStats::default()),
+            Event::Lint(LintEvent {
+                module: "cnt".into(),
+                code: "multiple-drivers".into(),
+                severity: "error".into(),
+                node_id: 42,
+                message: "`q` is driven from 2 places".into(),
+            }),
             Event::Span(SpanEvent {
                 name: "repair \"quoted\"".into(),
                 nanos: 12345,

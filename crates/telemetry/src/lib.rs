@@ -27,7 +27,9 @@ mod metrics;
 mod observer;
 mod sink;
 
-pub use event::{CandidateEvent, Event, FaultLocEvent, GenerationStats, SimStats, SpanEvent};
+pub use event::{
+    CandidateEvent, Event, FaultLocEvent, GenerationStats, LintEvent, SimStats, SpanEvent,
+};
 pub use json::{validate_json_line, JsonValue};
 pub use metrics::{Counter, Gauge, MetricsRegistry, Span};
 pub use observer::Observer;

@@ -117,6 +117,8 @@ struct SummaryState {
     sim_timesteps: u64,
     nba_flushes: u64,
     peak_queue_depth: u64,
+    lint_errors: u64,
+    lint_warnings: u64,
     spans: Vec<(String, u64, u64)>, // name, count, total nanos
 }
 
@@ -163,6 +165,11 @@ impl SummarySink {
         let _ = writeln!(out, "  timesteps            {:>12}", s.sim_timesteps);
         let _ = writeln!(out, "  NBA flushes          {:>12}", s.nba_flushes);
         let _ = writeln!(out, "  peak queue depth     {:>12}", s.peak_queue_depth);
+        if s.lint_errors + s.lint_warnings > 0 {
+            let _ = writeln!(out, "lint:");
+            let _ = writeln!(out, "  errors               {:>12}", s.lint_errors);
+            let _ = writeln!(out, "  warnings             {:>12}", s.lint_warnings);
+        }
         if !s.spans.is_empty() {
             let _ = writeln!(out, "spans:");
             for (name, count, nanos) in &s.spans {
@@ -200,6 +207,13 @@ impl TelemetrySink for SummarySink {
                 s.sim_timesteps += m.timesteps;
                 s.nba_flushes += m.nba_flushes;
                 s.peak_queue_depth = s.peak_queue_depth.max(m.peak_queue_depth);
+            }
+            Event::Lint(l) => {
+                if l.severity == "error" {
+                    s.lint_errors += 1;
+                } else {
+                    s.lint_warnings += 1;
+                }
             }
             Event::Span(sp) => {
                 if let Some(entry) = s.spans.iter_mut().find(|(n, _, _)| *n == sp.name) {
