@@ -1,0 +1,75 @@
+//! Throughput benchmark for the parallel fitness-evaluation engine:
+//! evaluates the same batch of distinct candidate patches with 1, 2, 4,
+//! and 8 worker threads and reports evaluations/second and speedup over
+//! the serial baseline.
+//!
+//! Emits JSON lines (one record per worker count) to stdout and to
+//! `BENCH_speedup.json` (override the path with `CIRFIX_BENCH_OUT`).
+//! The record includes `host_cores`: on a single-core host the workers
+//! time-slice one CPU and the speedup honestly stays ≈1×; the ≥2×
+//! target is meaningful only where `host_cores >= jobs`.
+
+use std::time::Instant;
+
+use cirfix::{
+    all_stmt_ids, applicable_templates, evaluate_many, Edit, FaultLoc, FitnessParams, Patch,
+};
+use cirfix_benchmarks::scenario;
+
+fn main() {
+    let s = scenario("counter_reset").expect("scenario");
+    let problem = s.problem().expect("problem builds");
+
+    // The workload: every systematic single edit of the design (the
+    // same enumeration the brute-force baseline starts with), repeated
+    // until the batch is large enough to amortize pool startup.
+    let fl = FaultLoc::default();
+    let mut edits: Vec<Edit> = applicable_templates(&problem.source, &problem.design_modules, &fl);
+    edits.extend(
+        all_stmt_ids(&problem.source, &problem.design_modules)
+            .into_iter()
+            .map(|target| Edit::DeleteStmt { target }),
+    );
+    let singles: Vec<Patch> = edits.into_iter().map(Patch::single).collect();
+    let mut patches: Vec<Patch> = Vec::new();
+    while patches.len() < 256 {
+        patches.extend(singles.iter().cloned());
+    }
+    let params = FitnessParams::default();
+
+    // Warm-up: fault in the page cache and code paths before timing.
+    let warm = evaluate_many(&problem, &patches[..singles.len()], params, 1);
+    assert_eq!(warm.len(), singles.len());
+
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut records: Vec<String> = Vec::new();
+    let mut serial_rate = 0.0f64;
+    for jobs in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let results = evaluate_many(&problem, &patches, params, jobs);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(results.len(), patches.len());
+        let rate = patches.len() as f64 / wall;
+        if jobs == 1 {
+            serial_rate = rate;
+        }
+        let record = format!(
+            "{{\"bench\":\"speedup\",\"jobs\":{jobs},\"evals\":{},\"wall_s\":{wall:.4},\
+             \"evals_per_s\":{rate:.2},\"speedup\":{:.3},\"host_cores\":{host_cores}}}",
+            patches.len(),
+            rate / serial_rate,
+        );
+        println!("{record}");
+        records.push(record);
+    }
+
+    let out = std::env::var("CIRFIX_BENCH_OUT").unwrap_or_else(|_| "BENCH_speedup.json".into());
+    let body = records.join("\n") + "\n";
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("speedup: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("speedup: wrote {out}");
+}

@@ -7,12 +7,20 @@
 //! it enumerates single edits (then random multi-edit patches) in an
 //! arbitrary order and accepts only exact (fitness-1.0) matches, ignoring
 //! partial fitness signals.
+//!
+//! Like the GP engine, the baseline fans its simulations out over the
+//! parallel evaluation pool: patch generation stays serial (RNG draws
+//! unchanged), batches are evaluated across workers, and results merge
+//! back in submission order — so the accepted repair, the evaluation
+//! count, and the best-so-far trajectory are identical for any
+//! [`BruteConfig::jobs`] value.
 
 use std::time::{Duration, Instant};
 
 use cirfix_telemetry::{Event, Observer, Span};
 use rand::SeedableRng;
 
+use crate::engine::{resolve_jobs, run_batch};
 use crate::faultloc::FaultLoc;
 use crate::fitness::FitnessParams;
 use crate::mutation::{all_stmt_ids, mutate, MutationParams};
@@ -32,6 +40,13 @@ pub struct BruteConfig {
     pub seed: u64,
     /// Fitness weighting (used only for the success test).
     pub fitness: FitnessParams,
+    /// Evaluation worker threads; `0` means auto (see
+    /// [`resolve_jobs`](crate::resolve_jobs)). The outcome is
+    /// bit-identical for every value.
+    pub jobs: usize,
+    /// Patches per parallel dispatch (independent of `jobs`, so batch
+    /// composition does not depend on the worker count).
+    pub batch_size: usize,
     /// Telemetry destination. Defaults to a disabled observer.
     pub observer: Observer,
 }
@@ -43,6 +58,8 @@ impl Default for BruteConfig {
             max_evals: 10_000,
             seed: 1,
             fitness: FitnessParams::default(),
+            jobs: 0,
+            batch_size: 32,
             observer: Observer::none(),
         }
     }
@@ -55,21 +72,53 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
     let started = Instant::now();
     let _span = Span::enter("brute_force", config.observer.sink());
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let jobs = resolve_jobs(config.jobs);
+    let batch_size = config.batch_size.max(1);
+    let deadline = started.checked_add(config.timeout);
     let mut evals: u64 = 0;
+    let mut busy = Duration::ZERO;
     let mut best = (Patch::empty(), 0.0f64);
     let empty_fl = FaultLoc::default();
 
     let observer = &config.observer;
-    let totals = |evals: u64, wall: Duration| RunTotals {
+    let totals = |evals: u64, wall: Duration, busy: Duration| RunTotals {
         trials: 1,
         fitness_evals: evals,
         wall_time: wall,
         generations: 0,
         mutants_rejected_static: 0,
+        jobs: jobs as u32,
+        eval_busy: busy,
     };
-    let try_patch =
-        |patch: Patch, evals: &mut u64, best: &mut (Patch, f64)| -> Option<RepairResult> {
-            let eval = evaluate(problem, &patch, config.fitness);
+
+    // Evaluates one batch across the worker pool and merges the
+    // results in submission order, stopping at the first exact match —
+    // so the accepted patch is the first in *enumeration* order, not
+    // whichever simulation finishes first. Returns the winning result,
+    // or `None` to continue. `cut` is set when the batch was truncated
+    // by the deadline (the caller's loop then re-checks its budget).
+    let run_chunk = |patches: &[Patch],
+                     evals: &mut u64,
+                     busy: &mut Duration,
+                     best: &mut (Patch, f64),
+                     cut: &mut bool|
+     -> Option<RepairResult> {
+        // Budget reservation at dispatch: never simulate more patches
+        // than the evaluation budget allows.
+        let admit = (config.max_evals.saturating_sub(*evals) as usize).min(patches.len());
+        if admit < patches.len() {
+            *cut = true;
+        }
+        let (results, batch_busy) = run_batch(jobs, deadline, &patches[..admit], |patch| {
+            evaluate(problem, patch, config.fitness)
+        });
+        *busy += batch_busy;
+        for (patch, result) in patches[..admit].iter().zip(results) {
+            let Some(eval) = result else {
+                // Deadline cancelled the rest of the batch.
+                *cut = true;
+                return None;
+            };
             *evals += 1;
             observer.emit(|| Event::Candidate(eval.candidate_event(patch.len(), false)));
             if eval.score > best.1 {
@@ -81,7 +130,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
                     status: RepairStatus::Plausible,
                     best_fitness: 1.0,
                     unminimized_len: patch.len(),
-                    patch,
+                    patch: patch.clone(),
                     generations: 0,
                     fitness_evals: *evals,
                     wall_time: wall,
@@ -91,15 +140,16 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
                     cache_hits: 0,
                     rejected_static: 0,
                     minimize_evals: 0,
-                    totals: totals(*evals, wall),
+                    totals: totals(*evals, wall, *busy),
                 });
             }
-            None
-        };
+        }
+        None
+    };
 
     // Phase 1: systematic single edits — every applicable template
     // instance (with no fault localization, all nodes are fair game)
-    // plus deletion of every statement.
+    // plus deletion of every statement, evaluated batch by batch.
     let empty_fl_all = FaultLoc::default();
     let mut singles: Vec<Edit> =
         applicable_templates(&problem.source, &problem.design_modules, &empty_fl_all);
@@ -108,40 +158,65 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
             .into_iter()
             .map(|target| Edit::DeleteStmt { target }),
     );
-    for edit in singles {
+    let singles: Vec<Patch> = singles.into_iter().map(Patch::single).collect();
+    for chunk in singles.chunks(batch_size) {
         if started.elapsed() >= config.timeout || evals >= config.max_evals {
             break;
         }
-        if let Some(done) = try_patch(Patch::single(edit), &mut evals, &mut best) {
+        let mut cut = false;
+        if let Some(done) = run_chunk(chunk, &mut evals, &mut busy, &mut best, &mut cut) {
             return done;
+        }
+        if cut {
+            break;
         }
     }
 
-    // Phase 2: random multi-edit patches, unguided and uniform.
+    // Phase 2: random multi-edit patches, unguided and uniform. Patch
+    // generation consumes the RNG serially; `attempts` replays the
+    // serial engine's depth schedule (it counted evaluations, which
+    // equalled patches generated) deterministically for any job count.
     let params = MutationParams {
         fix_localization: false,
         ..MutationParams::default()
     };
-    while started.elapsed() < config.timeout && evals < config.max_evals {
-        let depth = 1 + (evals % 3) as usize;
-        let mut patch = Patch::empty();
-        for _ in 0..depth {
-            let (variant, _) = apply_patch(&problem.source, &problem.design_modules, &patch);
-            if let Some(edit) = mutate(
-                &variant,
-                &problem.design_modules,
-                &empty_fl,
-                params,
-                &mut rng,
-            ) {
-                patch = patch.with(edit);
+    let mut attempts = evals;
+    let mut dry = false;
+    while !dry && started.elapsed() < config.timeout && evals < config.max_evals {
+        let mut pending: Vec<Patch> = Vec::new();
+        while pending.len() < batch_size && evals + (pending.len() as u64) < config.max_evals {
+            let depth = 1 + (attempts % 3) as usize;
+            attempts += 1;
+            let mut patch = Patch::empty();
+            for _ in 0..depth {
+                let (variant, _) = apply_patch(&problem.source, &problem.design_modules, &patch);
+                if let Some(edit) = mutate(
+                    &variant,
+                    &problem.design_modules,
+                    &empty_fl,
+                    params,
+                    &mut rng,
+                ) {
+                    patch = patch.with(edit);
+                }
             }
+            if patch.is_empty() {
+                // Mutation found nothing to do; evaluate what we have
+                // and stop, like the serial engine did.
+                dry = true;
+                break;
+            }
+            pending.push(patch);
         }
-        if patch.is_empty() {
+        if pending.is_empty() {
             break;
         }
-        if let Some(done) = try_patch(patch, &mut evals, &mut best) {
+        let mut cut = false;
+        if let Some(done) = run_chunk(&pending, &mut evals, &mut busy, &mut best, &mut cut) {
             return done;
+        }
+        if cut {
+            break;
         }
     }
 
@@ -160,6 +235,6 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         cache_hits: 0,
         minimize_evals: 0,
         rejected_static: 0,
-        totals: totals(evals, wall),
+        totals: totals(evals, wall, busy),
     }
 }

@@ -66,6 +66,7 @@
 
 mod brute;
 mod crossover;
+mod engine;
 pub mod explain;
 mod faultloc;
 mod fitness;
@@ -82,6 +83,7 @@ mod verify;
 pub use brute::{brute_force_repair, BruteConfig};
 pub use cirfix_telemetry::Observer;
 pub use crossover::crossover;
+pub use engine::{evaluate_many, resolve_jobs};
 pub use faultloc::{fault_loc_event, fault_localization, FaultLoc};
 pub use fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
 pub use minimize::{minimize, minimize_observed};

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use crate::crossover::crossover;
 use crate::faultloc::{fault_loc_event, fault_localization, FaultLoc};
 use crate::fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
-use crate::minimize::minimize_observed;
+use crate::minimize::minimize;
 use crate::mutation::{mutate_with_prior, MutationParams};
 use crate::oracle::{simulate_with_probe, RepairProblem};
 use crate::patch::{apply_patch, Patch};
@@ -74,6 +74,16 @@ pub struct RepairConfig {
     /// Weight mutation targets by lint findings on the original
     /// design: implicated nodes are sampled more often.
     pub lint_prior: bool,
+    /// Worker threads for fitness evaluation. `0` means auto: the
+    /// `CIRFIX_JOBS` environment variable when set, otherwise
+    /// [`std::thread::available_parallelism`]. The search result is
+    /// bit-identical for every value — only wall-clock time changes.
+    pub jobs: usize,
+    /// Scheduling quantum: how many children accumulate before a batch
+    /// is dispatched to the worker pool. Deliberately *independent* of
+    /// [`RepairConfig::jobs`] so batch composition (and therefore the
+    /// result) does not depend on the worker count.
+    pub batch_size: usize,
     /// Telemetry destination. Defaults to a disabled observer, in which
     /// case no events are constructed.
     pub observer: Observer,
@@ -101,6 +111,8 @@ impl RepairConfig {
             max_patch_len: 32,
             static_filter: false,
             lint_prior: false,
+            jobs: 0,
+            batch_size: 32,
             observer: Observer::none(),
         }
     }
@@ -164,6 +176,12 @@ pub struct RunTotals {
     /// Candidate mutants rejected by the static lint filter before
     /// simulation (not included in [`RunTotals::fitness_evals`]).
     pub mutants_rejected_static: u64,
+    /// Resolved evaluation worker count ([`RepairConfig::jobs`] after
+    /// auto-detection).
+    pub jobs: u32,
+    /// Cumulative busy time across all evaluation workers. Worker
+    /// utilization is `eval_busy / (wall_time * jobs)`.
+    pub eval_busy: Duration,
 }
 
 /// The outcome of one repair trial.
@@ -214,7 +232,20 @@ impl RepairResult {
 pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -> Evaluation {
     let (variant, _) = apply_patch(&problem.source, &problem.design_modules, patch);
     let growth = node_count(&variant) as f64 / node_count(&problem.source).max(1) as f64;
-    match simulate_with_probe(&variant, &problem.top, &problem.probe, &problem.sim) {
+    evaluate_variant(problem, &variant, growth, params)
+}
+
+/// The simulation half of [`evaluate`]: scores an already-applied
+/// variant. Pure in its inputs, so worker threads can run it
+/// concurrently; all AST work (patch application, growth accounting)
+/// stays with the caller.
+pub(crate) fn evaluate_variant(
+    problem: &RepairProblem,
+    variant: &cirfix_ast::SourceFile,
+    growth: f64,
+    params: FitnessParams,
+) -> Evaluation {
+    match simulate_with_probe(variant, &problem.top, &problem.probe, &problem.sim) {
         Ok((outcome, trace, _)) => {
             let report = fitness(&trace, &problem.oracle, params);
             Evaluation {
@@ -307,8 +338,40 @@ pub struct Repairer<'a> {
     prior: BTreeMap<NodeId, u32>,
     started: Instant,
     node_budget: usize,
+    // AST node count of the original source (growth denominator).
+    original_nodes: usize,
+    // Patch applications performed (AST work; cache hits do none).
+    patch_applies: u64,
+    // Resolved worker count and cumulative worker busy time.
+    jobs: usize,
+    busy: Duration,
     // Children per operator since the last GenerationStats emission.
     mix: OperatorMix,
+}
+
+/// What the coordinating thread decided about one batch item before
+/// dispatch. Only `Sim` items occupy a worker; everything else is
+/// settled without simulation.
+enum Prepared {
+    /// Answered from the trial cache.
+    Hit(Evaluation),
+    /// Duplicate of an earlier item in the same batch (an in-flight
+    /// dedup: it becomes a cache hit once that item merges).
+    Alias(usize),
+    /// Rejected pre-simulation (bloat or static lint gate).
+    /// `costs_eval` preserves the budget accounting of the serial
+    /// engine: bloat rejections consume a fitness evaluation, lint
+    /// rejections are free.
+    Reject {
+        eval: Evaluation,
+        lint: Option<(String, cirfix_lint::Diagnostic)>,
+        costs_eval: bool,
+    },
+    /// Needs a simulation: the applied variant and its growth factor.
+    Sim {
+        variant: cirfix_ast::SourceFile,
+        growth: f64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -322,8 +385,8 @@ impl<'a> Repairer<'a> {
     /// Creates a repair engine for one trial.
     pub fn new(problem: &'a RepairProblem, config: RepairConfig) -> Repairer<'a> {
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-        let node_budget =
-            ((node_count(&problem.source) as f64) * config.max_growth.max(1.0)).ceil() as usize;
+        let original_nodes = node_count(&problem.source);
+        let node_budget = ((original_nodes as f64) * config.max_growth.max(1.0)).ceil() as usize;
         let filter = config
             .static_filter
             .then(|| StaticFilter::new(&problem.source, &problem.design_modules));
@@ -332,6 +395,7 @@ impl<'a> Repairer<'a> {
         } else {
             BTreeMap::new()
         };
+        let jobs = crate::engine::resolve_jobs(config.jobs);
         Repairer {
             problem,
             config,
@@ -345,6 +409,10 @@ impl<'a> Repairer<'a> {
             prior,
             started: Instant::now(),
             node_budget,
+            original_nodes,
+            patch_applies: 0,
+            jobs,
+            busy: Duration::ZERO,
             mix: OperatorMix::default(),
         }
     }
@@ -355,74 +423,121 @@ impl<'a> Repairer<'a> {
         self.evals
     }
 
+    /// Evaluations answered from the trial cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Patch applications performed so far — the AST work of the trial.
+    /// A cache hit performs none (see the cache test suite).
+    pub fn patch_applies(&self) -> u64 {
+        self.patch_applies
+    }
+
+    /// The resolved evaluation worker count for this trial.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     fn out_of_budget(&self) -> bool {
         self.evals >= self.config.max_fitness_evals || self.started.elapsed() >= self.config.timeout
     }
 
-    fn evaluate_cached(&mut self, patch: &Patch) -> Evaluation {
+    /// A score-0 evaluation for a variant rejected before simulation.
+    fn rejection(&self, error: String, growth: f64) -> Evaluation {
+        Evaluation {
+            score: 0.0,
+            compiled: false,
+            mismatched: self
+                .problem
+                .oracle
+                .vars()
+                .iter()
+                .map(|v| strip_hierarchy(v))
+                .collect(),
+            report: None,
+            error: Some(error),
+            growth,
+            sim_metrics: None,
+        }
+    }
+
+    /// Classifies one patch before dispatch (coordinating thread only):
+    /// cache lookup, patch application, bloat check, and the static
+    /// lint gate. Cache hits do zero AST work. Only `Prepared::Sim`
+    /// items go on to occupy an evaluation worker.
+    fn prepare(&mut self, patch: &Patch) -> Prepared {
         if let Some(e) = self.cache.get(patch) {
-            let eval = e.clone();
-            self.cache_hits += 1;
-            self.config
-                .observer
-                .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
-            return eval;
+            return Prepared::Hit(e.clone());
         }
         let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
+        self.patch_applies += 1;
         let variant_nodes = node_count(&variant);
-        let growth = variant_nodes as f64 / node_count(&self.problem.source).max(1) as f64;
-        // Static rejections are free (no simulation ran), so they do
-        // not count against the fitness-evaluation budget.
-        let mut simulated = true;
-        let eval = if variant_nodes > self.node_budget {
-            // Bloat rejection: treated like a compile failure.
-            Evaluation {
-                score: 0.0,
-                compiled: false,
-                mismatched: self
-                    .problem
-                    .oracle
-                    .vars()
-                    .iter()
-                    .map(|v| strip_hierarchy(v))
-                    .collect(),
-                report: None,
-                error: Some("variant exceeds the AST growth budget".to_string()),
-                growth,
-                sim_metrics: None,
-            }
-        } else if let Some((module, diag)) = self.filter.as_ref().and_then(|f| f.check(&variant)) {
-            // Lint gate: the mutation introduced a new error-severity
-            // static finding; score 0 without paying for simulation.
-            simulated = false;
-            self.rejected_static += 1;
-            self.config
-                .observer
-                .emit(|| cirfix_lint::diagnostic_event(&module, &diag));
-            Evaluation {
-                score: 0.0,
-                compiled: false,
-                mismatched: self
-                    .problem
-                    .oracle
-                    .vars()
-                    .iter()
-                    .map(|v| strip_hierarchy(v))
-                    .collect(),
-                report: None,
-                error: Some(format!(
-                    "rejected by static filter: {}",
-                    diag.render(&module)
-                )),
-                growth,
-                sim_metrics: None,
-            }
-        } else {
-            evaluate(self.problem, patch, self.config.fitness)
-        };
-        if simulated {
-            self.evals += 1;
+        let growth = variant_nodes as f64 / self.original_nodes.max(1) as f64;
+        if variant_nodes > self.node_budget {
+            // Bloat rejection: treated like a compile failure, and (like
+            // the serial engine) charged against the evaluation budget.
+            return Prepared::Reject {
+                eval: self.rejection("variant exceeds the AST growth budget".to_string(), growth),
+                lint: None,
+                costs_eval: true,
+            };
         }
+        if let Some((module, diag)) = self.filter.as_ref().and_then(|f| f.check(&variant)) {
+            // Lint gate: the mutation introduced a new error-severity
+            // static finding; score 0 without occupying a worker. Free
+            // (no simulation ran), so no budget is consumed.
+            let error = format!("rejected by static filter: {}", diag.render(&module));
+            return Prepared::Reject {
+                eval: self.rejection(error, growth),
+                lint: Some((module, diag)),
+                costs_eval: false,
+            };
+        }
+        Prepared::Sim { variant, growth }
+    }
+
+    /// Settles one prepared item (coordinating thread, submission
+    /// order): counts budgets, emits telemetry, and inserts into the
+    /// cache. `sim` carries the worker's result for `Prepared::Sim`
+    /// items; `None` there means the deadline cancelled the simulation.
+    fn commit(
+        &mut self,
+        patch: &Patch,
+        prepared: Prepared,
+        sim: Option<Evaluation>,
+    ) -> Option<Evaluation> {
+        let eval = match prepared {
+            Prepared::Hit(eval) => {
+                self.cache_hits += 1;
+                self.config
+                    .observer
+                    .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
+                return Some(eval);
+            }
+            Prepared::Alias(_) => unreachable!("aliases are resolved by the batch merge"),
+            Prepared::Reject {
+                eval,
+                lint,
+                costs_eval,
+            } => {
+                if costs_eval {
+                    self.evals += 1;
+                }
+                if let Some((module, diag)) = lint {
+                    self.rejected_static += 1;
+                    self.config
+                        .observer
+                        .emit(|| cirfix_lint::diagnostic_event(&module, &diag));
+                }
+                eval
+            }
+            Prepared::Sim { .. } => {
+                let eval = sim?;
+                self.evals += 1;
+                eval
+            }
+        };
         if self.config.observer.enabled() {
             if let Some(m) = &eval.sim_metrics {
                 self.config.observer.record(&Event::Sim(sim_stats(m)));
@@ -432,7 +547,130 @@ impl<'a> Repairer<'a> {
                 .record(&Event::Candidate(eval.candidate_event(patch.len(), false)));
         }
         self.cache.insert(patch.clone(), eval.clone());
-        eval
+        Some(eval)
+    }
+
+    /// Evaluates one patch synchronously through the trial cache — used
+    /// for the original design and for guaranteed-cached lookups inside
+    /// reproduction. Never consults the evaluation budget.
+    pub fn evaluate_patch(&mut self, patch: &Patch) -> Evaluation {
+        let prepared = self.prepare(patch);
+        let sim = match &prepared {
+            Prepared::Sim { variant, growth } => Some(evaluate_variant(
+                self.problem,
+                variant,
+                *growth,
+                self.config.fitness,
+            )),
+            _ => None,
+        };
+        self.commit(patch, prepared, sim)
+            .expect("synchronous evaluation never hits a deadline")
+    }
+
+    /// Evaluates a batch of patches across the worker pool and merges
+    /// the results back in submission order.
+    ///
+    /// The returned vector aligns with `patches`; `Some` entries form a
+    /// prefix. A `None` tail means the batch was cut short — either the
+    /// evaluation budget ran out at dispatch time (budget slots are
+    /// reserved in submission order on the coordinating thread, so
+    /// `max_fitness_evals` is never exceeded) or the wall-clock
+    /// deadline cancelled in-flight work. Everything order-sensitive
+    /// (cache inserts, counters, telemetry) happens here, identically
+    /// for every worker count.
+    fn evaluate_batch(&mut self, patches: &[Patch]) -> Vec<Option<Evaluation>> {
+        // Classify in submission order, deduplicating identical
+        // in-flight patches against the first occurrence.
+        let mut first_seen: HashMap<&Patch, usize> = HashMap::new();
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(patches.len());
+        for (i, patch) in patches.iter().enumerate() {
+            match first_seen.get(patch) {
+                Some(&j) => prepared.push(Prepared::Alias(j)),
+                None => {
+                    first_seen.insert(patch, i);
+                    let p = self.prepare(patch);
+                    prepared.push(p);
+                }
+            }
+        }
+        // Reserve budget slots in submission order; the first item that
+        // cannot reserve truncates the batch deterministically.
+        let mut budget = self.config.max_fitness_evals.saturating_sub(self.evals);
+        let mut admitted = patches.len();
+        for (i, p) in prepared.iter().enumerate() {
+            let costs = matches!(
+                p,
+                Prepared::Sim { .. }
+                    | Prepared::Reject {
+                        costs_eval: true,
+                        ..
+                    }
+            );
+            if costs {
+                if budget == 0 {
+                    admitted = i;
+                    break;
+                }
+                budget -= 1;
+            }
+        }
+        // Fan the simulations out; everything else never leaves the
+        // coordinating thread.
+        let deadline = self.started.checked_add(self.config.timeout);
+        let sims: Vec<(usize, &cirfix_ast::SourceFile, f64)> = prepared[..admitted]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Prepared::Sim { variant, growth } => Some((i, variant, *growth)),
+                _ => None,
+            })
+            .collect();
+        let problem = self.problem;
+        let params = self.config.fitness;
+        let (outcomes, busy) =
+            crate::engine::run_batch(self.jobs, deadline, &sims, |&(_, variant, growth)| {
+                evaluate_variant(problem, variant, growth, params)
+            });
+        self.busy += busy;
+        let mut sim_results: HashMap<usize, Option<Evaluation>> = sims
+            .iter()
+            .zip(outcomes)
+            .map(|(&(i, _, _), r)| (i, r))
+            .collect();
+        // Merge in submission order. The first unresolved item (budget
+        // or deadline) ends the merge; later items are dropped rather
+        // than committed out of order.
+        let mut out: Vec<Option<Evaluation>> = Vec::with_capacity(patches.len());
+        let mut cut = false;
+        for (i, p) in prepared.into_iter().enumerate() {
+            if cut || i >= admitted {
+                out.push(None);
+                continue;
+            }
+            let merged = match p {
+                Prepared::Alias(j) => match &out[j] {
+                    Some(eval) => {
+                        let eval = eval.clone();
+                        self.cache_hits += 1;
+                        self.config.observer.emit(|| {
+                            Event::Candidate(eval.candidate_event(patches[i].len(), true))
+                        });
+                        Some(eval)
+                    }
+                    None => None,
+                },
+                p => {
+                    let sim = sim_results.remove(&i).flatten();
+                    self.commit(&patches[i], p, sim)
+                }
+            };
+            if merged.is_none() {
+                cut = true;
+            }
+            out.push(merged);
+        }
+        out
     }
 
     fn localize_variant(&self, variant: &cirfix_ast::SourceFile, eval: &Evaluation) -> FaultLoc {
@@ -465,15 +703,18 @@ impl<'a> Repairer<'a> {
         let pi = tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
         let (mut parent, mut parent_eval) = (popn[pi].0.clone(), popn[pi].1.clone());
         // Bloat control: over-long lineages reproduce from the original.
+        // (The empty patch is always cached — the original is evaluated
+        // before any reproduction — so these lookups do no AST work and
+        // stay on the coordinating thread.)
         if parent.len() > self.config.max_patch_len {
             parent = Patch::empty();
-            parent_eval = self.evaluate_cached(&parent);
+            parent_eval = self.evaluate_patch(&parent);
         }
         let (mut variant, _) =
             apply_patch(&self.problem.source, &self.problem.design_modules, &parent);
         if node_count(&variant) > self.node_budget {
             parent = Patch::empty();
-            parent_eval = self.evaluate_cached(&parent);
+            parent_eval = self.evaluate_patch(&parent);
             variant = self.problem.source.clone();
         }
         let fl = if self.config.relocalize {
@@ -540,8 +781,9 @@ impl<'a> Repairer<'a> {
     pub fn run(&mut self) -> RepairResult {
         let obs = self.config.observer.clone();
         let _span = Span::enter("repair", obs.sink());
+        let batch_size = self.config.batch_size.max(1);
         let original = Patch::empty();
-        let original_eval = self.evaluate_cached(&original);
+        let original_eval = self.evaluate_patch(&original);
         let original_fl = self.localize(&original, &original_eval);
 
         let mut best: (Patch, f64) = (original.clone(), original_eval.score);
@@ -553,20 +795,33 @@ impl<'a> Repairer<'a> {
 
         // Seed population (`seed_popn(C, popnSize)`): the original plus
         // single-edit variants *of the original* — matching GenProg's
-        // convention of seeding from the input program.
+        // convention of seeding from the input program. Children are
+        // generated serially (every RNG draw as before) into batches of
+        // `batch_size`, scored across the worker pool, and merged back
+        // in submission order; the first plausible child ends the phase
+        // without paying for anything beyond its own batch.
         let mut popn: Vec<(Patch, Evaluation)> = vec![(original.clone(), original_eval)];
-        while popn.len() < self.config.popn_size && !self.out_of_budget() && found.is_none() {
-            let children = self.reproduce(&popn[..1], &original_fl);
-            for child in children {
-                let eval = self.evaluate_cached(&child);
+        'seed: while popn.len() < self.config.popn_size && !self.out_of_budget() && found.is_none()
+        {
+            let mut pending: Vec<Patch> = Vec::new();
+            while popn.len() + pending.len() < self.config.popn_size && pending.len() < batch_size {
+                pending.extend(self.reproduce(&popn[..1], &original_fl));
+            }
+            let evals = self.evaluate_batch(&pending);
+            for (child, eval) in pending.into_iter().zip(evals) {
+                // A missing evaluation means the batch was cut short by
+                // the budget or the deadline.
+                let Some(eval) = eval else { break 'seed };
                 if eval.score > best.1 {
                     best = (child.clone(), eval.score);
                     improvement_steps.push(eval.score);
                 }
-                if eval.score >= 1.0 {
-                    found = Some(child.clone());
+                let plausible = eval.score >= 1.0;
+                popn.push((child.clone(), eval));
+                if plausible {
+                    found = Some(child);
+                    break 'seed;
                 }
-                popn.push((child, eval));
             }
         }
         // The seed population is "generation 0": every trace contains at
@@ -579,13 +834,19 @@ impl<'a> Repairer<'a> {
             && !self.out_of_budget()
         {
             let mut children: Vec<(Patch, Evaluation)> = Vec::new();
-            while children.len() < self.config.popn_size {
+            while children.len() < self.config.popn_size && found.is_none() {
                 if self.out_of_budget() {
                     break 'outer;
                 }
-                let new_children = self.reproduce(&popn, &original_fl);
-                for child in new_children {
-                    let eval = self.evaluate_cached(&child);
+                let mut pending: Vec<Patch> = Vec::new();
+                while children.len() + pending.len() < self.config.popn_size
+                    && pending.len() < batch_size
+                {
+                    pending.extend(self.reproduce(&popn, &original_fl));
+                }
+                let evals = self.evaluate_batch(&pending);
+                for (child, eval) in pending.into_iter().zip(evals) {
+                    let Some(eval) = eval else { break 'outer };
                     if eval.score > best.1 {
                         best = (child.clone(), eval.score);
                         improvement_steps.push(eval.score);
@@ -596,9 +857,6 @@ impl<'a> Repairer<'a> {
                         found = Some(child);
                         break;
                     }
-                }
-                if found.is_some() {
-                    break;
                 }
             }
             // Elitism: the top e% of the current population survive.
@@ -664,27 +922,43 @@ impl<'a> Repairer<'a> {
                 wall_time,
                 generations,
                 mutants_rejected_static: self.rejected_static,
+                jobs: self.jobs as u32,
+                eval_busy: self.busy,
             },
         }
     }
 
+    /// Minimizes a winning patch, answering plausibility probes from
+    /// the trial-level evaluation cache first: patches already scored
+    /// during the search are never re-simulated, and every probe — hit
+    /// or miss — lands in the same cache and the same counters as the
+    /// search's own evaluations.
     fn minimize_patch(&mut self, patch: &Patch) -> Patch {
+        let observer = self.config.observer.clone();
+        let _span = Span::enter("minimize", observer.sink());
         let problem = self.problem;
         let params = self.config.fitness;
-        let mut cache: HashMap<Patch, bool> = HashMap::new();
-        let mut evals = 0u64;
-        let minimized = minimize_observed(patch, &self.config.observer, |p| {
-            if let Some(v) = cache.get(p) {
-                return *v;
-            }
-            evals += 1;
-            let ok = evaluate(problem, p, params).score >= 1.0;
-            cache.insert(p.clone(), ok);
-            ok
-        });
-        self.evals += evals;
-        self.minimize_evals += evals;
-        minimized
+        let cache = &mut self.cache;
+        let cache_hits = &mut self.cache_hits;
+        let evals = &mut self.evals;
+        let minimize_evals = &mut self.minimize_evals;
+        minimize(patch, |p| {
+            let (eval, cached) = match cache.get(p) {
+                Some(e) => {
+                    *cache_hits += 1;
+                    (e.clone(), true)
+                }
+                None => {
+                    let e = evaluate(problem, p, params);
+                    *evals += 1;
+                    *minimize_evals += 1;
+                    cache.insert(p.clone(), e.clone());
+                    (e, false)
+                }
+            };
+            observer.emit(|| Event::Candidate(eval.candidate_event(p.len(), cached)));
+            eval.score >= 1.0
+        })
     }
 }
 
@@ -716,6 +990,8 @@ pub fn repair_with_trials(
         totals.wall_time += result.wall_time;
         totals.generations += result.generations;
         totals.mutants_rejected_static += result.rejected_static;
+        totals.jobs = result.totals.jobs;
+        totals.eval_busy += result.totals.eval_busy;
         result.totals = totals.clone();
         if result.is_plausible() {
             return result;
@@ -723,4 +999,113 @@ pub fn repair_with_trials(
         last = Some(result);
     }
     last.expect("at least one trial ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::all_stmt_ids;
+    use crate::oracle::oracle_from_golden;
+    use crate::patch::Edit;
+    use cirfix_parser::parse;
+    use cirfix_sim::{ProbeSpec, SimConfig};
+
+    const GOLDEN: &str = "
+module cnt (c, r, q); input c, r; output reg [1:0] q;
+  always @(posedge c) if (r) q <= 0; else q <= q + 1;
+endmodule";
+
+    const FAULTY: &str = "
+module cnt (c, r, q); input c, r; output reg [1:0] q;
+  always @(posedge c) if (!r) q <= 0; else q <= q + 1;
+endmodule";
+
+    const TB: &str = "
+module tb; reg c, r; wire [1:0] q; cnt dut (c, r, q);
+  initial begin c = 0; r = 1; #12 r = 0; end
+  always #5 c = !c;
+  initial #120 $finish;
+endmodule";
+
+    fn problem() -> RepairProblem {
+        let probe = ProbeSpec::periodic(vec!["q".into()], 5, 10);
+        let sim = SimConfig {
+            max_time: 200,
+            max_total_ops: 100_000,
+            max_deltas: 1000,
+            ..SimConfig::default()
+        };
+        let mut golden = parse(GOLDEN).unwrap();
+        golden.extend_from(parse(TB).unwrap());
+        let oracle = oracle_from_golden(&golden, "tb", &probe, &sim).unwrap();
+        let mut source = parse(FAULTY).unwrap();
+        source.extend_from(parse(TB).unwrap());
+        RepairProblem {
+            source,
+            top: "tb".into(),
+            design_modules: vec!["cnt".into()],
+            probe,
+            oracle,
+            sim,
+        }
+    }
+
+    fn delete_patches(problem: &RepairProblem, n: usize) -> Vec<Patch> {
+        all_stmt_ids(&problem.source, &problem.design_modules)
+            .into_iter()
+            .take(n)
+            .map(|target| Patch::single(Edit::DeleteStmt { target }))
+            .collect()
+    }
+
+    #[test]
+    fn batch_dedups_in_flight_duplicate_patches() {
+        let problem = problem();
+        let mut r = Repairer::new(&problem, RepairConfig::fast(1));
+        let patch = delete_patches(&problem, 1).pop().unwrap();
+        let batch = vec![patch.clone(), patch.clone(), patch];
+        let out = r.evaluate_batch(&batch);
+        assert!(out.iter().all(Option::is_some));
+        let bits: Vec<u64> = out
+            .iter()
+            .map(|e| e.as_ref().unwrap().score.to_bits())
+            .collect();
+        assert_eq!(bits[0], bits[1]);
+        assert_eq!(bits[0], bits[2]);
+        assert_eq!(r.fitness_evals(), 1, "duplicates simulate once");
+        assert_eq!(r.cache_hits(), 2, "aliases count as cache hits");
+        assert_eq!(r.patch_applies(), 1, "aliases do zero AST work");
+    }
+
+    #[test]
+    fn batch_truncates_at_budget_exhaustion() {
+        let problem = problem();
+        let mut config = RepairConfig::fast(1);
+        config.max_fitness_evals = 2;
+        let mut r = Repairer::new(&problem, config);
+        let batch = delete_patches(&problem, 4);
+        assert_eq!(batch.len(), 4);
+        let out = r.evaluate_batch(&batch);
+        assert!(out[0].is_some());
+        assert!(out[1].is_some());
+        assert!(out[2].is_none(), "third item exceeds the budget");
+        assert!(out[3].is_none());
+        assert_eq!(r.fitness_evals(), 2);
+    }
+
+    #[test]
+    fn batch_cache_hits_are_free_of_budget() {
+        let problem = problem();
+        let mut config = RepairConfig::fast(1);
+        config.max_fitness_evals = 1;
+        let mut r = Repairer::new(&problem, config);
+        let patch = delete_patches(&problem, 1).pop().unwrap();
+        assert!(r.evaluate_batch(std::slice::from_ref(&patch))[0].is_some());
+        assert_eq!(r.fitness_evals(), 1);
+        // Budget is spent, but a cached patch still resolves.
+        let out = r.evaluate_batch(std::slice::from_ref(&patch));
+        assert!(out[0].is_some(), "cache hits bypass the exhausted budget");
+        assert_eq!(r.fitness_evals(), 1);
+        assert_eq!(r.cache_hits(), 1);
+    }
 }

@@ -27,6 +27,8 @@ use std::path::{Path, PathBuf};
 /// | `timeout_s` | wall clock per trial (seconds) | `120` |
 /// | `max_evals` | fitness evaluations per trial | `6000` |
 /// | `phi` | x/z penalty weight | `2.0` |
+/// | `jobs` | evaluation worker threads; `0` = auto (`$CIRFIX_JOBS`, else all cores) | `0` |
+/// | `batch_size` | candidates per parallel dispatch | `32` |
 /// | `output` | where to write the repaired design | `repaired.v` |
 #[derive(Debug, Clone, Default)]
 pub struct Config {

@@ -29,6 +29,16 @@
 //! --lint-prior         bias mutation targets toward lint findings
 //! ```
 //!
+//! Parallel evaluation (for `repair`):
+//!
+//! ```text
+//! --jobs N             fitness-evaluation worker threads; 0 (the
+//!                      default) means auto — $CIRFIX_JOBS when set,
+//!                      otherwise every available core. Results are
+//!                      bit-identical for every value of N.
+//! --batch-size N       candidates per parallel dispatch (default 32)
+//! ```
+//!
 //! See [`config::Config`] for the recognized keys.
 
 mod config;
@@ -195,6 +205,10 @@ fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Er
     };
     rc.static_filter = flag("static_filter");
     rc.lint_prior = flag("lint_prior");
+    // `0` = auto: the `CIRFIX_JOBS` environment variable when set,
+    // otherwise every available core.
+    rc.jobs = config.num_or("jobs", 0usize)?;
+    rc.batch_size = config.num_or("batch_size", rc.batch_size)?;
     Ok(rc)
 }
 
@@ -205,8 +219,12 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     rc.observer = telemetry.observer.clone();
     let trials = config.num_or("trials", 3u32)?;
     println!(
-        "searching: popn={} gens={} trials={trials} evals<={} timeout={:?}",
-        rc.popn_size, rc.max_generations, rc.max_fitness_evals, rc.timeout
+        "searching: popn={} gens={} trials={trials} evals<={} timeout={:?} jobs={}",
+        rc.popn_size,
+        rc.max_generations,
+        rc.max_fitness_evals,
+        rc.timeout,
+        cirfix::resolve_jobs(rc.jobs)
     );
     let result = repair_with_trials(&problem, &rc, trials);
     telemetry.observer.flush();
@@ -226,6 +244,15 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     println!("  cache hits       {:>12}", result.cache_hits);
     println!("  minimize evals   {:>12}", result.minimize_evals);
     println!("  wall clock       {:>12.1?}", t.wall_time);
+    println!("  eval workers     {:>12}", t.jobs);
+    if t.jobs > 0 && !t.wall_time.is_zero() {
+        // How much of the pool's theoretical capacity ran simulations.
+        let capacity = t.wall_time.as_secs_f64() * f64::from(t.jobs);
+        println!(
+            "  worker busy      {:>11.0}%",
+            100.0 * t.eval_busy.as_secs_f64() / capacity
+        );
+    }
     if let Some(summary) = &telemetry.summary {
         print!("{}", summary.report());
     }
