@@ -350,12 +350,15 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             out.push('#');
             write_expr(out, amount, 20);
             match body {
-                Some(b) => {
+                // A deleted (null) body prints like no body at all, so
+                // the print is a canonical form: parsing it back and
+                // re-printing yields the same text.
+                Some(b) if !matches!(**b, Stmt::Null { .. }) => {
                     out.push(' ');
                     write_stmt_inline(out, b, level);
                     out.push('\n');
                 }
-                None => out.push_str(";\n"),
+                _ => out.push_str(";\n"),
             }
         }
         Stmt::EventControl {
@@ -382,12 +385,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
                 }
             }
             match body {
-                Some(b) => {
+                Some(b) if !matches!(**b, Stmt::Null { .. }) => {
                     out.push(' ');
                     write_stmt_inline(out, b, level);
                     out.push('\n');
                 }
-                None => out.push_str(";\n"),
+                _ => out.push_str(";\n"),
             }
         }
         Stmt::EventTrigger { name, .. } => {
@@ -402,12 +405,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             write_expr(out, cond, 0);
             out.push(')');
             match body {
-                Some(b) => {
+                Some(b) if !matches!(**b, Stmt::Null { .. }) => {
                     out.push(' ');
                     write_stmt_inline(out, b, level);
                     out.push('\n');
                 }
-                None => out.push_str(";\n"),
+                _ => out.push_str(";\n"),
             }
         }
         Stmt::SysCall { name, args, .. } => {

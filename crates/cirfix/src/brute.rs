@@ -89,6 +89,8 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         mutants_rejected_static: 0,
         jobs: jobs as u32,
         eval_busy: busy,
+        store_hits: 0,
+        store_writes: 0,
     };
 
     // Evaluates one batch across the worker pool and merges the

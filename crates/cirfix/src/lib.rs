@@ -74,8 +74,10 @@ mod minimize;
 mod mutation;
 mod oracle;
 mod patch;
+pub mod persist;
 mod repair;
 mod select;
+pub mod session;
 mod staticfilter;
 mod templates;
 mod verify;
@@ -90,11 +92,16 @@ pub use minimize::{minimize, minimize_observed};
 pub use mutation::{all_stmt_ids, mutate, mutate_with_prior, MutationParams};
 pub use oracle::{degrade_oracle, oracle_from_golden, simulate_with_probe, RepairProblem};
 pub use patch::{apply_patch, ApplyStats, Edit, Patch, SensTemplate};
+pub use persist::{
+    patch_from_json, patch_to_json, problem_digest, result_to_canonical_json, session_digest,
+    variant_fingerprint,
+};
 pub use repair::{
     evaluate, repair, repair_with_trials, strip_hierarchy, Evaluation, RepairConfig, RepairResult,
     RepairStatus, Repairer, RunTotals,
 };
 pub use select::{elite_indices, tournament_select};
+pub use session::{repair_session, SessionError, SharedEvalCache};
 pub use staticfilter::{lint_prior, StaticFilter, LINT_BOOST};
 pub use templates::{applicable_templates, random_template};
 pub use verify::{combine, extract_modules, verify_repair, Verification};

@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 use cirfix_ast::print;
 use cirfix_ast::NodeId;
 use cirfix_sim::SimMetrics;
-use cirfix_telemetry::{Event, GenerationStats, Observer, SimStats, Span};
+use cirfix_store::Digest;
+use cirfix_telemetry::{Event, GenerationStats, Observer, SimStats, Span, StoreEvent};
 use rand::Rng;
 use rand::SeedableRng;
 
@@ -24,7 +25,9 @@ use crate::minimize::minimize;
 use crate::mutation::{mutate_with_prior, MutationParams};
 use crate::oracle::{simulate_with_probe, RepairProblem};
 use crate::patch::{apply_patch, Patch};
+use crate::persist::variant_fingerprint;
 use crate::select::{elite_indices, tournament_select};
+use crate::session::{Checkpoint, ResumeState, SessionRecorder, SharedEvalCache};
 use crate::staticfilter::{lint_prior, StaticFilter};
 use crate::templates::random_template;
 
@@ -84,6 +87,13 @@ pub struct RepairConfig {
     /// [`RepairConfig::jobs`] so batch composition (and therefore the
     /// result) does not depend on the worker count.
     pub batch_size: usize,
+    /// Stop right after writing the checkpoint for this generation
+    /// (0 = the seed population), returning
+    /// [`RepairStatus::Interrupted`]. A deterministic stand-in for
+    /// `kill -9` used by the resume tests and CI: the session log ends
+    /// exactly at a generation boundary, the worst-case place a real
+    /// crash can land.
+    pub halt_after: Option<u32>,
     /// Telemetry destination. Defaults to a disabled observer, in which
     /// case no events are constructed.
     pub observer: Observer,
@@ -113,6 +123,7 @@ impl RepairConfig {
             lint_prior: false,
             jobs: 0,
             batch_size: 32,
+            halt_after: None,
             observer: Observer::none(),
         }
     }
@@ -157,6 +168,10 @@ pub enum RepairStatus {
     Plausible,
     /// Generations, evaluations, or wall clock ran out.
     Exhausted,
+    /// The run stopped at a checkpoint ([`RepairConfig::halt_after`])
+    /// with the search unfinished; resume it with
+    /// [`crate::session::repair_session`].
+    Interrupted,
 }
 
 /// Aggregate resource totals for a whole run. For a single trial these
@@ -182,6 +197,11 @@ pub struct RunTotals {
     /// Cumulative busy time across all evaluation workers. Worker
     /// utilization is `eval_busy / (wall_time * jobs)`.
     pub eval_busy: Duration,
+    /// Evaluations answered from the persistent store (or the
+    /// cross-trial shared cache) instead of a fresh simulation.
+    pub store_hits: u64,
+    /// Evaluations written through to the persistent store.
+    pub store_writes: u64,
 }
 
 /// The outcome of one repair trial.
@@ -347,6 +367,23 @@ pub struct Repairer<'a> {
     busy: Duration,
     // Children per operator since the last GenerationStats emission.
     mix: OperatorMix,
+    // Second-level, fingerprint-keyed evaluation cache (cross-trial
+    // memory, or write-through persistent store). `None` keeps the
+    // engine store-free with zero fingerprinting overhead.
+    shared: Option<SharedEvalCache>,
+    // Scenario digest mixed into every variant fingerprint.
+    scenario: Option<Digest>,
+    store_hits: u64,
+    store_writes: u64,
+    // L1 inserts since the last checkpoint, as (patch, fingerprint):
+    // logged as a cache-delta record so a resumed run can restore the
+    // trial cache exactly.
+    pending_delta: Vec<(Patch, Digest)>,
+    // Session log writer; checkpoints are written at every generation
+    // boundary when present.
+    session: Option<SessionRecorder>,
+    // Checkpoint to restore instead of running the seed phase.
+    resume: Option<ResumeState>,
 }
 
 /// What the coordinating thread decided about one batch item before
@@ -358,6 +395,10 @@ enum Prepared {
     /// Duplicate of an earlier item in the same batch (an in-flight
     /// dedup: it becomes a cache hit once that item merges).
     Alias(usize),
+    /// Answered from the fingerprint-keyed shared cache (persistent
+    /// store or cross-trial memory): budget-free, like a cache hit, but
+    /// counted separately.
+    StoreHit { eval: Evaluation, key: Digest },
     /// Rejected pre-simulation (bloat or static lint gate).
     /// `costs_eval` preserves the budget accounting of the serial
     /// engine: bloat rejections consume a fitness evaluation, lint
@@ -366,11 +407,13 @@ enum Prepared {
         eval: Evaluation,
         lint: Option<(String, cirfix_lint::Diagnostic)>,
         costs_eval: bool,
+        key: Option<Digest>,
     },
     /// Needs a simulation: the applied variant and its growth factor.
     Sim {
         variant: cirfix_ast::SourceFile,
         growth: f64,
+        key: Option<Digest>,
     },
 }
 
@@ -414,7 +457,57 @@ impl<'a> Repairer<'a> {
             jobs,
             busy: Duration::ZERO,
             mix: OperatorMix::default(),
+            shared: None,
+            scenario: None,
+            store_hits: 0,
+            store_writes: 0,
+            pending_delta: Vec::new(),
+            session: None,
+            resume: None,
         }
+    }
+
+    /// Attaches a fingerprint-keyed shared evaluation cache (a
+    /// persistent store or a cross-trial in-memory cache). `scenario`
+    /// is the [`crate::persist::problem_digest`] mixed into every
+    /// variant fingerprint.
+    pub fn with_store(mut self, shared: SharedEvalCache, scenario: Digest) -> Repairer<'a> {
+        self.shared = Some(shared);
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Attaches a session log: a checkpoint is written at every
+    /// generation boundary. Retrieve the recorder back with
+    /// [`Repairer::take_session`] after the run.
+    pub fn with_session(mut self, recorder: SessionRecorder) -> Repairer<'a> {
+        self.session = Some(recorder);
+        self
+    }
+
+    /// Restores a checkpoint instead of running the seed phase:
+    /// [`Repairer::run`] continues from the recorded generation
+    /// boundary with the RNG, counters, trial cache, and population
+    /// exactly as they were.
+    pub fn with_resume(mut self, state: ResumeState) -> Repairer<'a> {
+        self.resume = Some(state);
+        self
+    }
+
+    /// Hands the session recorder back to the caller (the recorder
+    /// outlives one trial: a session spans several).
+    pub fn take_session(&mut self) -> Option<SessionRecorder> {
+        self.session.take()
+    }
+
+    /// Evaluations answered from the shared store so far.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits
+    }
+
+    /// Evaluations written through to the shared store so far.
+    pub fn store_writes(&self) -> u64 {
+        self.store_writes
     }
 
     /// Number of fitness probes so far (cache misses — each is one
@@ -472,6 +565,19 @@ impl<'a> Repairer<'a> {
         }
         let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
         self.patch_applies += 1;
+        // Content-addressed lookup in the shared cache: keyed by the
+        // canonical print of the patched design, so it survives node
+        // renumbering, process restarts, and different edit lists that
+        // produce the same variant. Fingerprinting only happens when a
+        // store is attached — the store-free engine is unchanged.
+        let key = self
+            .scenario
+            .map(|s| variant_fingerprint(s, &variant, &self.problem.design_modules));
+        if let (Some(shared), Some(key)) = (&self.shared, key) {
+            if let Some(eval) = shared.peek(key) {
+                return Prepared::StoreHit { eval, key };
+            }
+        }
         let variant_nodes = node_count(&variant);
         let growth = variant_nodes as f64 / self.original_nodes.max(1) as f64;
         if variant_nodes > self.node_budget {
@@ -481,6 +587,7 @@ impl<'a> Repairer<'a> {
                 eval: self.rejection("variant exceeds the AST growth budget".to_string(), growth),
                 lint: None,
                 costs_eval: true,
+                key,
             };
         }
         if let Some((module, diag)) = self.filter.as_ref().and_then(|f| f.check(&variant)) {
@@ -492,9 +599,37 @@ impl<'a> Repairer<'a> {
                 eval: self.rejection(error, growth),
                 lint: Some((module, diag)),
                 costs_eval: false,
+                key,
             };
         }
-        Prepared::Sim { variant, growth }
+        Prepared::Sim {
+            variant,
+            growth,
+            key,
+        }
+    }
+
+    /// Inserts a settled evaluation into the trial cache and, when a
+    /// key is known, records the (patch, fingerprint) pair for the next
+    /// cache-delta log record and writes the evaluation through to the
+    /// shared cache. Returns without any store work when no store is
+    /// attached.
+    fn insert_evaluation(&mut self, patch: &Patch, eval: &Evaluation, key: Option<Digest>) {
+        self.cache.insert(patch.clone(), eval.clone());
+        let Some(key) = key else { return };
+        self.pending_delta.push((patch.clone(), key));
+        if let Some(shared) = &self.shared {
+            if shared.insert(key, eval) {
+                self.store_writes += 1;
+                self.config.observer.emit(|| {
+                    Event::Store(StoreEvent {
+                        op: "write".into(),
+                        key: key.to_hex(),
+                        records: 1,
+                    })
+                });
+            }
+        }
     }
 
     /// Settles one prepared item (coordinating thread, submission
@@ -507,7 +642,7 @@ impl<'a> Repairer<'a> {
         prepared: Prepared,
         sim: Option<Evaluation>,
     ) -> Option<Evaluation> {
-        let eval = match prepared {
+        let (eval, key) = match prepared {
             Prepared::Hit(eval) => {
                 self.cache_hits += 1;
                 self.config
@@ -515,11 +650,30 @@ impl<'a> Repairer<'a> {
                     .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
                 return Some(eval);
             }
+            Prepared::StoreHit { eval, key } => {
+                // Answered from the shared cache: budget-free, no
+                // simulation, no Sim event — the warm-store tests count
+                // on exactly that.
+                self.store_hits += 1;
+                self.config.observer.emit(|| {
+                    Event::Store(StoreEvent {
+                        op: "hit".into(),
+                        key: key.to_hex(),
+                        records: 1,
+                    })
+                });
+                self.config
+                    .observer
+                    .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
+                self.insert_evaluation(patch, &eval, Some(key));
+                return Some(eval);
+            }
             Prepared::Alias(_) => unreachable!("aliases are resolved by the batch merge"),
             Prepared::Reject {
                 eval,
                 lint,
                 costs_eval,
+                key,
             } => {
                 if costs_eval {
                     self.evals += 1;
@@ -530,12 +684,12 @@ impl<'a> Repairer<'a> {
                         .observer
                         .emit(|| cirfix_lint::diagnostic_event(&module, &diag));
                 }
-                eval
+                (eval, key)
             }
-            Prepared::Sim { .. } => {
+            Prepared::Sim { key, .. } => {
                 let eval = sim?;
                 self.evals += 1;
-                eval
+                (eval, key)
             }
         };
         if self.config.observer.enabled() {
@@ -546,7 +700,7 @@ impl<'a> Repairer<'a> {
                 .observer
                 .record(&Event::Candidate(eval.candidate_event(patch.len(), false)));
         }
-        self.cache.insert(patch.clone(), eval.clone());
+        self.insert_evaluation(patch, &eval, key);
         Some(eval)
     }
 
@@ -556,7 +710,9 @@ impl<'a> Repairer<'a> {
     pub fn evaluate_patch(&mut self, patch: &Patch) -> Evaluation {
         let prepared = self.prepare(patch);
         let sim = match &prepared {
-            Prepared::Sim { variant, growth } => Some(evaluate_variant(
+            Prepared::Sim {
+                variant, growth, ..
+            } => Some(evaluate_variant(
                 self.problem,
                 variant,
                 *growth,
@@ -622,7 +778,9 @@ impl<'a> Repairer<'a> {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| match p {
-                Prepared::Sim { variant, growth } => Some((i, variant, *growth)),
+                Prepared::Sim {
+                    variant, growth, ..
+                } => Some((i, variant, *growth)),
                 _ => None,
             })
             .collect();
@@ -777,58 +935,208 @@ impl<'a> Repairer<'a> {
         self.mix = OperatorMix::default();
     }
 
+    /// Writes a cache-delta record plus a checkpoint at a generation
+    /// boundary and syncs the log. A no-op without a session.
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &mut self,
+        generation: u32,
+        popn: &[(Patch, Evaluation)],
+        best: &(Patch, f64),
+        history: &[f64],
+        improvement_steps: &[f64],
+        found: &Option<Patch>,
+    ) {
+        if self.session.is_none() {
+            return;
+        }
+        let delta = std::mem::take(&mut self.pending_delta);
+        let checkpoint = Checkpoint {
+            generation,
+            rng: self.rng.state(),
+            evals: self.evals,
+            cache_hits: self.cache_hits,
+            store_hits: self.store_hits,
+            store_writes: self.store_writes,
+            minimize_evals: self.minimize_evals,
+            rejected_static: self.rejected_static,
+            patch_applies: self.patch_applies,
+            elapsed: self.started.elapsed(),
+            busy: self.busy,
+            best_patch: best.0.clone(),
+            best_score: best.1,
+            history: history.to_vec(),
+            improvement_steps: improvement_steps.to_vec(),
+            population: popn.iter().map(|(p, _)| p.clone()).collect(),
+            found: found.clone(),
+        };
+        let recorder = self.session.as_mut().expect("session checked above");
+        recorder.cache_delta(&delta);
+        recorder.checkpoint(&checkpoint);
+        recorder.sync();
+        self.config.observer.emit(|| {
+            Event::Store(StoreEvent {
+                op: "checkpoint".into(),
+                key: String::new(),
+                records: popn.len() as u64,
+            })
+        });
+    }
+
+    /// Builds the terminal result for a [`RepairConfig::halt_after`]
+    /// stop: the search state is on disk, not in the result.
+    fn interrupted_result(
+        &self,
+        best: &(Patch, f64),
+        history: &[f64],
+        improvement_steps: &[f64],
+        generations: u32,
+    ) -> RepairResult {
+        let wall_time = self.started.elapsed();
+        RepairResult {
+            status: RepairStatus::Interrupted,
+            best_fitness: best.1,
+            patch: best.0.clone(),
+            unminimized_len: best.0.len(),
+            generations,
+            fitness_evals: self.evals,
+            wall_time,
+            history: history.to_vec(),
+            improvement_steps: improvement_steps.to_vec(),
+            repaired_source: None,
+            cache_hits: self.cache_hits,
+            minimize_evals: self.minimize_evals,
+            rejected_static: self.rejected_static,
+            totals: RunTotals {
+                trials: 1,
+                fitness_evals: self.evals,
+                wall_time,
+                generations,
+                mutants_rejected_static: self.rejected_static,
+                jobs: self.jobs as u32,
+                eval_busy: self.busy,
+                store_hits: self.store_hits,
+                store_writes: self.store_writes,
+            },
+        }
+    }
+
     /// Runs the trial to completion.
     pub fn run(&mut self) -> RepairResult {
         let obs = self.config.observer.clone();
         let _span = Span::enter("repair", obs.sink());
         let batch_size = self.config.batch_size.max(1);
         let original = Patch::empty();
-        let original_eval = self.evaluate_patch(&original);
-        let original_fl = self.localize(&original, &original_eval);
 
-        let mut best: (Patch, f64) = (original.clone(), original_eval.score);
-        let mut improvement_steps = vec![original_eval.score];
-        let mut history = Vec::new();
-        // The original is part of the population: if it already meets
-        // the oracle, there is nothing to repair.
-        let mut found: Option<Patch> = (original_eval.score >= 1.0).then(|| original.clone());
+        let mut best: (Patch, f64);
+        let mut improvement_steps: Vec<f64>;
+        let mut history: Vec<f64>;
+        let mut found: Option<Patch>;
+        let mut popn: Vec<(Patch, Evaluation)>;
+        let mut generations: u32;
+        let original_fl: FaultLoc;
 
-        // Seed population (`seed_popn(C, popnSize)`): the original plus
-        // single-edit variants *of the original* — matching GenProg's
-        // convention of seeding from the input program. Children are
-        // generated serially (every RNG draw as before) into batches of
-        // `batch_size`, scored across the worker pool, and merged back
-        // in submission order; the first plausible child ends the phase
-        // without paying for anything beyond its own batch.
-        let mut popn: Vec<(Patch, Evaluation)> = vec![(original.clone(), original_eval)];
-        'seed: while popn.len() < self.config.popn_size && !self.out_of_budget() && found.is_none()
-        {
-            let mut pending: Vec<Patch> = Vec::new();
-            while popn.len() + pending.len() < self.config.popn_size && pending.len() < batch_size {
-                pending.extend(self.reproduce(&popn[..1], &original_fl));
+        if let Some(state) = self.resume.take() {
+            // Restore the checkpoint: RNG, counters, clock, the trial
+            // cache, and the population — exactly as they were at the
+            // generation boundary. The restored cache entries are
+            // already in the session log, so they are *not* pushed to
+            // `pending_delta` again.
+            self.rng = rand::rngs::StdRng::from_state(state.rng);
+            self.evals = state.evals;
+            self.cache_hits = state.cache_hits;
+            self.store_hits = state.store_hits;
+            self.store_writes = state.store_writes;
+            self.minimize_evals = state.minimize_evals;
+            self.rejected_static = state.rejected_static;
+            self.patch_applies = state.patch_applies;
+            self.busy = state.busy;
+            self.started = Instant::now()
+                .checked_sub(state.elapsed)
+                .unwrap_or_else(Instant::now);
+            for (patch, eval, _) in &state.l1 {
+                self.cache.insert(patch.clone(), eval.clone());
             }
-            let evals = self.evaluate_batch(&pending);
-            for (child, eval) in pending.into_iter().zip(evals) {
-                // A missing evaluation means the batch was cut short by
-                // the budget or the deadline.
-                let Some(eval) = eval else { break 'seed };
-                if eval.score > best.1 {
-                    best = (child.clone(), eval.score);
-                    improvement_steps.push(eval.score);
+            best = state.best;
+            improvement_steps = state.improvement_steps;
+            history = state.history;
+            found = state.found;
+            popn = state.population;
+            generations = state.generation;
+            // Fault localization of the original is derived state:
+            // recompute it silently (the FaultLoc event is already in
+            // the pre-interruption trace).
+            let original_eval = self
+                .cache
+                .get(&original)
+                .expect("checkpointed cache always holds the original")
+                .clone();
+            original_fl = self.localize_variant(&self.problem.source, &original_eval);
+            let restored = u64::from(generations);
+            obs.emit(|| {
+                Event::Store(StoreEvent {
+                    op: "resume".into(),
+                    key: String::new(),
+                    records: restored,
+                })
+            });
+        } else {
+            let original_eval = self.evaluate_patch(&original);
+            original_fl = self.localize(&original, &original_eval);
+
+            best = (original.clone(), original_eval.score);
+            improvement_steps = vec![original_eval.score];
+            history = Vec::new();
+            // The original is part of the population: if it already
+            // meets the oracle, there is nothing to repair.
+            found = (original_eval.score >= 1.0).then(|| original.clone());
+
+            // Seed population (`seed_popn(C, popnSize)`): the original
+            // plus single-edit variants *of the original* — matching
+            // GenProg's convention of seeding from the input program.
+            // Children are generated serially (every RNG draw as
+            // before) into batches of `batch_size`, scored across the
+            // worker pool, and merged back in submission order; the
+            // first plausible child ends the phase without paying for
+            // anything beyond its own batch.
+            popn = vec![(original.clone(), original_eval)];
+            'seed: while popn.len() < self.config.popn_size
+                && !self.out_of_budget()
+                && found.is_none()
+            {
+                let mut pending: Vec<Patch> = Vec::new();
+                while popn.len() + pending.len() < self.config.popn_size
+                    && pending.len() < batch_size
+                {
+                    pending.extend(self.reproduce(&popn[..1], &original_fl));
                 }
-                let plausible = eval.score >= 1.0;
-                popn.push((child.clone(), eval));
-                if plausible {
-                    found = Some(child);
-                    break 'seed;
+                let evals = self.evaluate_batch(&pending);
+                for (child, eval) in pending.into_iter().zip(evals) {
+                    // A missing evaluation means the batch was cut
+                    // short by the budget or the deadline.
+                    let Some(eval) = eval else { break 'seed };
+                    if eval.score > best.1 {
+                        best = (child.clone(), eval.score);
+                        improvement_steps.push(eval.score);
+                    }
+                    let plausible = eval.score >= 1.0;
+                    popn.push((child.clone(), eval));
+                    if plausible {
+                        found = Some(child);
+                        break 'seed;
+                    }
                 }
+            }
+            // The seed population is "generation 0": every trace
+            // contains at least one GenerationStats event.
+            self.emit_generation(0, &popn, 0);
+            self.write_checkpoint(0, &popn, &best, &history, &improvement_steps, &found);
+            generations = 0;
+            if self.config.halt_after == Some(0) {
+                return self.interrupted_result(&best, &history, &improvement_steps, 0);
             }
         }
-        // The seed population is "generation 0": every trace contains at
-        // least one GenerationStats event.
-        self.emit_generation(0, &popn, 0);
 
-        let mut generations = 0;
         'outer: while found.is_none()
             && generations < self.config.max_generations
             && !self.out_of_budget()
@@ -870,6 +1178,17 @@ impl<'a> Repairer<'a> {
             generations += 1;
             history.push(best.1);
             self.emit_generation(u64::from(generations), &popn, elites);
+            self.write_checkpoint(
+                generations,
+                &popn,
+                &best,
+                &history,
+                &improvement_steps,
+                &found,
+            );
+            if self.config.halt_after == Some(generations) {
+                return self.interrupted_result(&best, &history, &improvement_steps, generations);
+            }
         }
 
         let (status, patch, unminimized_len, repaired_source) = match found {
@@ -924,6 +1243,8 @@ impl<'a> Repairer<'a> {
                 mutants_rejected_static: self.rejected_static,
                 jobs: self.jobs as u32,
                 eval_busy: self.busy,
+                store_hits: self.store_hits,
+                store_writes: self.store_writes,
             },
         }
     }
@@ -938,10 +1259,15 @@ impl<'a> Repairer<'a> {
         let _span = Span::enter("minimize", observer.sink());
         let problem = self.problem;
         let params = self.config.fitness;
+        let scenario = self.scenario;
+        let shared = self.shared.clone();
         let cache = &mut self.cache;
         let cache_hits = &mut self.cache_hits;
+        let store_hits = &mut self.store_hits;
+        let store_writes = &mut self.store_writes;
         let evals = &mut self.evals;
         let minimize_evals = &mut self.minimize_evals;
+        let pending_delta = &mut self.pending_delta;
         minimize(patch, |p| {
             let (eval, cached) = match cache.get(p) {
                 Some(e) => {
@@ -949,11 +1275,53 @@ impl<'a> Repairer<'a> {
                     (e.clone(), true)
                 }
                 None => {
-                    let e = evaluate(problem, p, params);
-                    *evals += 1;
-                    *minimize_evals += 1;
-                    cache.insert(p.clone(), e.clone());
-                    (e, false)
+                    // Minimization probes go through the same two-level
+                    // cache as the search: shared-cache hits are not
+                    // re-simulated, misses are written through.
+                    let (variant, _) = apply_patch(&problem.source, &problem.design_modules, p);
+                    let key =
+                        scenario.map(|s| variant_fingerprint(s, &variant, &problem.design_modules));
+                    let hit = match (key, &shared) {
+                        (Some(k), Some(sh)) => sh.peek(k).map(|e| (k, e)),
+                        _ => None,
+                    };
+                    match hit {
+                        Some((k, e)) => {
+                            *store_hits += 1;
+                            observer.emit(|| {
+                                Event::Store(StoreEvent {
+                                    op: "hit".into(),
+                                    key: k.to_hex(),
+                                    records: 1,
+                                })
+                            });
+                            cache.insert(p.clone(), e.clone());
+                            pending_delta.push((p.clone(), k));
+                            (e, true)
+                        }
+                        None => {
+                            let growth = node_count(&variant) as f64
+                                / node_count(&problem.source).max(1) as f64;
+                            let e = evaluate_variant(problem, &variant, growth, params);
+                            *evals += 1;
+                            *minimize_evals += 1;
+                            cache.insert(p.clone(), e.clone());
+                            if let Some(k) = key {
+                                pending_delta.push((p.clone(), k));
+                                if shared.as_ref().is_some_and(|sh| sh.insert(k, &e)) {
+                                    *store_writes += 1;
+                                    observer.emit(|| {
+                                        Event::Store(StoreEvent {
+                                            op: "write".into(),
+                                            key: k.to_hex(),
+                                            records: 1,
+                                        })
+                                    });
+                                }
+                            }
+                            (e, false)
+                        }
+                    }
                 }
             };
             observer.emit(|| Event::Candidate(eval.candidate_event(p.len(), cached)));
@@ -970,11 +1338,18 @@ pub fn repair(problem: &RepairProblem, config: RepairConfig) -> RepairResult {
 /// Runs up to `trials` independent trials with distinct seeds, stopping
 /// at the first plausible repair — the paper's experimental protocol
 /// (5 trials per defect scenario).
+///
+/// Trials share a fingerprint-keyed in-memory evaluation cache: a
+/// mutant already simulated by an earlier trial (or a different edit
+/// list producing the same design) is answered without re-simulation
+/// and counted in [`RunTotals::store_hits`].
 pub fn repair_with_trials(
     problem: &RepairProblem,
     base: &RepairConfig,
     trials: u32,
 ) -> RepairResult {
+    let scenario = crate::persist::problem_digest(problem, base);
+    let shared = SharedEvalCache::memory();
     let mut last = None;
     // Failed trials used to vanish entirely; their resource consumption
     // now accumulates into the returned result's totals.
@@ -984,7 +1359,9 @@ pub fn repair_with_trials(
             seed: base.seed.wrapping_add(u64::from(t)),
             ..base.clone()
         };
-        let mut result = repair(problem, config);
+        let mut result = Repairer::new(problem, config)
+            .with_store(shared.clone(), scenario)
+            .run();
         totals.trials += 1;
         totals.fitness_evals += result.fitness_evals;
         totals.wall_time += result.wall_time;
@@ -992,6 +1369,8 @@ pub fn repair_with_trials(
         totals.mutants_rejected_static += result.rejected_static;
         totals.jobs = result.totals.jobs;
         totals.eval_busy += result.totals.eval_busy;
+        totals.store_hits += result.totals.store_hits;
+        totals.store_writes += result.totals.store_writes;
         result.totals = totals.clone();
         if result.is_plausible() {
             return result;

@@ -1,0 +1,760 @@
+//! Resumable repair sessions over a persistent store.
+//!
+//! A *session* is one [`repair_session`] invocation: up to `trials`
+//! seeded GP trials over one scenario, identified by the
+//! [`crate::persist::session_digest`] of everything that shapes the
+//! search trajectory. The session writes three kinds of durable state
+//! into a [`Store`]:
+//!
+//! * **evaluations** — every simulated (or statically rejected)
+//!   variant, keyed by its content fingerprint, shared across trials,
+//!   sessions, and hosts;
+//! * **a session log** — a checkpoint at every generation boundary
+//!   (RNG state, counters, population, best-so-far) interleaved with
+//!   cache-delta records naming the trial-cache entries, so a killed
+//!   run resumes *bit-identically* from the last boundary;
+//! * **a corpus** — every plausible repair found, with its scenario,
+//!   seed, patch, and repaired source.
+//!
+//! Damaged records (torn tails, checksum mismatches) are detected,
+//! reported through telemetry, and skipped — a corrupted store degrades
+//! into extra simulations, never into a wrong cached fitness or a
+//! crash.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use cirfix_store::{field, field_str, field_u64, Digest, EvalWriter, SegmentWriter, Store};
+use cirfix_telemetry::{Event, JsonValue, StoreEvent};
+
+use crate::oracle::RepairProblem;
+use crate::patch::Patch;
+use crate::persist::{
+    evaluation_from_json, evaluation_to_json, patch_from_json, patch_to_json, problem_digest,
+    session_digest, totals_from_json, totals_to_json,
+};
+use crate::repair::{Evaluation, RepairConfig, RepairResult, RepairStatus, Repairer, RunTotals};
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// Why a session could not run or resume.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The store could not be read or written.
+    Io(io::Error),
+    /// The session log (or the evaluations it references) is too
+    /// damaged to resume from. Re-running without `--resume` starts the
+    /// session over, still reusing every intact cached evaluation.
+    Corrupt(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Io(e) => write!(f, "store I/O error: {e}"),
+            SessionError::Corrupt(msg) => write!(f, "session log unusable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<io::Error> for SessionError {
+    fn from(e: io::Error) -> SessionError {
+        SessionError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared evaluation cache (L2)
+
+struct CacheInner {
+    mem: std::sync::Mutex<HashMap<u128, Evaluation>>,
+    writer: Option<std::sync::Mutex<EvalWriter>>,
+}
+
+/// A fingerprint-keyed evaluation cache shared across trials — and,
+/// when opened over a [`Store`], across processes: lookups answer from
+/// memory, inserts write through to an append-only on-disk segment.
+///
+/// Cloning is cheap (an `Arc`); all clones share one cache.
+#[derive(Clone)]
+pub struct SharedEvalCache {
+    inner: std::sync::Arc<CacheInner>,
+}
+
+impl SharedEvalCache {
+    /// An in-memory cache with no disk backing (cross-trial reuse
+    /// within one process).
+    pub fn memory() -> SharedEvalCache {
+        SharedEvalCache {
+            inner: std::sync::Arc::new(CacheInner {
+                mem: std::sync::Mutex::new(HashMap::new()),
+                writer: None,
+            }),
+        }
+    }
+
+    /// Opens the persistent cache of `store`, loading every intact
+    /// evaluation record. Returns the cache and the number of damaged
+    /// or undecodable records that were skipped.
+    pub fn open(store: &Store) -> io::Result<(SharedEvalCache, u64)> {
+        let (entries, health) = store.load_evals()?;
+        let mut damaged = (health.corrupt + health.torn) as u64;
+        let mut mem = HashMap::new();
+        for (key, body) in entries {
+            match field(&body, "eval").map(evaluation_from_json) {
+                Some(Ok(eval)) => {
+                    // Evaluations are deterministic in their key, so
+                    // duplicate records (e.g. two writer processes) are
+                    // interchangeable; first record wins.
+                    mem.entry(key.0).or_insert(eval);
+                }
+                _ => damaged += 1,
+            }
+        }
+        Ok((
+            SharedEvalCache {
+                inner: std::sync::Arc::new(CacheInner {
+                    mem: std::sync::Mutex::new(mem),
+                    writer: Some(std::sync::Mutex::new(store.eval_writer())),
+                }),
+            },
+            damaged,
+        ))
+    }
+
+    /// Looks up an evaluation by fingerprint.
+    pub fn peek(&self, key: Digest) -> Option<Evaluation> {
+        self.inner
+            .mem
+            .lock()
+            .expect("cache poisoned")
+            .get(&key.0)
+            .cloned()
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.inner.mem.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an evaluation, writing it through to disk when the
+    /// cache is store-backed. Returns `true` only when a record was
+    /// persisted (a new key on a disk-backed cache); repeat inserts
+    /// and memory-only caches return `false`.
+    pub fn insert(&self, key: Digest, eval: &Evaluation) -> bool {
+        let newly = self
+            .inner
+            .mem
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.0, eval.clone())
+            .is_none();
+        if !newly {
+            return false;
+        }
+        let Some(writer) = &self.inner.writer else {
+            return false;
+        };
+        let body = JsonValue::obj(vec![
+            ("key", JsonValue::Str(key.to_hex())),
+            ("eval", evaluation_to_json(eval)),
+        ]);
+        // A failed write degrades the cache to memory-only for this
+        // record; the evaluation itself is already correct.
+        writer.lock().expect("cache poisoned").write(&body).is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session log records
+
+/// Everything the engine snapshots at a generation boundary.
+pub struct Checkpoint {
+    /// Generation index (0 = the seed population).
+    pub generation: u32,
+    /// RNG state *after* producing this generation.
+    pub rng: [u64; 4],
+    /// Fitness probes so far.
+    pub evals: u64,
+    /// Trial-cache hits so far.
+    pub cache_hits: u64,
+    /// Shared-cache hits so far.
+    pub store_hits: u64,
+    /// Shared-cache write-throughs so far.
+    pub store_writes: u64,
+    /// Minimization probes so far.
+    pub minimize_evals: u64,
+    /// Static-filter rejections so far.
+    pub rejected_static: u64,
+    /// Patch applications so far.
+    pub patch_applies: u64,
+    /// Wall clock consumed so far.
+    pub elapsed: Duration,
+    /// Cumulative evaluation-worker busy time so far.
+    pub busy: Duration,
+    /// Best patch so far.
+    pub best_patch: Patch,
+    /// Best fitness so far.
+    pub best_score: f64,
+    /// Best fitness at the end of each completed generation.
+    pub history: Vec<f64>,
+    /// Strictly increasing best-fitness trajectory.
+    pub improvement_steps: Vec<f64>,
+    /// The population's patches (evaluations are restored through the
+    /// cache-delta records).
+    pub population: Vec<Patch>,
+    /// The plausible patch, when one was found this generation.
+    pub found: Option<Patch>,
+}
+
+fn f64_bits_array(xs: &[f64]) -> JsonValue {
+    JsonValue::Array(xs.iter().map(|x| JsonValue::Uint(x.to_bits())).collect())
+}
+
+fn f64_bits_array_from(v: &JsonValue, key: &str) -> Result<Vec<f64>, SessionError> {
+    match field(v, key) {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|i| match i {
+                JsonValue::Uint(b) => Ok(f64::from_bits(*b)),
+                other => Err(SessionError::Corrupt(format!(
+                    "bad float bits in {key:?}: {other:?}"
+                ))),
+            })
+            .collect(),
+        other => Err(SessionError::Corrupt(format!(
+            "missing array {key:?}: {other:?}"
+        ))),
+    }
+}
+
+fn need_u64(v: &JsonValue, key: &str) -> Result<u64, SessionError> {
+    field_u64(v, key).ok_or_else(|| SessionError::Corrupt(format!("missing field {key:?}")))
+}
+
+fn opt_patch(v: &JsonValue, key: &str) -> Result<Option<Patch>, SessionError> {
+    match field(v, key) {
+        Some(JsonValue::Null) => Ok(None),
+        Some(p) => Ok(Some(patch_from_json(p).map_err(SessionError::Corrupt)?)),
+        None => Err(SessionError::Corrupt(format!("missing patch {key:?}"))),
+    }
+}
+
+/// Appends typed records to one session's log file.
+pub struct SessionRecorder {
+    writer: SegmentWriter,
+    trial: u32,
+}
+
+impl SessionRecorder {
+    /// Wraps an opened session log.
+    pub fn new(writer: SegmentWriter) -> SessionRecorder {
+        SessionRecorder { writer, trial: 0 }
+    }
+
+    fn write(&mut self, body: &JsonValue) {
+        // Durability failures must not take down the search; the log
+        // simply ends earlier, and a resume restarts further back.
+        let _ = self.writer.write_record(body);
+    }
+
+    /// Writes the session header.
+    pub fn meta(&mut self, scenario: Digest, session: Digest, trials: u32, config: &RepairConfig) {
+        let body = JsonValue::obj(vec![
+            ("type", JsonValue::Str("meta".into())),
+            ("scenario", JsonValue::Str(scenario.to_hex())),
+            ("session", JsonValue::Str(session.to_hex())),
+            ("trials", JsonValue::Uint(u64::from(trials))),
+            ("seed", JsonValue::Uint(config.seed)),
+            ("popn_size", JsonValue::Uint(config.popn_size as u64)),
+            (
+                "max_generations",
+                JsonValue::Uint(u64::from(config.max_generations)),
+            ),
+        ]);
+        self.write(&body);
+    }
+
+    /// Marks the start of trial `trial`, recording the totals
+    /// accumulated by the trials before it.
+    pub fn trial_start(&mut self, trial: u32, totals: &RunTotals) {
+        self.trial = trial;
+        let body = JsonValue::obj(vec![
+            ("type", JsonValue::Str("trial".into())),
+            ("trial", JsonValue::Uint(u64::from(trial))),
+            ("totals", totals_to_json(totals)),
+        ]);
+        self.write(&body);
+    }
+
+    /// Continues an already-logged trial after a resume (no record is
+    /// written — the trial record is already in the log).
+    pub fn resume_trial(&mut self, trial: u32) {
+        self.trial = trial;
+    }
+
+    /// Logs trial-cache inserts since the last checkpoint. Empty deltas
+    /// write nothing.
+    pub fn cache_delta(&mut self, entries: &[(Patch, Digest)]) {
+        if entries.is_empty() {
+            return;
+        }
+        let body = JsonValue::obj(vec![
+            ("type", JsonValue::Str("cache".into())),
+            ("trial", JsonValue::Uint(u64::from(self.trial))),
+            (
+                "entries",
+                JsonValue::Array(
+                    entries
+                        .iter()
+                        .map(|(p, k)| {
+                            JsonValue::obj(vec![
+                                ("patch", patch_to_json(p)),
+                                ("key", JsonValue::Str(k.to_hex())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.write(&body);
+    }
+
+    /// Logs a generation-boundary checkpoint.
+    pub fn checkpoint(&mut self, cp: &Checkpoint) {
+        let body = JsonValue::obj(vec![
+            ("type", JsonValue::Str("checkpoint".into())),
+            ("trial", JsonValue::Uint(u64::from(self.trial))),
+            ("generation", JsonValue::Uint(u64::from(cp.generation))),
+            (
+                "rng",
+                JsonValue::Array(cp.rng.iter().map(|&w| JsonValue::Uint(w)).collect()),
+            ),
+            ("evals", JsonValue::Uint(cp.evals)),
+            ("cache_hits", JsonValue::Uint(cp.cache_hits)),
+            ("store_hits", JsonValue::Uint(cp.store_hits)),
+            ("store_writes", JsonValue::Uint(cp.store_writes)),
+            ("minimize_evals", JsonValue::Uint(cp.minimize_evals)),
+            ("rejected_static", JsonValue::Uint(cp.rejected_static)),
+            ("patch_applies", JsonValue::Uint(cp.patch_applies)),
+            (
+                "elapsed_nanos",
+                JsonValue::Uint(cp.elapsed.as_nanos() as u64),
+            ),
+            ("busy_nanos", JsonValue::Uint(cp.busy.as_nanos() as u64)),
+            ("best_patch", patch_to_json(&cp.best_patch)),
+            ("best_bits", JsonValue::Uint(cp.best_score.to_bits())),
+            ("history_bits", f64_bits_array(&cp.history)),
+            ("improvement_bits", f64_bits_array(&cp.improvement_steps)),
+            (
+                "population",
+                JsonValue::Array(cp.population.iter().map(patch_to_json).collect()),
+            ),
+            (
+                "found",
+                match &cp.found {
+                    Some(p) => patch_to_json(p),
+                    None => JsonValue::Null,
+                },
+            ),
+        ]);
+        self.write(&body);
+    }
+
+    /// Logs session completion; a log ending in this record is never
+    /// resumed (and is reaped by `store gc`).
+    pub fn complete(&mut self, status: RepairStatus) {
+        let body = JsonValue::obj(vec![
+            ("type", JsonValue::Str("complete".into())),
+            (
+                "status",
+                JsonValue::Str(
+                    match status {
+                        RepairStatus::Plausible => "plausible",
+                        RepairStatus::Exhausted => "exhausted",
+                        RepairStatus::Interrupted => "interrupted",
+                    }
+                    .into(),
+                ),
+            ),
+        ]);
+        self.write(&body);
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&mut self) {
+        let _ = self.writer.sync();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resume state
+
+/// A fully materialized checkpoint, ready to hand to
+/// [`Repairer::with_resume`]: every digest has been resolved to its
+/// evaluation, so restoring inside the engine is infallible.
+pub struct ResumeState {
+    /// Trial index being resumed.
+    pub trial: u32,
+    /// Generation to continue from.
+    pub generation: u32,
+    /// RNG state at the boundary.
+    pub rng: [u64; 4],
+    /// Fitness probes at the boundary.
+    pub evals: u64,
+    /// Trial-cache hits at the boundary.
+    pub cache_hits: u64,
+    /// Shared-cache hits at the boundary.
+    pub store_hits: u64,
+    /// Shared-cache write-throughs at the boundary.
+    pub store_writes: u64,
+    /// Minimization probes at the boundary.
+    pub minimize_evals: u64,
+    /// Static-filter rejections at the boundary.
+    pub rejected_static: u64,
+    /// Patch applications at the boundary.
+    pub patch_applies: u64,
+    /// Wall clock consumed before the interruption.
+    pub elapsed: Duration,
+    /// Worker busy time before the interruption.
+    pub busy: Duration,
+    /// Best (patch, fitness) so far.
+    pub best: (Patch, f64),
+    /// Best fitness at the end of each completed generation.
+    pub history: Vec<f64>,
+    /// Strictly increasing best-fitness trajectory.
+    pub improvement_steps: Vec<f64>,
+    /// The population with evaluations restored.
+    pub population: Vec<(Patch, Evaluation)>,
+    /// The plausible patch, when found before the interruption.
+    pub found: Option<Patch>,
+    /// Every trial-cache entry at the boundary (already logged — the
+    /// engine must not re-log them).
+    pub l1: Vec<(Patch, Evaluation, Digest)>,
+    /// Totals accumulated by completed earlier trials.
+    pub totals: RunTotals,
+}
+
+/// What a session log folds down to.
+enum Folded {
+    /// No usable checkpoint: run from scratch (still warm through the
+    /// evaluation cache).
+    Fresh,
+    /// The session already ran to completion.
+    Complete,
+    /// Resume from this materialized checkpoint.
+    Resume(Box<ResumeState>),
+}
+
+/// Replays a session log into the state at its last checkpoint.
+fn fold_session(
+    records: &[JsonValue],
+    session: Digest,
+    shared: &SharedEvalCache,
+) -> Result<Folded, SessionError> {
+    // Cache deltas accumulate per trial; a checkpoint commits the
+    // prefix seen so far (a torn tail can leave a delta record without
+    // its checkpoint — those entries must not be restored, or the
+    // restored cache would disagree with the checkpoint's counters).
+    let mut deltas: HashMap<u32, Vec<(Patch, Digest)>> = HashMap::new();
+    let mut trial_totals: HashMap<u32, RunTotals> = HashMap::new();
+    let mut last: Option<(JsonValue, u32, usize)> = None; // checkpoint, trial, delta prefix
+    let mut complete = false;
+    for record in records {
+        match field_str(record, "type") {
+            Some("meta") => {
+                if let Some(s) = field_str(record, "session") {
+                    if Digest::from_hex(s) != Some(session) {
+                        return Err(SessionError::Corrupt(
+                            "session log belongs to a different configuration".into(),
+                        ));
+                    }
+                }
+            }
+            Some("trial") => {
+                let t = need_u64(record, "trial")? as u32;
+                let totals = field(record, "totals")
+                    .ok_or_else(|| SessionError::Corrupt("trial record missing totals".into()))
+                    .and_then(|v| totals_from_json(v).map_err(SessionError::Corrupt))?;
+                trial_totals.insert(t, totals);
+            }
+            Some("cache") => {
+                let t = need_u64(record, "trial")? as u32;
+                let entries = match field(record, "entries") {
+                    Some(JsonValue::Array(items)) => items,
+                    other => {
+                        return Err(SessionError::Corrupt(format!(
+                            "cache record has no entries: {other:?}"
+                        )))
+                    }
+                };
+                let bucket = deltas.entry(t).or_default();
+                for e in entries {
+                    let patch = field(e, "patch")
+                        .ok_or_else(|| SessionError::Corrupt("cache entry missing patch".into()))
+                        .and_then(|p| patch_from_json(p).map_err(SessionError::Corrupt))?;
+                    let key = field_str(e, "key")
+                        .and_then(Digest::from_hex)
+                        .ok_or_else(|| SessionError::Corrupt("cache entry missing key".into()))?;
+                    bucket.push((patch, key));
+                }
+            }
+            Some("checkpoint") => {
+                let t = need_u64(record, "trial")? as u32;
+                let prefix = deltas.get(&t).map_or(0, Vec::len);
+                last = Some((record.clone(), t, prefix));
+            }
+            Some("complete") => complete = true,
+            // Unknown record types are skipped: a newer writer may add
+            // kinds this reader does not know.
+            _ => {}
+        }
+    }
+    if complete {
+        return Ok(Folded::Complete);
+    }
+    let Some((cp, trial, prefix)) = last else {
+        return Ok(Folded::Fresh);
+    };
+
+    // Materialize the trial cache: resolve each logged fingerprint
+    // against the evaluation store. A missing evaluation is an honest
+    // failure — resuming with a guessed fitness would poison the run.
+    let mut l1 = Vec::with_capacity(prefix);
+    let mut by_patch: HashMap<Patch, Evaluation> = HashMap::new();
+    for (patch, key) in deltas.remove(&trial).unwrap_or_default().drain(..prefix) {
+        let eval = shared.peek(key).ok_or_else(|| {
+            SessionError::Corrupt(format!(
+                "evaluation {} referenced by the session log is missing from the store",
+                key.to_hex()
+            ))
+        })?;
+        by_patch.insert(patch.clone(), eval.clone());
+        l1.push((patch, eval, key));
+    }
+
+    let rng: [u64; 4] = match field(&cp, "rng") {
+        Some(JsonValue::Array(words)) if words.len() == 4 => {
+            let mut out = [0u64; 4];
+            for (i, w) in words.iter().enumerate() {
+                match w {
+                    JsonValue::Uint(v) => out[i] = *v,
+                    other => return Err(SessionError::Corrupt(format!("bad rng word: {other:?}"))),
+                }
+            }
+            out
+        }
+        other => return Err(SessionError::Corrupt(format!("bad rng state: {other:?}"))),
+    };
+
+    let population = match field(&cp, "population") {
+        Some(JsonValue::Array(items)) => {
+            let mut popn = Vec::with_capacity(items.len());
+            for item in items {
+                let patch = patch_from_json(item).map_err(SessionError::Corrupt)?;
+                let eval = by_patch.get(&patch).cloned().ok_or_else(|| {
+                    SessionError::Corrupt(
+                        "population member missing from the checkpointed cache".into(),
+                    )
+                })?;
+                popn.push((patch, eval));
+            }
+            popn
+        }
+        other => return Err(SessionError::Corrupt(format!("bad population: {other:?}"))),
+    };
+
+    let best_patch = opt_patch(&cp, "best_patch")?
+        .ok_or_else(|| SessionError::Corrupt("checkpoint missing best patch".into()))?;
+    let state = ResumeState {
+        trial,
+        generation: need_u64(&cp, "generation")? as u32,
+        rng,
+        evals: need_u64(&cp, "evals")?,
+        cache_hits: need_u64(&cp, "cache_hits")?,
+        store_hits: need_u64(&cp, "store_hits")?,
+        store_writes: need_u64(&cp, "store_writes")?,
+        minimize_evals: need_u64(&cp, "minimize_evals")?,
+        rejected_static: need_u64(&cp, "rejected_static")?,
+        patch_applies: need_u64(&cp, "patch_applies")?,
+        elapsed: Duration::from_nanos(need_u64(&cp, "elapsed_nanos")?),
+        busy: Duration::from_nanos(need_u64(&cp, "busy_nanos")?),
+        best: (best_patch, f64::from_bits(need_u64(&cp, "best_bits")?)),
+        history: f64_bits_array_from(&cp, "history_bits")?,
+        improvement_steps: f64_bits_array_from(&cp, "improvement_bits")?,
+        population,
+        found: opt_patch(&cp, "found")?,
+        l1,
+        totals: trial_totals.remove(&trial).unwrap_or_default(),
+    };
+    Ok(Folded::Resume(Box::new(state)))
+}
+
+// ---------------------------------------------------------------------------
+// Session driver
+
+/// Runs (or resumes) a persistent repair session: like
+/// [`crate::repair_with_trials`], but every evaluation is written
+/// through to `store_dir`, a checkpoint lands at every generation
+/// boundary, and plausible repairs are appended to the store's corpus.
+///
+/// With `resume` set, a session log left by an interrupted run
+/// continues from its last checkpoint, reproducing the uninterrupted
+/// run's result bit-for-bit; a log that already completed is discarded
+/// and the session re-runs warm (answered from the evaluation cache).
+/// Without `resume`, any existing log for this configuration is
+/// replaced.
+pub fn repair_session(
+    problem: &RepairProblem,
+    base: &RepairConfig,
+    trials: u32,
+    store_dir: &Path,
+    resume: bool,
+) -> Result<RepairResult, SessionError> {
+    let store = Store::open(store_dir)?;
+    let scenario = problem_digest(problem, base);
+    let session = session_digest(scenario, base, trials);
+    let (shared, damaged) = SharedEvalCache::open(&store)?;
+    if damaged > 0 {
+        base.observer.emit(|| {
+            Event::Store(StoreEvent {
+                op: "damage".into(),
+                key: String::new(),
+                records: damaged,
+            })
+        });
+    }
+
+    let log_path = store.session_path(&session.to_hex());
+    let mut resume_state: Option<Box<ResumeState>> = None;
+    if resume && log_path.exists() {
+        let (records, health) = store.load_session(&session.to_hex())?;
+        if !health.is_clean() {
+            base.observer.emit(|| {
+                Event::Store(StoreEvent {
+                    op: "damage".into(),
+                    key: String::new(),
+                    records: (health.corrupt.len() + usize::from(health.torn_tail.is_some()))
+                        as u64,
+                })
+            });
+        }
+        match fold_session(&records, session, &shared)? {
+            Folded::Complete => std::fs::remove_file(&log_path)?,
+            Folded::Resume(state) => resume_state = Some(state),
+            Folded::Fresh => std::fs::remove_file(&log_path)?,
+        }
+    } else if log_path.exists() {
+        std::fs::remove_file(&log_path)?;
+    }
+
+    let mut recorder = SessionRecorder::new(store.session_writer(&session.to_hex())?);
+    if resume_state.is_none() {
+        recorder.meta(scenario, session, trials, base);
+    }
+
+    let start_trial = resume_state.as_ref().map_or(0, |s| s.trial);
+    let mut totals = resume_state
+        .as_ref()
+        .map_or_else(RunTotals::default, |s| s.totals.clone());
+    let mut last: Option<RepairResult> = None;
+    for t in start_trial..trials.max(1) {
+        let config = RepairConfig {
+            seed: base.seed.wrapping_add(u64::from(t)),
+            ..base.clone()
+        };
+        let mut repairer = Repairer::new(problem, config).with_store(shared.clone(), scenario);
+        match resume_state.take() {
+            Some(state) => {
+                recorder.resume_trial(t);
+                repairer = repairer.with_resume(*state);
+            }
+            None => recorder.trial_start(t, &totals),
+        }
+        let mut repairer = repairer.with_session(recorder);
+        let mut result = repairer.run();
+        recorder = repairer
+            .take_session()
+            .expect("the recorder survives the trial");
+
+        if result.status == RepairStatus::Interrupted {
+            // Deterministic halt (halt_after): the log stays open —
+            // ending exactly at the last checkpoint — so a resumed run
+            // picks up from here.
+            recorder.sync();
+            totals.trials += 1;
+            totals.fitness_evals += result.fitness_evals;
+            totals.wall_time += result.wall_time;
+            totals.generations += result.generations;
+            totals.mutants_rejected_static += result.rejected_static;
+            totals.jobs = result.totals.jobs;
+            totals.eval_busy += result.totals.eval_busy;
+            totals.store_hits += result.totals.store_hits;
+            totals.store_writes += result.totals.store_writes;
+            result.totals = totals;
+            return Ok(result);
+        }
+
+        totals.trials += 1;
+        totals.fitness_evals += result.fitness_evals;
+        totals.wall_time += result.wall_time;
+        totals.generations += result.generations;
+        totals.mutants_rejected_static += result.rejected_static;
+        totals.jobs = result.totals.jobs;
+        totals.eval_busy += result.totals.eval_busy;
+        totals.store_hits += result.totals.store_hits;
+        totals.store_writes += result.totals.store_writes;
+        result.totals = totals.clone();
+
+        if result.is_plausible() {
+            let corpus = JsonValue::obj(vec![
+                ("scenario", JsonValue::Str(scenario.to_hex())),
+                ("session", JsonValue::Str(session.to_hex())),
+                ("trial", JsonValue::Uint(u64::from(t))),
+                (
+                    "seed",
+                    JsonValue::Uint(base.seed.wrapping_add(u64::from(t))),
+                ),
+                ("patch", patch_to_json(&result.patch)),
+                (
+                    "fitness_bits",
+                    JsonValue::Uint(result.best_fitness.to_bits()),
+                ),
+                (
+                    "unminimized_len",
+                    JsonValue::Uint(result.unminimized_len as u64),
+                ),
+                (
+                    "generations",
+                    JsonValue::Uint(u64::from(result.generations)),
+                ),
+                (
+                    "repaired_source",
+                    match &result.repaired_source {
+                        Some(s) => JsonValue::Str(s.clone()),
+                        None => JsonValue::Null,
+                    },
+                ),
+            ]);
+            store.append_corpus(&corpus)?;
+            recorder.complete(RepairStatus::Plausible);
+            recorder.sync();
+            return Ok(result);
+        }
+        last = Some(result);
+    }
+    recorder.complete(RepairStatus::Exhausted);
+    recorder.sync();
+    Ok(last.expect("at least one trial ran"))
+}

@@ -30,6 +30,10 @@ use std::path::{Path, PathBuf};
 /// | `jobs` | evaluation worker threads; `0` = auto (`$CIRFIX_JOBS`, else all cores) | `0` |
 /// | `batch_size` | candidates per parallel dispatch | `32` |
 /// | `output` | where to write the repaired design | `repaired.v` |
+/// | `store` | persistent store directory, cwd-relative (enables write-through cache, checkpoints, corpus) | off |
+/// | `resume` | continue an interrupted session from its last checkpoint | `false` |
+/// | `halt_after` | stop right after checkpointing generation N (deterministic kill stand-in) | off |
+/// | `result_out` | where to write the canonical, timing-free result JSON | off |
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     values: HashMap<String, String>,

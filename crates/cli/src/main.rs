@@ -13,6 +13,7 @@
 //! cirfix verify <repair.conf>                     check a repaired design against
 //!                                                 the golden one on a held-out bench
 //! cirfix lint <design.v|repair.conf> [--json]     run the static-analysis passes
+//! cirfix store <ls|verify|gc> <store-dir>         inspect or maintain a store
 //! ```
 //!
 //! Observability flags (for `repair` and `simulate`):
@@ -39,6 +40,19 @@
 //! --batch-size N       candidates per parallel dispatch (default 32)
 //! ```
 //!
+//! Persistent store & resume (for `repair`):
+//!
+//! ```text
+//! --store <dir>        write evaluations, session checkpoints, and
+//!                      plausible repairs through to a persistent store
+//! --resume             continue an interrupted session from its last
+//!                      generation-boundary checkpoint, bit-identically
+//! --halt-after N       stop right after checkpointing generation N
+//!                      (a deterministic stand-in for kill -9)
+//! --result-out <path>  write the canonical, timing-free result JSON
+//!                      (used by the CI determinism checks)
+//! ```
+//!
 //! See [`config::Config`] for the recognized keys.
 
 mod config;
@@ -49,8 +63,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cirfix::{
-    apply_patch, evaluate, fault_localization, oracle_from_golden, repair_with_trials,
-    FitnessParams, Observer, Patch, RepairConfig, RepairProblem,
+    apply_patch, evaluate, fault_localization, oracle_from_golden, repair_session,
+    repair_with_trials, result_to_canonical_json, FitnessParams, Observer, Patch, RepairConfig,
+    RepairProblem, RepairStatus,
 };
 use cirfix_ast::{print, SourceFile};
 use cirfix_sim::{ProbeSpec, SimConfig};
@@ -70,7 +85,8 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: cirfix <repair|simulate|fitness|localize|verify> <config-file> [--key value ...]\n\
-     \u{20}      cirfix lint <design.v|repair.conf> [--json]"
+     \u{20}      cirfix lint <design.v|repair.conf> [--json]\n\
+     \u{20}      cirfix store <ls|verify|gc> <store-dir>"
         .to_string()
 }
 
@@ -81,10 +97,14 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if command == "lint" {
         return cmd_lint(rest);
     }
+    // `store` operates on a store directory, not a repair config.
+    if command == "store" {
+        return cmd_store(rest);
+    }
     let (config_path, overrides) = rest.split_first().ok_or_else(usage)?;
     let mut config = Config::load(Path::new(config_path))?;
     // Valueless switches; everything else is a `--key value` pair.
-    const BOOL_FLAGS: &[&str] = &["metrics", "static_filter", "lint_prior"];
+    const BOOL_FLAGS: &[&str] = &["metrics", "static_filter", "lint_prior", "resume"];
     let mut i = 0;
     while i < overrides.len() {
         let key = overrides[i]
@@ -209,6 +229,9 @@ fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Er
     // otherwise every available core.
     rc.jobs = config.num_or("jobs", 0usize)?;
     rc.batch_size = config.num_or("batch_size", rc.batch_size)?;
+    if config.required("halt_after").is_ok() {
+        rc.halt_after = Some(config.num_or("halt_after", 0u32)?);
+    }
     Ok(rc)
 }
 
@@ -226,7 +249,20 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
         rc.timeout,
         cirfix::resolve_jobs(rc.jobs)
     );
-    let result = repair_with_trials(&problem, &rc, trials);
+    let result = match config.required("store") {
+        // Like `output` and `trace_out`, the store directory is a run
+        // artifact: relative paths resolve against the cwd, not the
+        // conf file's directory.
+        Ok(dir) => {
+            let dir = PathBuf::from(dir);
+            let resume = matches!(
+                config.string_or("resume", "false").as_str(),
+                "true" | "1" | "yes"
+            );
+            repair_session(&problem, &rc, trials, &dir, resume)?
+        }
+        Err(_) => repair_with_trials(&problem, &rc, trials),
+    };
     telemetry.observer.flush();
     println!(
         "plausible: {}  best fitness: {:.4}  evaluations: {}  wall: {:.1?}",
@@ -242,6 +278,8 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     println!("  fitness evals    {:>12}", t.fitness_evals);
     println!("  static rejects   {:>12}", t.mutants_rejected_static);
     println!("  cache hits       {:>12}", result.cache_hits);
+    println!("  store hits       {:>12}", t.store_hits);
+    println!("  store writes     {:>12}", t.store_writes);
     println!("  minimize evals   {:>12}", result.minimize_evals);
     println!("  wall clock       {:>12.1?}", t.wall_time);
     println!("  eval workers     {:>12}", t.jobs);
@@ -255,6 +293,22 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(summary) = &telemetry.summary {
         print!("{}", summary.report());
+    }
+    // Canonical, timing-free result JSON: two deterministically
+    // equivalent runs (any `jobs`, killed-and-resumed or not) write
+    // byte-identical files — the CI determinism checks diff them.
+    if let Ok(path) = config.required("result_out") {
+        let json = result_to_canonical_json(&result).to_json();
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| ConfigError(format!("cannot write {path}: {e}")))?;
+        println!("canonical result written to {path}");
+    }
+    if result.status == RepairStatus::Interrupted {
+        println!(
+            "interrupted after generation {} — checkpoint saved; rerun with --resume to continue",
+            result.generations
+        );
+        return Ok(());
     }
     if result.is_plausible() {
         println!(
@@ -419,6 +473,107 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("{errors} error(s), {warnings} warning(s)");
     }
     Ok(())
+}
+
+/// `cirfix store`: inspect or maintain a persistent store directory.
+///
+/// ```text
+/// cirfix store ls <dir>      summarize evaluations, sessions, and corpus
+/// cirfix store verify <dir>  check every segment; exit non-zero on damage
+/// cirfix store gc <dir>      compact segments, reap completed sessions
+/// ```
+///
+/// `verify` is strictly read-only — it reports corrupt and torn records
+/// without repairing them, so it can be run while a repair is live.
+/// `gc` is the repairing counterpart.
+fn cmd_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let store_usage = "usage: cirfix store <ls|verify|gc> <store-dir>";
+    let (action, rest) = args.split_first().ok_or(store_usage)?;
+    let (dir, extra) = rest.split_first().ok_or(store_usage)?;
+    if !extra.is_empty() {
+        return Err(format!("unexpected argument `{}`\n{store_usage}", extra[0]).into());
+    }
+    let store = cirfix_store::Store::open(Path::new(dir))?;
+    match action.as_str() {
+        "ls" => {
+            let (evals, health) = store.load_evals()?;
+            println!("store: {}", store.dir().display());
+            println!("  evaluations      {:>12}", evals.len());
+            let sessions: Vec<PathBuf> = store
+                .all_segments()?
+                .into_iter()
+                .filter(|p| p.parent().is_some_and(|d| d.ends_with("sessions")))
+                .collect();
+            println!("  session logs     {:>12}", sessions.len());
+            for path in &sessions {
+                let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("?");
+                let (records, seg) = store.load_session(name)?;
+                let complete = records
+                    .last()
+                    .is_some_and(|r| cirfix_store::field_str(r, "type") == Some("complete"));
+                println!(
+                    "    {name}  records={} {}",
+                    seg.records,
+                    if complete { "complete" } else { "resumable" }
+                );
+            }
+            let (corpus, _) = store.load_corpus()?;
+            println!("  corpus repairs   {:>12}", corpus.len());
+            if !health.is_clean() {
+                println!(
+                    "  damage: {} corrupt record(s), {} torn tail(s) — run `cirfix store verify`",
+                    health.corrupt, health.torn
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify()?;
+            for file in &report.files {
+                let status = if file.corrupt.is_empty() && !file.torn {
+                    "ok".to_string()
+                } else {
+                    format!(
+                        "{} corrupt{}",
+                        file.corrupt.len(),
+                        if file.torn { ", torn tail" } else { "" }
+                    )
+                };
+                println!(
+                    "{:<40} {:>8} bytes {:>6} records  {status}",
+                    file.name, file.bytes, file.records
+                );
+                for (line, reason) in &file.corrupt {
+                    println!("  line {line}: {reason}");
+                }
+            }
+            if report.is_clean() {
+                println!(
+                    "clean: {} record(s) across {} file(s)",
+                    report.records(),
+                    report.files.len()
+                );
+                Ok(())
+            } else {
+                Err(format!(
+                    "damage found: {} corrupt record(s), {} torn file(s) — `cirfix store gc` will drop them",
+                    report.corrupt(),
+                    report.torn()
+                )
+                .into())
+            }
+        }
+        "gc" => {
+            let report = store.gc()?;
+            println!("gc: {}", store.dir().display());
+            println!("  files removed    {:>12}", report.files_removed);
+            println!("  records kept     {:>12}", report.records_kept);
+            println!("  records dropped  {:>12}", report.records_dropped);
+            println!("  bytes reclaimed  {:>12}", report.bytes_reclaimed);
+            Ok(())
+        }
+        other => Err(format!("unknown store action `{other}`\n{store_usage}").into()),
+    }
 }
 
 /// `cirfix verify`: simulate the design named by `verify_design` (default:

@@ -190,6 +190,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Captures the generator's internal state so a consumer can
+        /// checkpoint it and later continue the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`StdRng::state`]; the stream continues where it left off.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;

@@ -1,0 +1,147 @@
+//! Content-addressed hashing: a streaming 128-bit FNV-1a hasher and a
+//! hex-printable [`Digest`].
+//!
+//! Fingerprints identify *content* (the canonical pretty-print of a
+//! patched design, a scenario's oracle, an evaluation record), so they
+//! must be stable across runs, hosts, and process restarts — which
+//! rules out `std::hash` (siphash with a random per-process key). FNV-1a
+//! at 128 bits is trivially portable, dependency-free, and has a
+//! collision floor far below anything a repair search can reach
+//! (birthday bound ≈ 2⁶⁴ distinct variants).
+
+/// The 128-bit FNV offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// The 128-bit FNV prime (2⁸⁸ + 2⁸ + 0x3b).
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// The 64-bit FNV offset basis (for record checksums).
+const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+/// The 64-bit FNV prime.
+const FNV64_PRIME: u64 = 0x00000100000001b3;
+
+/// A streaming 128-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs a string's UTF-8 bytes followed by a NUL separator, so
+    /// `("ab", "c")` and `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0]);
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+/// One-shot 64-bit FNV-1a over a byte string — the per-record checksum
+/// of the segment format.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut state = FNV64_OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+/// A 128-bit content digest, printed as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u128);
+
+impl Digest {
+    /// The 32-hex-digit rendering used in store records and filenames.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a digest previously rendered by [`Digest::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Digest)
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv128_matches_reference_vectors() {
+        // FNV-1a reference: hash of the empty string is the offset basis.
+        assert_eq!(Fnv128::new().finish().0, FNV128_OFFSET);
+        // A one-byte input multiplies once.
+        let mut h = Fnv128::new();
+        h.write(b"a");
+        assert_eq!(
+            h.finish().0,
+            (FNV128_OFFSET ^ 0x61).wrapping_mul(FNV128_PRIME)
+        );
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), FNV64_OFFSET);
+        // Known FNV-1a 64 test vector.
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn str_framing_prevents_concatenation_collisions() {
+        let mut a = Fnv128::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv128::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let d = Digest(0x0123456789abcdef0011223344556677);
+        assert_eq!(d.to_hex().len(), 32);
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("xyz"), None);
+        assert_eq!(Digest::from_hex("00"), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! Append-only JSON-lines segment files with torn-write recovery.
+//!
+//! A segment is a sequence of checksummed record lines (see
+//! [`crate::record`]). Writers only ever append whole lines and flush
+//! after each record, so the sole crash artifact a writer can leave is
+//! an incomplete *final* line — which the reader detects (no trailing
+//! newline) and [`recover_segment`] truncates away. Complete lines that
+//! fail the frame or checksum (bit rot, concurrent writers, manual
+//! edits) are reported as corrupt and skipped; they are physically
+//! removed by compaction, never silently trusted.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use cirfix_telemetry::JsonValue;
+
+use crate::record::{decode_record, encode_record};
+
+/// What a full read of one segment found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentHealth {
+    /// Records that decoded and checksummed cleanly.
+    pub records: usize,
+    /// Complete lines that failed the frame/checksum/parse, with their
+    /// 1-based line number and the reason.
+    pub corrupt: Vec<(usize, String)>,
+    /// Byte offset of an incomplete trailing record (a torn write), if
+    /// one is present.
+    pub torn_tail: Option<u64>,
+}
+
+impl SegmentHealth {
+    /// `true` when every byte of the segment decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.torn_tail.is_none()
+    }
+}
+
+/// Reads every record of a segment, tolerating damage: corrupt lines
+/// are reported (not returned), a torn tail is reported (not returned).
+pub fn read_segment(path: &Path) -> io::Result<(Vec<JsonValue>, SegmentHealth)> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    Ok(scan(&data))
+}
+
+fn scan(data: &[u8]) -> (Vec<JsonValue>, SegmentHealth) {
+    let mut bodies = Vec::new();
+    let mut health = SegmentHealth::default();
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    while offset < data.len() {
+        let Some(rel) = data[offset..].iter().position(|&b| b == b'\n') else {
+            // No newline: the writer died mid-record. Everything from
+            // here is the torn tail.
+            health.torn_tail = Some(offset as u64);
+            break;
+        };
+        line_no += 1;
+        let line_bytes = &data[offset..offset + rel];
+        match std::str::from_utf8(line_bytes)
+            .map_err(|_| "line is not UTF-8".to_string())
+            .and_then(|line| decode_record(line).map_err(|e| e.to_string()))
+        {
+            Ok(body) => {
+                bodies.push(body);
+                health.records += 1;
+            }
+            Err(why) => health.corrupt.push((line_no, why)),
+        }
+        offset += rel + 1;
+    }
+    (bodies, health)
+}
+
+/// Truncates a torn trailing record in place, returning the segment's
+/// health *after* recovery. Missing files recover to an empty segment.
+pub fn recover_segment(path: &Path) -> io::Result<SegmentHealth> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut data).map(|_| ())?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SegmentHealth::default()),
+        Err(e) => return Err(e),
+    }
+    let (_, mut health) = scan(&data);
+    if let Some(keep) = health.torn_tail.take() {
+        OpenOptions::new().write(true).open(path)?.set_len(keep)?;
+    }
+    Ok(health)
+}
+
+/// An appending segment writer. Each record is written as one line and
+/// flushed to the OS before the call returns, so a killed process can
+/// lose at most the line it was writing — the recoverable torn tail.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+}
+
+impl SegmentWriter {
+    /// Opens (or creates) a segment for appending.
+    pub fn append(path: &Path) -> io::Result<SegmentWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(SegmentWriter {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one checksummed record line.
+    pub fn write_record(&mut self, body: &JsonValue) -> io::Result<()> {
+        let line = encode_record(body);
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+
+    /// Forces written records to stable storage (used after
+    /// checkpoints, where durability matters more than throughput).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cirfix-store-seg-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("seg.jsonl")
+    }
+
+    fn body(n: u64) -> JsonValue {
+        JsonValue::obj(vec![("n", JsonValue::Uint(n))])
+    }
+
+    #[test]
+    fn write_read_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = SegmentWriter::append(&path).unwrap();
+        for n in 0..5 {
+            w.write_record(&body(n)).unwrap();
+        }
+        w.sync().unwrap();
+        let (bodies, health) = read_segment(&path).unwrap();
+        assert_eq!(bodies, (0..5).map(body).collect::<Vec<_>>());
+        assert!(health.is_clean());
+        assert_eq!(health.records, 5);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_recovered() {
+        let path = tmp("torn");
+        let mut w = SegmentWriter::append(&path).unwrap();
+        w.write_record(&body(1)).unwrap();
+        w.write_record(&body(2)).unwrap();
+        drop(w);
+        // Simulate a crash mid-record: append half a line, no newline.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"sum\":\"0123456789abcdef\",\"body\":{\"n\"")
+            .unwrap();
+        drop(f);
+
+        let (bodies, health) = read_segment(&path).unwrap();
+        assert_eq!(bodies.len(), 2, "torn tail is not returned");
+        assert_eq!(health.torn_tail, Some(clean_len));
+
+        let recovered = recover_segment(&path).unwrap();
+        assert_eq!(recovered.records, 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        let (_, after) = read_segment(&path).unwrap();
+        assert!(after.is_clean(), "recovery leaves a clean segment");
+
+        // Appending after recovery keeps working.
+        let mut w = SegmentWriter::append(&path).unwrap();
+        w.write_record(&body(3)).unwrap();
+        let (bodies, health) = read_segment(&path).unwrap();
+        assert_eq!(bodies.len(), 3);
+        assert!(health.is_clean());
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_skipped_and_reported() {
+        let path = tmp("corrupt");
+        let mut w = SegmentWriter::append(&path).unwrap();
+        for n in 0..3 {
+            w.write_record(&body(n)).unwrap();
+        }
+        drop(w);
+        // Flip a byte inside the second record's body.
+        let mut data = std::fs::read(&path).unwrap();
+        let second_line_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+        data[second_line_start + 40] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let (bodies, health) = read_segment(&path).unwrap();
+        assert_eq!(bodies, vec![body(0), body(2)], "bad record skipped");
+        assert_eq!(health.corrupt.len(), 1);
+        assert_eq!(health.corrupt[0].0, 2, "1-based line number");
+        assert!(health.torn_tail.is_none());
+    }
+
+    #[test]
+    fn missing_segment_recovers_to_empty() {
+        let path = tmp("missing");
+        assert_eq!(recover_segment(&path).unwrap(), SegmentHealth::default());
+    }
+}

@@ -1,0 +1,531 @@
+//! The on-disk store: directory layout, typed access to the three
+//! record families (evaluations, sessions, corpus), verification, and
+//! garbage collection.
+//!
+//! Layout under the store directory:
+//!
+//! ```text
+//! <dir>/evals/evals-<n>.jsonl     append-only evaluation cache segments
+//! <dir>/sessions/<id>.jsonl       one resumable session log per session id
+//! <dir>/corpus/corpus.jsonl       plausible repairs, one record each
+//! ```
+//!
+//! Every file is a checksummed segment (see [`crate::segment`]). Each
+//! writing process appends evaluations to its *own* fresh segment, so
+//! concurrent runs never interleave lines; [`Store::gc`] later compacts
+//! the segments into one, dropping corrupt records and duplicate keys.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cirfix_telemetry::JsonValue;
+
+use crate::hash::Digest;
+use crate::json::field_str;
+use crate::segment::{read_segment, recover_segment, SegmentHealth, SegmentWriter};
+
+/// Aggregate damage counts from reading a family of segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Records that decoded cleanly.
+    pub records: usize,
+    /// Records skipped for frame/checksum/shape damage.
+    pub corrupt: usize,
+    /// Segments ending in an incomplete (torn) record.
+    pub torn: usize,
+}
+
+impl StoreHealth {
+    fn absorb(&mut self, h: &SegmentHealth) {
+        self.records += h.records;
+        self.corrupt += h.corrupt.len();
+        self.torn += usize::from(h.torn_tail.is_some());
+    }
+
+    /// `true` when nothing was damaged.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt == 0 && self.torn == 0
+    }
+}
+
+/// Per-file detail from [`Store::verify`].
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// Path relative to the store directory.
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Clean records.
+    pub records: usize,
+    /// Corrupt lines: 1-based line number and reason.
+    pub corrupt: Vec<(usize, String)>,
+    /// Whether the file ends in a torn record.
+    pub torn: bool,
+}
+
+/// The result of a full store verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct StoreReport {
+    /// One entry per segment file, in path order.
+    pub files: Vec<FileReport>,
+}
+
+impl StoreReport {
+    /// `true` when every file verified cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.files.iter().all(|f| f.corrupt.is_empty() && !f.torn)
+    }
+
+    /// Total clean records across all files.
+    pub fn records(&self) -> usize {
+        self.files.iter().map(|f| f.records).sum()
+    }
+
+    /// Total corrupt records across all files.
+    pub fn corrupt(&self) -> usize {
+        self.files.iter().map(|f| f.corrupt.len()).sum()
+    }
+
+    /// Number of files with a torn tail.
+    pub fn torn(&self) -> usize {
+        self.files.iter().filter(|f| f.torn).count()
+    }
+}
+
+/// What [`Store::gc`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Segment files removed (compacted away or fully dead).
+    pub files_removed: usize,
+    /// Records dropped: corrupt, torn, or duplicate-keyed.
+    pub records_dropped: usize,
+    /// Records surviving compaction.
+    pub records_kept: usize,
+    /// Bytes reclaimed on disk.
+    pub bytes_reclaimed: u64,
+}
+
+/// A persistent store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if necessary) a store at `dir`.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        for sub in ["evals", "sessions", "corpus"] {
+            fs::create_dir_all(dir.join(sub))?;
+        }
+        Ok(Store {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segments_in(&self, sub: &str) -> io::Result<Vec<PathBuf>> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(self.dir.join(sub))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// Every segment file in the store, in stable path order.
+    pub fn all_segments(&self) -> io::Result<Vec<PathBuf>> {
+        let mut all = Vec::new();
+        for sub in ["evals", "sessions", "corpus"] {
+            all.extend(self.segments_in(sub)?);
+        }
+        Ok(all)
+    }
+
+    // ----- evaluations ---------------------------------------------------
+
+    /// Loads every evaluation record across all segments. Records are
+    /// keyed by their `"key"` digest; damaged records and records
+    /// without a valid key are counted in the returned health, never
+    /// returned as data.
+    pub fn load_evals(&self) -> io::Result<(Vec<(Digest, JsonValue)>, StoreHealth)> {
+        let mut entries = Vec::new();
+        let mut health = StoreHealth::default();
+        for path in self.segments_in("evals")? {
+            let (bodies, seg) = read_segment(&path)?;
+            health.absorb(&seg);
+            for body in bodies {
+                match field_str(&body, "key").and_then(Digest::from_hex) {
+                    Some(key) => entries.push((key, body)),
+                    None => {
+                        health.records -= 1;
+                        health.corrupt += 1;
+                    }
+                }
+            }
+        }
+        Ok((entries, health))
+    }
+
+    /// A writer that appends evaluation records to a fresh segment of
+    /// its own (created lazily on first write).
+    pub fn eval_writer(&self) -> EvalWriter {
+        EvalWriter {
+            dir: self.dir.join("evals"),
+            writer: None,
+        }
+    }
+
+    // ----- sessions ------------------------------------------------------
+
+    /// The log file of session `id`.
+    pub fn session_path(&self, id: &str) -> PathBuf {
+        self.dir.join("sessions").join(format!("{id}.jsonl"))
+    }
+
+    /// Reads a session log (empty when none exists yet), skipping
+    /// damaged records.
+    pub fn load_session(&self, id: &str) -> io::Result<(Vec<JsonValue>, SegmentHealth)> {
+        let path = self.session_path(id);
+        if !path.exists() {
+            return Ok((Vec::new(), SegmentHealth::default()));
+        }
+        read_segment(&path)
+    }
+
+    /// Opens a session log for appending, first truncating any torn
+    /// trailing record so new records always start on a clean line.
+    pub fn session_writer(&self, id: &str) -> io::Result<SegmentWriter> {
+        let path = self.session_path(id);
+        recover_segment(&path)?;
+        SegmentWriter::append(&path)
+    }
+
+    // ----- corpus --------------------------------------------------------
+
+    fn corpus_path(&self) -> PathBuf {
+        self.dir.join("corpus").join("corpus.jsonl")
+    }
+
+    /// Appends one repair record to the corpus.
+    pub fn append_corpus(&self, body: &JsonValue) -> io::Result<()> {
+        recover_segment(&self.corpus_path())?;
+        SegmentWriter::append(&self.corpus_path())?.write_record(body)
+    }
+
+    /// Reads the repair corpus, skipping damaged records.
+    pub fn load_corpus(&self) -> io::Result<(Vec<JsonValue>, SegmentHealth)> {
+        let path = self.corpus_path();
+        if !path.exists() {
+            return Ok((Vec::new(), SegmentHealth::default()));
+        }
+        read_segment(&path)
+    }
+
+    // ----- maintenance ---------------------------------------------------
+
+    /// Read-only verification of every segment file: reports clean,
+    /// corrupt, and torn records without modifying anything.
+    pub fn verify(&self) -> io::Result<StoreReport> {
+        let mut report = StoreReport::default();
+        for path in self.all_segments()? {
+            let (_, health) = read_segment(&path)?;
+            let name = path
+                .strip_prefix(&self.dir)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            report.files.push(FileReport {
+                name,
+                bytes: fs::metadata(&path)?.len(),
+                records: health.records,
+                corrupt: health.corrupt,
+                torn: health.torn_tail.is_some(),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Garbage collection: compacts all evaluation segments into one
+    /// (dropping corrupt records, torn tails, and duplicate keys —
+    /// first write wins, matching the in-memory cache), removes session
+    /// logs whose final record marks the session complete, truncates
+    /// torn tails everywhere, and rewrites the corpus without damage.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let before: u64 = self
+            .all_segments()?
+            .iter()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+
+        // Compact evaluations. The fresh segment is written to a tmp
+        // file and renamed into place *before* the old segments are
+        // deleted, so a crash at any point leaves at worst duplicate
+        // records (which dedup on load), never lost ones.
+        let old_segments = self.segments_in("evals")?;
+        let (entries, _) = self.load_evals()?;
+        let mut seen = std::collections::HashSet::new();
+        let mut kept = Vec::new();
+        for (key, body) in entries {
+            if seen.insert(key) {
+                kept.push(body);
+            } else {
+                report.records_dropped += 1;
+            }
+        }
+        if !old_segments.is_empty() {
+            let tmp = self.dir.join("evals").join("compact.tmp");
+            let _ = fs::remove_file(&tmp);
+            {
+                let mut w = SegmentWriter::append(&tmp)?;
+                for body in &kept {
+                    w.write_record(body)?;
+                }
+                w.sync()?;
+            }
+            let next = next_segment_index(&old_segments);
+            fs::rename(&tmp, self.dir.join("evals").join(segment_name(next)))?;
+            for path in &old_segments {
+                let (_, h) = read_segment(path)?;
+                report.records_dropped += h.corrupt.len() + usize::from(h.torn_tail.is_some());
+                fs::remove_file(path)?;
+                report.files_removed += 1;
+            }
+        }
+        report.records_kept += kept.len();
+
+        // Sessions: drop completed logs, truncate torn tails elsewhere.
+        for path in self.segments_in("sessions")? {
+            let (bodies, health) = read_segment(&path)?;
+            let complete = bodies
+                .last()
+                .is_some_and(|b| field_str(b, "type") == Some("complete"));
+            if complete {
+                report.records_dropped += bodies.len() + health.corrupt.len();
+                fs::remove_file(&path)?;
+                report.files_removed += 1;
+            } else {
+                recover_segment(&path)?;
+                report.records_kept += health.records;
+                report.records_dropped += usize::from(health.torn_tail.is_some());
+            }
+        }
+
+        // Corpus: rewrite without corrupt records when damaged.
+        let corpus = self.corpus_path();
+        if corpus.exists() {
+            let (bodies, health) = read_segment(&corpus)?;
+            if health.is_clean() {
+                report.records_kept += health.records;
+            } else {
+                let tmp = self.dir.join("corpus").join("compact.tmp");
+                let _ = fs::remove_file(&tmp);
+                {
+                    let mut w = SegmentWriter::append(&tmp)?;
+                    for body in &bodies {
+                        w.write_record(body)?;
+                    }
+                    w.sync()?;
+                }
+                fs::rename(&tmp, &corpus)?;
+                report.records_kept += bodies.len();
+                report.records_dropped +=
+                    health.corrupt.len() + usize::from(health.torn_tail.is_some());
+            }
+        }
+
+        let after: u64 = self
+            .all_segments()?
+            .iter()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        report.bytes_reclaimed = before.saturating_sub(after);
+        Ok(report)
+    }
+}
+
+fn segment_name(index: u64) -> String {
+    format!("evals-{index:05}.jsonl")
+}
+
+fn next_segment_index(existing: &[PathBuf]) -> u64 {
+    existing
+        .iter()
+        .filter_map(|p| {
+            p.file_stem()?
+                .to_str()?
+                .strip_prefix("evals-")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .map_or(1, |n| n + 1)
+}
+
+/// Appends evaluation records to a private fresh segment, created
+/// lazily so read-only (fully warm) runs leave no empty files behind.
+#[derive(Debug)]
+pub struct EvalWriter {
+    dir: PathBuf,
+    writer: Option<SegmentWriter>,
+}
+
+impl EvalWriter {
+    /// Appends one evaluation record (its body must carry the `"key"`
+    /// digest field).
+    pub fn write(&mut self, body: &JsonValue) -> io::Result<()> {
+        if self.writer.is_none() {
+            let existing: Vec<PathBuf> = fs::read_dir(&self.dir)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .collect();
+            // Claim a fresh segment; `create_new` guards against racing
+            // writers picking the same index.
+            let mut index = next_segment_index(&existing);
+            let writer = loop {
+                let path = self.dir.join(segment_name(index));
+                match fs::OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    Ok(_) => break SegmentWriter::append(&path)?,
+                    Err(e) if e.kind() == io::ErrorKind::AlreadyExists => index += 1,
+                    Err(e) => return Err(e),
+                }
+            };
+            self.writer = Some(writer);
+        }
+        self.writer
+            .as_mut()
+            .expect("writer was just created")
+            .write_record(body)
+    }
+
+    /// Forces written records to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match self.writer.as_mut() {
+            Some(w) => w.sync(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("cirfix-store-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(&dir).unwrap()
+    }
+
+    fn eval_body(key: Digest, n: u64) -> JsonValue {
+        JsonValue::obj(vec![
+            ("key", JsonValue::Str(key.to_hex())),
+            ("n", JsonValue::Uint(n)),
+        ])
+    }
+
+    #[test]
+    fn eval_records_round_trip_through_segments() {
+        let store = tmp_store("evals");
+        let mut w = store.eval_writer();
+        for n in 0..4u64 {
+            w.write(&eval_body(Digest(u128::from(n)), n)).unwrap();
+        }
+        w.sync().unwrap();
+        let (entries, health) = store.load_evals().unwrap();
+        assert_eq!(entries.len(), 4);
+        assert!(health.is_clean());
+        assert_eq!(entries[2].0, Digest(2));
+    }
+
+    #[test]
+    fn each_writer_gets_its_own_segment() {
+        let store = tmp_store("segments");
+        let mut a = store.eval_writer();
+        a.write(&eval_body(Digest(1), 1)).unwrap();
+        let mut b = store.eval_writer();
+        b.write(&eval_body(Digest(2), 2)).unwrap();
+        assert_eq!(store.segments_in("evals").unwrap().len(), 2);
+        let (entries, _) = store.load_evals().unwrap();
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn gc_compacts_dedups_and_reports() {
+        let store = tmp_store("gc");
+        let mut a = store.eval_writer();
+        a.write(&eval_body(Digest(1), 1)).unwrap();
+        a.write(&eval_body(Digest(2), 2)).unwrap();
+        let mut b = store.eval_writer();
+        b.write(&eval_body(Digest(1), 99)).unwrap(); // duplicate key
+        drop((a, b));
+        let report = store.gc().unwrap();
+        assert_eq!(report.records_kept, 2);
+        assert_eq!(report.records_dropped, 1);
+        assert_eq!(store.segments_in("evals").unwrap().len(), 1);
+        let (entries, health) = store.load_evals().unwrap();
+        assert!(health.is_clean());
+        let one = entries.iter().find(|(k, _)| *k == Digest(1)).unwrap();
+        assert_eq!(
+            crate::json::field_u64(&one.1, "n"),
+            Some(1),
+            "first write wins"
+        );
+    }
+
+    #[test]
+    fn gc_reaps_completed_sessions_and_keeps_live_ones() {
+        let store = tmp_store("sessions");
+        let done = JsonValue::obj(vec![("type", JsonValue::Str("complete".into()))]);
+        let live = JsonValue::obj(vec![("type", JsonValue::Str("checkpoint".into()))]);
+        store
+            .session_writer("done")
+            .unwrap()
+            .write_record(&done)
+            .unwrap();
+        store
+            .session_writer("live")
+            .unwrap()
+            .write_record(&live)
+            .unwrap();
+        store.gc().unwrap();
+        assert!(!store.session_path("done").exists());
+        assert!(store.session_path("live").exists());
+    }
+
+    #[test]
+    fn verify_reports_without_modifying() {
+        let store = tmp_store("verify");
+        let mut w = store.eval_writer();
+        w.write(&eval_body(Digest(1), 1)).unwrap();
+        drop(w);
+        let seg = &store.segments_in("evals").unwrap()[0];
+        let len_before = fs::metadata(seg).unwrap().len();
+        // Torn tail.
+        use std::io::Write as _;
+        let mut f = fs::OpenOptions::new().append(true).open(seg).unwrap();
+        f.write_all(b"{\"sum\":\"partial").unwrap();
+        drop(f);
+        let report = store.verify().unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.torn(), 1);
+        assert_eq!(report.records(), 1);
+        assert!(
+            fs::metadata(seg).unwrap().len() > len_before,
+            "verify must not truncate"
+        );
+    }
+}

@@ -85,6 +85,26 @@ pub struct LintEvent {
     pub message: String,
 }
 
+/// One persistent-store operation (PR 4's `cirfix-store`): cache hits
+/// and write-throughs, session checkpoints and resumes, and detected
+/// damage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreEvent {
+    /// What happened: `"hit"` (evaluation answered from the persistent
+    /// cache), `"write"` (evaluation persisted), `"checkpoint"`
+    /// (session state saved at a generation boundary), `"resume"`
+    /// (session state restored), or `"damage"` (corrupt or torn
+    /// records detected and skipped).
+    pub op: String,
+    /// Content digest of the record involved (empty when the operation
+    /// is not about one record).
+    pub key: String,
+    /// Records involved: 1 for hit/write, the restored generation for
+    /// resume, population size for checkpoint, damaged-record count for
+    /// damage.
+    pub records: u64,
+}
+
 /// A closed span: a named phase and its wall-clock duration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpanEvent {
@@ -107,6 +127,8 @@ pub enum Event {
     Sim(SimStats),
     /// One static-analysis diagnostic.
     Lint(LintEvent),
+    /// One persistent-store operation.
+    Store(StoreEvent),
     /// A completed timing span.
     Span(SpanEvent),
 }
@@ -120,6 +142,7 @@ impl Event {
             Event::FaultLoc(_) => "fault_loc",
             Event::Sim(_) => "sim",
             Event::Lint(_) => "lint",
+            Event::Store(_) => "store",
             Event::Span(_) => "span",
         }
     }
@@ -169,6 +192,11 @@ impl Event {
                 pairs.push(("node_id", JsonValue::Uint(l.node_id)));
                 pairs.push(("message", JsonValue::Str(l.message.clone())));
             }
+            Event::Store(st) => {
+                pairs.push(("op", JsonValue::Str(st.op.clone())));
+                pairs.push(("key", JsonValue::Str(st.key.clone())));
+                pairs.push(("records", JsonValue::Uint(st.records)));
+            }
             Event::Span(sp) => {
                 pairs.push(("name", JsonValue::Str(sp.name.clone())));
                 pairs.push(("nanos", JsonValue::Uint(sp.nanos)));
@@ -205,6 +233,11 @@ mod tests {
                 severity: "error".into(),
                 node_id: 42,
                 message: "`q` is driven from 2 places".into(),
+            }),
+            Event::Store(StoreEvent {
+                op: "hit".into(),
+                key: "6c62272e07bb014262b821756295c58d".into(),
+                records: 1,
             }),
             Event::Span(SpanEvent {
                 name: "repair \"quoted\"".into(),

@@ -29,6 +29,7 @@ mod sink;
 
 pub use event::{
     CandidateEvent, Event, FaultLocEvent, GenerationStats, LintEvent, SimStats, SpanEvent,
+    StoreEvent,
 };
 pub use json::{validate_json_line, JsonValue};
 pub use metrics::{Counter, Gauge, MetricsRegistry, Span};

@@ -119,6 +119,11 @@ struct SummaryState {
     peak_queue_depth: u64,
     lint_errors: u64,
     lint_warnings: u64,
+    store_hits: u64,
+    store_writes: u64,
+    store_checkpoints: u64,
+    store_resumes: u64,
+    store_damage: u64,
     spans: Vec<(String, u64, u64)>, // name, count, total nanos
 }
 
@@ -170,6 +175,20 @@ impl SummarySink {
             let _ = writeln!(out, "  errors               {:>12}", s.lint_errors);
             let _ = writeln!(out, "  warnings             {:>12}", s.lint_warnings);
         }
+        if s.store_hits + s.store_writes + s.store_checkpoints + s.store_resumes + s.store_damage
+            > 0
+        {
+            let _ = writeln!(out, "store:");
+            let _ = writeln!(out, "  hits                 {:>12}", s.store_hits);
+            let _ = writeln!(out, "  writes               {:>12}", s.store_writes);
+            let _ = writeln!(out, "  checkpoints          {:>12}", s.store_checkpoints);
+            if s.store_resumes > 0 {
+                let _ = writeln!(out, "  resumes              {:>12}", s.store_resumes);
+            }
+            if s.store_damage > 0 {
+                let _ = writeln!(out, "  damaged records      {:>12}", s.store_damage);
+            }
+        }
         if !s.spans.is_empty() {
             let _ = writeln!(out, "spans:");
             for (name, count, nanos) in &s.spans {
@@ -215,6 +234,13 @@ impl TelemetrySink for SummarySink {
                     s.lint_warnings += 1;
                 }
             }
+            Event::Store(st) => match st.op.as_str() {
+                "hit" => s.store_hits += 1,
+                "write" => s.store_writes += 1,
+                "checkpoint" => s.store_checkpoints += 1,
+                "resume" => s.store_resumes += 1,
+                _ => s.store_damage += st.records,
+            },
             Event::Span(sp) => {
                 if let Some(entry) = s.spans.iter_mut().find(|(n, _, _)| *n == sp.name) {
                     entry.1 += 1;
