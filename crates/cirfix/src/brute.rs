@@ -26,7 +26,7 @@ use crate::fitness::FitnessParams;
 use crate::mutation::{all_stmt_ids, mutate, MutationParams};
 use crate::oracle::RepairProblem;
 use crate::patch::{apply_patch, Edit, Patch};
-use crate::repair::{evaluate, RepairResult, RepairStatus, RunTotals};
+use crate::repair::{evaluate, panicked_evaluation, RepairResult, RepairStatus, RunTotals};
 use crate::templates::applicable_templates;
 
 /// Resource bounds for the brute-force baseline.
@@ -91,6 +91,9 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         eval_busy: busy,
         store_hits: 0,
         store_writes: 0,
+        timeouts: 0,
+        panics: 0,
+        exhausted: 0,
     };
 
     // Evaluates one batch across the worker pool and merges the
@@ -111,10 +114,16 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         if admit < patches.len() {
             *cut = true;
         }
-        let (results, batch_busy) = run_batch(jobs, deadline, &patches[..admit], |patch| {
-            evaluate(problem, patch, config.fitness)
-        });
+        let (mut results, batch_busy, panicked) =
+            run_batch(jobs, deadline, &patches[..admit], |patch| {
+                evaluate(problem, patch, config.fitness)
+            });
         *busy += batch_busy;
+        // Same containment as the GP loop: a panicking candidate is
+        // classified worst-fitness, not mistaken for a deadline cut.
+        for (i, msg) in panicked {
+            results[i] = Some(panicked_evaluation(problem, &msg, 1.0));
+        }
         for (patch, result) in patches[..admit].iter().zip(results) {
             let Some(eval) = result else {
                 // Deadline cancelled the rest of the batch.

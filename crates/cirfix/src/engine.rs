@@ -16,6 +16,7 @@
 //! the coordinating thread during the in-order merge, so `jobs = 1` and
 //! `jobs = 8` produce identical `RepairResult`s for the same seed.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -23,7 +24,19 @@ use std::time::{Duration, Instant};
 use crate::fitness::FitnessParams;
 use crate::oracle::RepairProblem;
 use crate::patch::Patch;
-use crate::repair::{evaluate, Evaluation};
+use crate::repair::{evaluate, panicked_evaluation, Evaluation};
+
+/// Renders a panic payload (whatever was passed to `panic!`) as text
+/// for the contained candidate's error message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolves a requested worker count: `0` means "auto" — the
 /// `CIRFIX_JOBS` environment variable when set, otherwise
@@ -51,26 +64,34 @@ pub fn resolve_jobs(requested: usize) -> usize {
 /// Workers pull items from a shared queue in submission order, so one
 /// slow simulation never blocks the others. An item whose turn comes
 /// after `deadline` is *skipped*: its slot stays `None` and no work
-/// runs for it. When no deadline fires every slot is `Some`, whatever
-/// the worker count — the property the determinism suite pins down.
+/// runs for it. When no deadline fires every slot is `Some` or appears
+/// in the panic list, whatever the worker count — the property the
+/// determinism suite pins down.
+///
+/// Each call to `work` runs under [`catch_unwind`], so a panicking
+/// candidate never tears down its worker or poisons the pool: the
+/// worker stays alive, records `(index, panic message)` in the third
+/// return slot, and keeps draining the queue. Callers classify the
+/// panicked slots (worst fitness) instead of crashing.
 pub(crate) fn run_batch<T, R, F>(
     jobs: usize,
     deadline: Option<Instant>,
     items: &[T],
     work: F,
-) -> (Vec<Option<R>>, Duration)
+) -> (Vec<Option<R>>, Duration, Vec<(usize, String)>)
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
     if items.is_empty() {
-        return (Vec::new(), Duration::ZERO);
+        return (Vec::new(), Duration::ZERO, Vec::new());
     }
     let workers = jobs.max(1).min(items.len());
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let busy_total = Mutex::new(Duration::ZERO);
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -86,9 +107,22 @@ where
                         continue;
                     }
                     let t0 = Instant::now();
-                    let r = work(&items[i]);
+                    // `work` borrows only shared state (`&T`, `Fn`), so
+                    // observing it after an unwind is safe; the slot for
+                    // a panicked item is simply never written.
+                    let r = catch_unwind(AssertUnwindSafe(|| work(&items[i])));
                     busy += t0.elapsed();
-                    *slots[i].lock().expect("worker slot poisoned") = Some(r);
+                    match r {
+                        Ok(r) => {
+                            *slots[i].lock().expect("worker slot poisoned") = Some(r);
+                        }
+                        Err(payload) => {
+                            panics
+                                .lock()
+                                .expect("panic list poisoned")
+                                .push((i, panic_message(payload)));
+                        }
+                    }
                 }
                 *busy_total.lock().expect("busy counter poisoned") += busy;
             });
@@ -98,9 +132,13 @@ where
         .into_iter()
         .map(|m| m.into_inner().expect("worker slot poisoned"))
         .collect();
+    let mut panicked = panics.into_inner().expect("panic list poisoned");
+    // Workers race to append; sort so callers see deterministic order.
+    panicked.sort_unstable_by_key(|&(i, _)| i);
     (
         results,
         busy_total.into_inner().expect("busy counter poisoned"),
+        panicked,
     )
 }
 
@@ -117,12 +155,23 @@ pub fn evaluate_many(
     params: FitnessParams,
     jobs: usize,
 ) -> Vec<Evaluation> {
-    let (results, _) = run_batch(resolve_jobs(jobs), None, patches, |p| {
+    let (results, _, panicked) = run_batch(resolve_jobs(jobs), None, patches, |p| {
         evaluate(problem, p, params)
     });
+    let mut panicked = panicked.into_iter().peekable();
     results
         .into_iter()
-        .map(|r| r.expect("no deadline was set"))
+        .enumerate()
+        .map(|(i, r)| match r {
+            Some(eval) => eval,
+            None => {
+                let msg = match panicked.peek() {
+                    Some(&(j, _)) if j == i => panicked.next().map(|(_, m)| m),
+                    _ => None,
+                };
+                panicked_evaluation(problem, msg.as_deref().unwrap_or("worker lost"), 1.0)
+            }
+        })
         .collect()
 }
 
@@ -134,7 +183,8 @@ mod tests {
     fn run_batch_preserves_submission_order() {
         let items: Vec<u64> = (0..100).collect();
         for jobs in [1, 3, 8] {
-            let (out, _) = run_batch(jobs, None, &items, |&x| x * 2);
+            let (out, _, panicked) = run_batch(jobs, None, &items, |&x| x * 2);
+            assert!(panicked.is_empty());
             let got: Vec<u64> = out.into_iter().map(Option::unwrap).collect();
             assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
         }
@@ -144,16 +194,44 @@ mod tests {
     fn run_batch_skips_items_past_the_deadline() {
         let items: Vec<u64> = (0..64).collect();
         let deadline = Instant::now(); // already expired
-        let (out, busy) = run_batch(4, Some(deadline), &items, |&x| x);
+        let (out, busy, panicked) = run_batch(4, Some(deadline), &items, |&x| x);
         assert!(out.iter().all(Option::is_none), "all items skipped");
         assert_eq!(busy, Duration::ZERO);
+        assert!(panicked.is_empty());
     }
 
     #[test]
     fn run_batch_handles_empty_input() {
-        let (out, busy) = run_batch::<u64, u64, _>(4, None, &[], |&x| x);
+        let (out, busy, panicked) = run_batch::<u64, u64, _>(4, None, &[], |&x| x);
         assert!(out.is_empty());
         assert_eq!(busy, Duration::ZERO);
+        assert!(panicked.is_empty());
+    }
+
+    #[test]
+    fn run_batch_contains_panics_without_poisoning_workers() {
+        let items: Vec<u64> = (0..50).collect();
+        for jobs in [1, 4] {
+            let (out, _, panicked) = run_batch(jobs, None, &items, |&x| {
+                assert!(x % 7 != 3, "injected panic at {x}");
+                x * 2
+            });
+            // Every non-panicking item still completed — the workers
+            // survived their neighbours' panics.
+            let expect_panics: Vec<usize> = (0..50usize).filter(|&x| x % 7 == 3).collect();
+            let got_panics: Vec<usize> = panicked.iter().map(|&(i, _)| i).collect();
+            assert_eq!(got_panics, expect_panics, "jobs={jobs}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    assert!(slot.is_none());
+                } else {
+                    assert_eq!(*slot, Some(i as u64 * 2));
+                }
+            }
+            for (i, msg) in &panicked {
+                assert!(msg.contains(&format!("injected panic at {i}")), "{msg}");
+            }
+        }
     }
 
     #[test]

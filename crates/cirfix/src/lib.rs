@@ -69,10 +69,12 @@ mod crossover;
 mod engine;
 pub mod explain;
 mod faultloc;
+mod faults;
 mod fitness;
 mod minimize;
 mod mutation;
 mod oracle;
+mod outcome;
 mod patch;
 pub mod persist;
 mod repair;
@@ -87,10 +89,15 @@ pub use cirfix_telemetry::Observer;
 pub use crossover::crossover;
 pub use engine::{evaluate_many, resolve_jobs};
 pub use faultloc::{fault_loc_event, fault_localization, FaultLoc};
+pub use faults::{FaultInjector, FaultKind, FaultPlan};
 pub use fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
 pub use minimize::{minimize, minimize_observed};
 pub use mutation::{all_stmt_ids, mutate, mutate_with_prior, MutationParams};
-pub use oracle::{degrade_oracle, oracle_from_golden, simulate_with_probe, RepairProblem};
+pub use oracle::{
+    degrade_oracle, oracle_from_golden, simulate_with_probe, simulate_with_probe_cancellable,
+    RepairProblem,
+};
+pub use outcome::EvalOutcome;
 pub use patch::{apply_patch, ApplyStats, Edit, Patch, SensTemplate};
 pub use persist::{
     patch_from_json, patch_to_json, problem_digest, result_to_canonical_json, session_digest,

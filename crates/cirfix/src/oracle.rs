@@ -7,7 +7,7 @@
 //! of the design (§4.1.2); [`oracle_from_golden`] does exactly that.
 
 use cirfix_ast::SourceFile;
-use cirfix_sim::{ProbeSpec, SimConfig, SimError, SimOutcome, Simulator, Trace};
+use cirfix_sim::{CancelToken, ProbeSpec, SimConfig, SimError, SimOutcome, Simulator, Trace};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -40,7 +40,29 @@ pub fn simulate_with_probe(
     probe: &ProbeSpec,
     sim: &SimConfig,
 ) -> Result<(SimOutcome, Trace, Vec<String>), SimError> {
+    simulate_with_probe_cancellable(source, top, probe, sim, None)
+}
+
+/// [`simulate_with_probe`] with an optional cooperative [`CancelToken`]:
+/// when the token trips (externally or via its deadline) the run stops
+/// with [`SimError::Cancelled`] instead of consuming its full resource
+/// budget. This is how per-candidate wall-clock budgets are enforced.
+///
+/// # Errors
+///
+/// Propagates elaboration, runtime, and cancellation errors from the
+/// simulator.
+pub fn simulate_with_probe_cancellable(
+    source: &SourceFile,
+    top: &str,
+    probe: &ProbeSpec,
+    sim: &SimConfig,
+    cancel: Option<CancelToken>,
+) -> Result<(SimOutcome, Trace, Vec<String>), SimError> {
     let mut simulator = Simulator::new(source, top, sim.clone())?;
+    if let Some(token) = cancel {
+        simulator.set_cancel(token);
+    }
     let idx = simulator.add_probe(probe)?;
     let outcome = simulator.run()?;
     let trace = simulator.probe_trace(idx).clone();

@@ -24,6 +24,7 @@ use cirfix_telemetry::JsonValue;
 
 use crate::fitness::FitnessReport;
 use crate::oracle::RepairProblem;
+use crate::outcome::EvalOutcome;
 use crate::patch::{Edit, Patch, SensTemplate};
 use crate::repair::{Evaluation, RepairConfig, RepairResult, RepairStatus, RunTotals};
 
@@ -65,10 +66,22 @@ pub fn problem_digest(problem: &RepairProblem, config: &RepairConfig) -> Digest 
     h.write_u64(problem.sim.max_ops_per_resume);
     h.write_u64(problem.sim.max_total_ops);
     h.write_u64(problem.sim.seed);
-    // Evaluation-relevant configuration.
+    h.write_u64(problem.sim.max_queue_events);
+    h.write_u64(problem.sim.max_trace_rows);
+    // Evaluation-relevant configuration. The per-candidate wall-clock
+    // budget changes which candidates get classified `timeout`, so it
+    // keys the cache (`u64::MAX` = unbudgeted); fault injection is
+    // deliberately excluded — injected outcomes must never be written
+    // to a store a clean run could read, which the chaos tests enforce
+    // by using throwaway store directories.
     h.write_u64(config.fitness.phi.to_bits());
     h.write_u64(config.max_growth.to_bits());
     h.write_u64(u64::from(config.static_filter));
+    h.write_u64(
+        config
+            .eval_timeout
+            .map_or(u64::MAX, |t| t.as_nanos() as u64),
+    );
     h.finish()
 }
 
@@ -389,6 +402,7 @@ pub fn evaluation_to_json(e: &Evaluation) -> JsonValue {
             },
         ),
         ("growth_bits", bits(e.growth)),
+        ("outcome", JsonValue::Str(e.outcome.as_str().into())),
         (
             "sim",
             match &e.sim_metrics {
@@ -400,7 +414,20 @@ pub fn evaluation_to_json(e: &Evaluation) -> JsonValue {
 }
 
 /// Deserializes an evaluation written by [`evaluation_to_json`].
+///
+/// Records written before the fault-containment taxonomy carry no
+/// `outcome` field; those are reclassified from their error text, which
+/// the legacy failure paths wrote with stable prefixes.
 pub fn evaluation_from_json(v: &JsonValue) -> Result<Evaluation, String> {
+    let error = match field(v, "error") {
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        Some(JsonValue::Null) => None,
+        other => return Err(format!("bad error field: {other:?}")),
+    };
+    let outcome = match field_str(v, "outcome") {
+        Some(s) => EvalOutcome::parse(s).ok_or_else(|| format!("unknown outcome {s:?}"))?,
+        None => EvalOutcome::classify_error_text(error.as_deref()),
+    };
     Ok(Evaluation {
         score: f64_bits_field(v, "score_bits")?,
         compiled: match field(v, "compiled") {
@@ -413,12 +440,9 @@ pub fn evaluation_from_json(v: &JsonValue) -> Result<Evaluation, String> {
             Some(r) => Some(report_from_json(r)?),
             None => return Err("missing report field".into()),
         },
-        error: match field(v, "error") {
-            Some(JsonValue::Str(s)) => Some(s.clone()),
-            Some(JsonValue::Null) => None,
-            other => return Err(format!("bad error field: {other:?}")),
-        },
+        error,
         growth: f64_bits_field(v, "growth_bits")?,
+        outcome,
         sim_metrics: match field(v, "sim") {
             Some(JsonValue::Null) => None,
             Some(m) => Some(metrics_from_json(m)?),
@@ -480,6 +504,9 @@ pub fn result_to_canonical_json(r: &RepairResult) -> JsonValue {
             "total_generations",
             JsonValue::Uint(u64::from(r.totals.generations)),
         ),
+        ("timeouts", JsonValue::Uint(r.totals.timeouts)),
+        ("panics", JsonValue::Uint(r.totals.panics)),
+        ("exhausted", JsonValue::Uint(r.totals.exhausted)),
     ])
 }
 
@@ -501,6 +528,9 @@ pub(crate) fn totals_to_json(t: &RunTotals) -> JsonValue {
         ("busy_nanos", JsonValue::Uint(t.eval_busy.as_nanos() as u64)),
         ("store_hits", JsonValue::Uint(t.store_hits)),
         ("store_writes", JsonValue::Uint(t.store_writes)),
+        ("timeouts", JsonValue::Uint(t.timeouts)),
+        ("panics", JsonValue::Uint(t.panics)),
+        ("exhausted", JsonValue::Uint(t.exhausted)),
     ])
 }
 
@@ -516,6 +546,10 @@ pub(crate) fn totals_from_json(v: &JsonValue) -> Result<RunTotals, String> {
         eval_busy: Duration::from_nanos(u64_field(v, "busy_nanos")?),
         store_hits: u64_field(v, "store_hits")?,
         store_writes: u64_field(v, "store_writes")?,
+        // Absent in checkpoints from before fault containment.
+        timeouts: field_u64(v, "timeouts").unwrap_or(0),
+        panics: field_u64(v, "panics").unwrap_or(0),
+        exhausted: field_u64(v, "exhausted").unwrap_or(0),
     })
 }
 
@@ -585,6 +619,7 @@ mod tests {
             }),
             error: None,
             growth: 1.0526315789473684,
+            outcome: EvalOutcome::Ok,
             sim_metrics: Some(SimMetrics {
                 active_events: 1,
                 inactive_events: 2,
@@ -602,7 +637,8 @@ mod tests {
         assert_eq!(back.report.as_ref().unwrap(), eval.report.as_ref().unwrap());
         assert_eq!(back.sim_metrics, eval.sim_metrics);
 
-        // The degenerate (failed) shape round-trips too.
+        // The degenerate (failed) shape round-trips too, outcome
+        // included.
         let failed = Evaluation {
             score: 0.0,
             compiled: false,
@@ -610,12 +646,49 @@ mod tests {
             report: None,
             error: Some("elaboration failed".into()),
             growth: 1.0,
+            outcome: EvalOutcome::Elaboration,
             sim_metrics: None,
         };
         let line = evaluation_to_json(&failed).to_json();
         let back = evaluation_from_json(&cirfix_store::parse_json(&line).unwrap()).unwrap();
         assert_eq!(back.error.as_deref(), Some("elaboration failed"));
+        assert_eq!(back.outcome, EvalOutcome::Elaboration);
         assert!(back.report.is_none() && back.sim_metrics.is_none());
+    }
+
+    #[test]
+    fn evaluation_codec_reclassifies_legacy_records_without_outcome() {
+        // Records written before the taxonomy carry no "outcome" field;
+        // the reader must fall back to classifying the error text.
+        let cases = [
+            (JsonValue::Null, EvalOutcome::Ok),
+            (
+                JsonValue::Str("elaboration error: unresolved reference `clk`".into()),
+                EvalOutcome::Elaboration,
+            ),
+            (
+                JsonValue::Str("zero-delay oscillation at time 40".into()),
+                EvalOutcome::Oscillation,
+            ),
+            (
+                JsonValue::Str("simulation step limit exhausted at time 12".into()),
+                EvalOutcome::StepLimit,
+            ),
+        ];
+        for (error, expected) in cases {
+            let legacy = JsonValue::obj(vec![
+                ("score_bits", bits(0.0)),
+                ("compiled", JsonValue::Bool(false)),
+                ("mismatched", JsonValue::Array(Vec::new())),
+                ("report", JsonValue::Null),
+                ("error", error),
+                ("growth_bits", bits(1.0)),
+                ("sim", JsonValue::Null),
+            ])
+            .to_json();
+            let back = evaluation_from_json(&cirfix_store::parse_json(&legacy).unwrap()).unwrap();
+            assert_eq!(back.outcome, expected);
+        }
     }
 
     #[test]

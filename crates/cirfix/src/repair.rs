@@ -8,22 +8,28 @@
 //! resources are exhausted, and the winning patch is minimized.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use cirfix_ast::print;
 use cirfix_ast::NodeId;
-use cirfix_sim::SimMetrics;
+use cirfix_sim::{CancelToken, SimError, SimMetrics};
 use cirfix_store::Digest;
-use cirfix_telemetry::{Event, GenerationStats, Observer, SimStats, Span, StoreEvent};
+use cirfix_telemetry::{
+    EvalOutcomeEvent, Event, GenerationStats, Observer, SimStats, Span, StoreEvent,
+};
 use rand::Rng;
 use rand::SeedableRng;
 
 use crate::crossover::crossover;
+use crate::engine::panic_message;
 use crate::faultloc::{fault_loc_event, fault_localization, FaultLoc};
+use crate::faults::{FaultInjector, FaultKind};
 use crate::fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
 use crate::minimize::minimize;
 use crate::mutation::{mutate_with_prior, MutationParams};
-use crate::oracle::{simulate_with_probe, RepairProblem};
+use crate::oracle::{simulate_with_probe_cancellable, RepairProblem};
+use crate::outcome::EvalOutcome;
 use crate::patch::{apply_patch, Patch};
 use crate::persist::variant_fingerprint;
 use crate::select::{elite_indices, tournament_select};
@@ -94,6 +100,17 @@ pub struct RepairConfig {
     /// exactly at a generation boundary, the worst-case place a real
     /// crash can land.
     pub halt_after: Option<u32>,
+    /// Per-candidate wall-clock budget. A simulation still running when
+    /// its budget expires is cancelled cooperatively and the candidate
+    /// scored worst-fitness with [`EvalOutcome::Timeout`] instead of
+    /// stalling its worker. `None` (the default) disables the budget —
+    /// the fully deterministic mode.
+    pub eval_timeout: Option<Duration>,
+    /// Deterministic fault injection for chaos testing: scheduled
+    /// panics, hangs, simulator errors, and store-write failures keyed
+    /// by evaluation ordinal. `None` (the default) injects nothing;
+    /// production runs never set this.
+    pub faults: Option<FaultInjector>,
     /// Telemetry destination. Defaults to a disabled observer, in which
     /// case no events are constructed.
     pub observer: Observer,
@@ -124,6 +141,8 @@ impl RepairConfig {
             jobs: 0,
             batch_size: 32,
             halt_after: None,
+            eval_timeout: None,
+            faults: None,
             observer: Observer::none(),
         }
     }
@@ -159,6 +178,9 @@ pub struct Evaluation {
     pub growth: f64,
     /// Simulator effort counters, when a simulation ran to completion.
     pub sim_metrics: Option<SimMetrics>,
+    /// How the evaluation concluded — every candidate gets exactly one
+    /// classification from the unified taxonomy.
+    pub outcome: EvalOutcome,
 }
 
 /// Why the search stopped.
@@ -202,6 +224,15 @@ pub struct RunTotals {
     pub store_hits: u64,
     /// Evaluations written through to the persistent store.
     pub store_writes: u64,
+    /// Candidates whose per-candidate wall-clock budget expired
+    /// ([`EvalOutcome::Timeout`]).
+    pub timeouts: u64,
+    /// Candidates whose evaluation panicked and was contained
+    /// ([`EvalOutcome::Panicked`]).
+    pub panics: u64,
+    /// Candidates that hit a hard resource cap
+    /// ([`EvalOutcome::ResourceExhausted`]).
+    pub exhausted: u64,
 }
 
 /// The outcome of one repair trial.
@@ -247,25 +278,73 @@ impl RepairResult {
     }
 }
 
+/// The fixed error text for a candidate whose per-candidate wall-clock
+/// budget expired. Deliberately free of wall-clock or simulation-time
+/// detail so persisted timeout evaluations are byte-identical across
+/// runs.
+pub(crate) const TIMEOUT_ERROR: &str = "evaluation exceeded its wall-clock budget";
+
 /// Evaluates one patch against a repair problem: apply → simulate →
 /// fitness. Compile failures and runtime errors score 0.
 pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -> Evaluation {
     let (variant, _) = apply_patch(&problem.source, &problem.design_modules, patch);
     let growth = node_count(&variant) as f64 / node_count(&problem.source).max(1) as f64;
-    evaluate_variant(problem, &variant, growth, params)
+    evaluate_variant(problem, &variant, growth, params, None, None)
 }
 
 /// The simulation half of [`evaluate`]: scores an already-applied
 /// variant. Pure in its inputs, so worker threads can run it
 /// concurrently; all AST work (patch application, growth accounting)
 /// stays with the caller.
+///
+/// `budget` is the per-candidate wall-clock budget: when set, the
+/// simulation runs under a deadline [`CancelToken`] and an expiry is
+/// classified [`EvalOutcome::Timeout`] with a fixed error string.
+/// `fault` is the chaos-testing hook — an injected fault scheduled for
+/// this evaluation by a [`FaultInjector`].
 pub(crate) fn evaluate_variant(
     problem: &RepairProblem,
     variant: &cirfix_ast::SourceFile,
     growth: f64,
     params: FitnessParams,
+    budget: Option<Duration>,
+    fault: Option<FaultKind>,
 ) -> Evaluation {
-    match simulate_with_probe(variant, &problem.top, &problem.probe, &problem.sim) {
+    let deadline = budget.map(|b| Instant::now() + b);
+    match fault {
+        Some(FaultKind::Panic) => panic!("injected fault: worker panic"),
+        Some(FaultKind::Hang) => {
+            // A deterministic stand-in for a candidate that wedges its
+            // worker: spin until the candidate budget (or a short
+            // fallback when budgets are off) cancels it, then classify
+            // exactly like a real cancelled simulation.
+            let until = deadline.unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
+            let token = CancelToken::with_deadline(until);
+            while !token.is_cancelled() {
+                std::thread::yield_now();
+            }
+            return failure_evaluation(problem, growth, &SimError::Cancelled { time: 0 });
+        }
+        Some(FaultKind::SimError) => {
+            return failure_evaluation(
+                problem,
+                growth,
+                &SimError::Runtime {
+                    message: "injected fault: simulated failure".into(),
+                    time: 0,
+                },
+            );
+        }
+        None => {}
+    }
+    let token = deadline.map(CancelToken::with_deadline);
+    match simulate_with_probe_cancellable(
+        variant,
+        &problem.top,
+        &problem.probe,
+        &problem.sim,
+        token,
+    ) {
         Ok((outcome, trace, _)) => {
             let report = fitness(&trace, &problem.oracle, params);
             Evaluation {
@@ -280,25 +359,60 @@ pub(crate) fn evaluate_variant(
                 error: None,
                 growth,
                 sim_metrics: Some(outcome.metrics),
+                outcome: EvalOutcome::Ok,
             }
         }
-        Err(e) => {
-            let report = failure_report(&problem.oracle);
-            Evaluation {
-                score: 0.0,
-                compiled: !e.is_compile_failure(),
-                mismatched: problem
-                    .oracle
-                    .vars()
-                    .iter()
-                    .map(|v| strip_hierarchy(v))
-                    .collect(),
-                report: Some(report),
-                error: Some(e.to_string()),
-                growth,
-                sim_metrics: None,
-            }
-        }
+        Err(e) => failure_evaluation(problem, growth, &e),
+    }
+}
+
+/// The worst-fitness evaluation for a failed simulation, classified by
+/// the unified outcome taxonomy. Cancellations (budget expiries) get
+/// the fixed [`TIMEOUT_ERROR`] text so their persisted form does not
+/// depend on how far the simulation got before the deadline fired.
+fn failure_evaluation(problem: &RepairProblem, growth: f64, e: &SimError) -> Evaluation {
+    let outcome = EvalOutcome::from_sim_error(e);
+    let error = if outcome == EvalOutcome::Timeout {
+        TIMEOUT_ERROR.to_string()
+    } else {
+        e.to_string()
+    };
+    Evaluation {
+        score: 0.0,
+        compiled: !e.is_compile_failure(),
+        mismatched: problem
+            .oracle
+            .vars()
+            .iter()
+            .map(|v| strip_hierarchy(v))
+            .collect(),
+        report: Some(failure_report(&problem.oracle)),
+        error: Some(error),
+        growth,
+        sim_metrics: None,
+        outcome,
+    }
+}
+
+/// The worst-fitness evaluation for a candidate whose worker panicked.
+/// The panic was contained by the pool ([`catch_unwind`]); the
+/// candidate is classified [`EvalOutcome::Panicked`] and the search
+/// continues.
+pub(crate) fn panicked_evaluation(problem: &RepairProblem, msg: &str, growth: f64) -> Evaluation {
+    Evaluation {
+        score: 0.0,
+        compiled: true,
+        mismatched: problem
+            .oracle
+            .vars()
+            .iter()
+            .map(|v| strip_hierarchy(v))
+            .collect(),
+        report: Some(failure_report(&problem.oracle)),
+        error: Some(format!("candidate evaluation panicked: {msg}")),
+        growth,
+        sim_metrics: None,
+        outcome: EvalOutcome::Panicked,
     }
 }
 
@@ -354,6 +468,12 @@ pub struct Repairer<'a> {
     cache_hits: u64,
     minimize_evals: u64,
     rejected_static: u64,
+    // Fault-containment classification counters, over fresh
+    // simulations only (cached answers keep their stored outcome but
+    // do not re-count).
+    timeouts: u64,
+    panics: u64,
+    exhausted: u64,
     filter: Option<StaticFilter>,
     prior: BTreeMap<NodeId, u32>,
     started: Instant,
@@ -448,6 +568,9 @@ impl<'a> Repairer<'a> {
             cache_hits: 0,
             minimize_evals: 0,
             rejected_static: 0,
+            timeouts: 0,
+            panics: 0,
+            exhausted: 0,
             filter,
             prior,
             started: Instant::now(),
@@ -510,6 +633,21 @@ impl<'a> Repairer<'a> {
         self.store_writes
     }
 
+    /// Candidates whose per-candidate budget expired so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Contained worker panics so far.
+    pub fn panics(&self) -> u64 {
+        self.panics
+    }
+
+    /// Candidates stopped by a hard resource cap so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+
     /// Number of fitness probes so far (cache misses — each is one
     /// design simulation, the paper's dominant cost).
     pub fn fitness_evals(&self) -> u64 {
@@ -552,6 +690,7 @@ impl<'a> Repairer<'a> {
             error: Some(error),
             growth,
             sim_metrics: None,
+            outcome: EvalOutcome::Rejected,
         }
     }
 
@@ -628,6 +767,16 @@ impl<'a> Repairer<'a> {
                         records: 1,
                     })
                 });
+            } else if shared.take_degraded_event() {
+                // The store just gave up after exhausting its write
+                // retries; record the degradation once.
+                self.config.observer.emit(|| {
+                    Event::Store(StoreEvent {
+                        op: "degraded".into(),
+                        key: String::new(),
+                        records: 1,
+                    })
+                });
             }
         }
     }
@@ -689,6 +838,15 @@ impl<'a> Repairer<'a> {
             Prepared::Sim { key, .. } => {
                 let eval = sim?;
                 self.evals += 1;
+                // Fault-containment accounting: only fresh simulations
+                // count, so cached answers never double-count and the
+                // totals are identical across resumes.
+                match eval.outcome {
+                    EvalOutcome::Timeout => self.timeouts += 1,
+                    EvalOutcome::Panicked => self.panics += 1,
+                    EvalOutcome::ResourceExhausted => self.exhausted += 1,
+                    _ => {}
+                }
                 (eval, key)
             }
         };
@@ -696,6 +854,12 @@ impl<'a> Repairer<'a> {
             if let Some(m) = &eval.sim_metrics {
                 self.config.observer.record(&Event::Sim(sim_stats(m)));
             }
+            self.config
+                .observer
+                .record(&Event::EvalOutcome(EvalOutcomeEvent {
+                    kind: eval.outcome.as_str().into(),
+                    error: eval.error.clone().unwrap_or_default(),
+                }));
             self.config
                 .observer
                 .record(&Event::Candidate(eval.candidate_event(patch.len(), false)));
@@ -706,22 +870,49 @@ impl<'a> Repairer<'a> {
 
     /// Evaluates one patch synchronously through the trial cache — used
     /// for the original design and for guaranteed-cached lookups inside
-    /// reproduction. Never consults the evaluation budget.
+    /// reproduction. Never consults the evaluation budget. Panics are
+    /// contained here too: a panicking candidate is classified and
+    /// scored, exactly as on the worker pool.
     pub fn evaluate_patch(&mut self, patch: &Patch) -> Evaluation {
         let prepared = self.prepare(patch);
         let sim = match &prepared {
             Prepared::Sim {
                 variant, growth, ..
-            } => Some(evaluate_variant(
-                self.problem,
-                variant,
-                *growth,
-                self.config.fitness,
-            )),
+            } => {
+                let fault = self
+                    .config
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.next_eval_fault());
+                let budget = self.config.eval_timeout;
+                let growth = *growth;
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    evaluate_variant(
+                        self.problem,
+                        variant,
+                        growth,
+                        self.config.fitness,
+                        budget,
+                        fault,
+                    )
+                }));
+                Some(match r {
+                    Ok(eval) => eval,
+                    Err(payload) => {
+                        panicked_evaluation(self.problem, &panic_message(payload), growth)
+                    }
+                })
+            }
             _ => None,
         };
-        self.commit(patch, prepared, sim)
-            .expect("synchronous evaluation never hits a deadline")
+        match self.commit(patch, prepared, sim) {
+            Some(eval) => eval,
+            // Unreachable in practice — the synchronous path always
+            // supplies a simulation result, so the commit cannot report
+            // a cut batch. Degrade to a worst-fitness classification
+            // rather than aborting the trial.
+            None => self.rejection("synchronous evaluation yielded no result".to_string(), 1.0),
+        }
     }
 
     /// Evaluates a batch of patches across the worker pool and merges
@@ -772,30 +963,48 @@ impl<'a> Repairer<'a> {
             }
         }
         // Fan the simulations out; everything else never leaves the
-        // coordinating thread.
+        // coordinating thread. Fault-injection ordinals are claimed
+        // here, serially, in submission order — so a chaos plan hits
+        // the same candidates for every worker count.
         let deadline = self.started.checked_add(self.config.timeout);
-        let sims: Vec<(usize, &cirfix_ast::SourceFile, f64)> = prepared[..admitted]
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| match p {
-                Prepared::Sim {
-                    variant, growth, ..
-                } => Some((i, variant, *growth)),
-                _ => None,
-            })
-            .collect();
+        let mut sims: Vec<(usize, &cirfix_ast::SourceFile, f64, Option<FaultKind>)> = Vec::new();
+        for (i, p) in prepared[..admitted].iter().enumerate() {
+            if let Prepared::Sim {
+                variant, growth, ..
+            } = p
+            {
+                let fault = self
+                    .config
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.next_eval_fault());
+                sims.push((i, variant, *growth, fault));
+            }
+        }
         let problem = self.problem;
         let params = self.config.fitness;
-        let (outcomes, busy) =
-            crate::engine::run_batch(self.jobs, deadline, &sims, |&(_, variant, growth)| {
-                evaluate_variant(problem, variant, growth, params)
-            });
+        let budget = self.config.eval_timeout;
+        let (outcomes, busy, panicked) = crate::engine::run_batch(
+            self.jobs,
+            deadline,
+            &sims,
+            |&(_, variant, growth, fault)| {
+                evaluate_variant(problem, variant, growth, params, budget, fault)
+            },
+        );
         self.busy += busy;
         let mut sim_results: HashMap<usize, Option<Evaluation>> = sims
             .iter()
             .zip(outcomes)
-            .map(|(&(i, _, _), r)| (i, r))
+            .map(|(&(i, _, _, _), r)| (i, r))
             .collect();
+        // Panicked workers leave their slot empty and report the panic
+        // separately; classify those candidates worst-fitness instead
+        // of mistaking them for deadline cuts.
+        for (si, msg) in panicked {
+            let (i, _, growth, _) = sims[si];
+            sim_results.insert(i, Some(panicked_evaluation(problem, &msg, growth)));
+        }
         // Merge in submission order. The first unresolved item (budget
         // or deadline) ends the merge; later items are dropped rather
         // than committed out of order.
@@ -960,6 +1169,9 @@ impl<'a> Repairer<'a> {
             store_writes: self.store_writes,
             minimize_evals: self.minimize_evals,
             rejected_static: self.rejected_static,
+            timeouts: self.timeouts,
+            panics: self.panics,
+            exhausted: self.exhausted,
             patch_applies: self.patch_applies,
             elapsed: self.started.elapsed(),
             busy: self.busy,
@@ -1017,6 +1229,9 @@ impl<'a> Repairer<'a> {
                 eval_busy: self.busy,
                 store_hits: self.store_hits,
                 store_writes: self.store_writes,
+                timeouts: self.timeouts,
+                panics: self.panics,
+                exhausted: self.exhausted,
             },
         }
     }
@@ -1049,6 +1264,9 @@ impl<'a> Repairer<'a> {
             self.store_writes = state.store_writes;
             self.minimize_evals = state.minimize_evals;
             self.rejected_static = state.rejected_static;
+            self.timeouts = state.timeouts;
+            self.panics = state.panics;
+            self.exhausted = state.exhausted;
             self.patch_applies = state.patch_applies;
             self.busy = state.busy;
             self.started = Instant::now()
@@ -1245,6 +1463,9 @@ impl<'a> Repairer<'a> {
                 eval_busy: self.busy,
                 store_hits: self.store_hits,
                 store_writes: self.store_writes,
+                timeouts: self.timeouts,
+                panics: self.panics,
+                exhausted: self.exhausted,
             },
         }
     }
@@ -1261,12 +1482,17 @@ impl<'a> Repairer<'a> {
         let params = self.config.fitness;
         let scenario = self.scenario;
         let shared = self.shared.clone();
+        let eval_timeout = self.config.eval_timeout;
+        let faults = self.config.faults.clone();
         let cache = &mut self.cache;
         let cache_hits = &mut self.cache_hits;
         let store_hits = &mut self.store_hits;
         let store_writes = &mut self.store_writes;
         let evals = &mut self.evals;
         let minimize_evals = &mut self.minimize_evals;
+        let timeouts = &mut self.timeouts;
+        let panics = &mut self.panics;
+        let exhausted = &mut self.exhausted;
         let pending_delta = &mut self.pending_delta;
         minimize(patch, |p| {
             let (eval, cached) = match cache.get(p) {
@@ -1302,9 +1528,40 @@ impl<'a> Repairer<'a> {
                         None => {
                             let growth = node_count(&variant) as f64
                                 / node_count(&problem.source).max(1) as f64;
-                            let e = evaluate_variant(problem, &variant, growth, params);
+                            // Minimization probes run under the same
+                            // containment as the search: a hanging or
+                            // panicking candidate is classified and the
+                            // ddmin loop keeps going.
+                            let fault = faults.as_ref().and_then(|f| f.next_eval_fault());
+                            let e = match catch_unwind(AssertUnwindSafe(|| {
+                                evaluate_variant(
+                                    problem,
+                                    &variant,
+                                    growth,
+                                    params,
+                                    eval_timeout,
+                                    fault,
+                                )
+                            })) {
+                                Ok(e) => e,
+                                Err(payload) => {
+                                    panicked_evaluation(problem, &panic_message(payload), growth)
+                                }
+                            };
                             *evals += 1;
                             *minimize_evals += 1;
+                            match e.outcome {
+                                EvalOutcome::Timeout => *timeouts += 1,
+                                EvalOutcome::Panicked => *panics += 1,
+                                EvalOutcome::ResourceExhausted => *exhausted += 1,
+                                _ => {}
+                            }
+                            observer.emit(|| {
+                                Event::EvalOutcome(EvalOutcomeEvent {
+                                    kind: e.outcome.as_str().into(),
+                                    error: e.error.clone().unwrap_or_default(),
+                                })
+                            });
                             cache.insert(p.clone(), e.clone());
                             if let Some(k) = key {
                                 pending_delta.push((p.clone(), k));
@@ -1314,6 +1571,15 @@ impl<'a> Repairer<'a> {
                                         Event::Store(StoreEvent {
                                             op: "write".into(),
                                             key: k.to_hex(),
+                                            records: 1,
+                                        })
+                                    });
+                                } else if shared.as_ref().is_some_and(|sh| sh.take_degraded_event())
+                                {
+                                    observer.emit(|| {
+                                        Event::Store(StoreEvent {
+                                            op: "degraded".into(),
+                                            key: String::new(),
                                             records: 1,
                                         })
                                     });
@@ -1371,6 +1637,9 @@ pub fn repair_with_trials(
         totals.eval_busy += result.totals.eval_busy;
         totals.store_hits += result.totals.store_hits;
         totals.store_writes += result.totals.store_writes;
+        totals.timeouts += result.totals.timeouts;
+        totals.panics += result.totals.panics;
+        totals.exhausted += result.totals.exhausted;
         result.totals = totals.clone();
         if result.is_plausible() {
             return result;

@@ -30,6 +30,7 @@ use std::time::Duration;
 use cirfix_store::{field, field_str, field_u64, Digest, EvalWriter, SegmentWriter, Store};
 use cirfix_telemetry::{Event, JsonValue, StoreEvent};
 
+use crate::faults::FaultInjector;
 use crate::oracle::RepairProblem;
 use crate::patch::Patch;
 use crate::persist::{
@@ -72,9 +73,29 @@ impl From<io::Error> for SessionError {
 // ---------------------------------------------------------------------------
 // Shared evaluation cache (L2)
 
+/// How many write attempts (1 initial + retries) a store write gets
+/// before the cache degrades to memory-only.
+const STORE_WRITE_ATTEMPTS: u32 = 4;
+
+/// Backoff before each retry of a failed store write.
+const STORE_WRITE_BACKOFF: [Duration; 3] = [
+    Duration::from_millis(1),
+    Duration::from_millis(4),
+    Duration::from_millis(16),
+];
+
 struct CacheInner {
     mem: std::sync::Mutex<HashMap<u128, Evaluation>>,
     writer: Option<std::sync::Mutex<EvalWriter>>,
+    // Set once the disk backing has failed past its retry budget: the
+    // cache keeps serving (and absorbing) evaluations from memory, but
+    // stops attempting writes.
+    degraded: std::sync::atomic::AtomicBool,
+    // One-shot flag for the caller to notice (and report) the
+    // degradation exactly once.
+    degraded_unreported: std::sync::atomic::AtomicBool,
+    // Chaos-testing hook: scheduled store-write failures.
+    faults: std::sync::Mutex<Option<FaultInjector>>,
 }
 
 /// A fingerprint-keyed evaluation cache shared across trials — and,
@@ -95,6 +116,9 @@ impl SharedEvalCache {
             inner: std::sync::Arc::new(CacheInner {
                 mem: std::sync::Mutex::new(HashMap::new()),
                 writer: None,
+                degraded: std::sync::atomic::AtomicBool::new(false),
+                degraded_unreported: std::sync::atomic::AtomicBool::new(false),
+                faults: std::sync::Mutex::new(None),
             }),
         }
     }
@@ -122,10 +146,36 @@ impl SharedEvalCache {
                 inner: std::sync::Arc::new(CacheInner {
                     mem: std::sync::Mutex::new(mem),
                     writer: Some(std::sync::Mutex::new(store.eval_writer())),
+                    degraded: std::sync::atomic::AtomicBool::new(false),
+                    degraded_unreported: std::sync::atomic::AtomicBool::new(false),
+                    faults: std::sync::Mutex::new(None),
                 }),
             },
             damaged,
         ))
+    }
+
+    /// Installs a chaos-testing fault injector whose scheduled
+    /// store-write failures this cache will honour. Shared by every
+    /// clone.
+    pub fn set_faults(&self, faults: Option<FaultInjector>) {
+        *self.inner.faults.lock().expect("cache poisoned") = faults;
+    }
+
+    /// `true` once the disk backing has failed past its retry budget
+    /// and the cache is running memory-only.
+    pub fn is_degraded(&self) -> bool {
+        self.inner
+            .degraded
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// One-shot: `true` the first time it is called after the cache
+    /// degraded, so the caller can report the degradation exactly once.
+    pub fn take_degraded_event(&self) -> bool {
+        self.inner
+            .degraded_unreported
+            .swap(false, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Looks up an evaluation by fingerprint.
@@ -152,6 +202,12 @@ impl SharedEvalCache {
     /// cache is store-backed. Returns `true` only when a record was
     /// persisted (a new key on a disk-backed cache); repeat inserts
     /// and memory-only caches return `false`.
+    ///
+    /// Transient I/O failures are retried with a bounded backoff
+    /// ([`STORE_WRITE_ATTEMPTS`] attempts). A write that fails every
+    /// attempt degrades the whole cache to memory-only — the search
+    /// continues, only durability is lost — rather than aborting the
+    /// run.
     pub fn insert(&self, key: Digest, eval: &Evaluation) -> bool {
         let newly = self
             .inner
@@ -166,13 +222,50 @@ impl SharedEvalCache {
         let Some(writer) = &self.inner.writer else {
             return false;
         };
+        if self.is_degraded() {
+            return false;
+        }
         let body = JsonValue::obj(vec![
             ("key", JsonValue::Str(key.to_hex())),
             ("eval", evaluation_to_json(eval)),
         ]);
-        // A failed write degrades the cache to memory-only for this
-        // record; the evaluation itself is already correct.
-        writer.lock().expect("cache poisoned").write(&body).is_ok()
+        // The injector decides once per *write* (not per attempt)
+        // whether this write is scheduled to fail; its transience flag
+        // then governs whether retries clear.
+        let fault = self.inner.faults.lock().expect("cache poisoned").clone();
+        let injected = fault.as_ref().is_some_and(|f| f.next_store_write_fails());
+        let mut last_error: Option<io::Error> = None;
+        for attempt in 0..STORE_WRITE_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(STORE_WRITE_BACKOFF[(attempt - 1) as usize]);
+            }
+            let inject_now =
+                injected && (attempt == 0 || fault.as_ref().is_some_and(|f| f.retry_should_fail()));
+            let result = if inject_now {
+                Err(io::Error::other("injected fault: store write failure"))
+            } else {
+                writer.lock().expect("cache poisoned").write(&body)
+            };
+            match result {
+                Ok(()) => return true,
+                Err(e) => last_error = Some(e),
+            }
+        }
+        // Out of retries: degrade to memory-only with a warning. The
+        // evaluation itself is already correct in memory; only
+        // durability is lost.
+        self.inner
+            .degraded
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.inner
+            .degraded_unreported
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        let e = last_error.expect("a failed write leaves an error");
+        eprintln!(
+            "warning: evaluation store write failed {STORE_WRITE_ATTEMPTS} times ({e}); \
+             continuing with the in-memory cache only"
+        );
+        false
     }
 }
 
@@ -197,6 +290,12 @@ pub struct Checkpoint {
     pub minimize_evals: u64,
     /// Static-filter rejections so far.
     pub rejected_static: u64,
+    /// Per-candidate budget expiries so far.
+    pub timeouts: u64,
+    /// Contained worker panics so far.
+    pub panics: u64,
+    /// Resource-cap stops so far.
+    pub exhausted: u64,
     /// Patch applications so far.
     pub patch_applies: u64,
     /// Wall clock consumed so far.
@@ -347,6 +446,9 @@ impl SessionRecorder {
             ("store_writes", JsonValue::Uint(cp.store_writes)),
             ("minimize_evals", JsonValue::Uint(cp.minimize_evals)),
             ("rejected_static", JsonValue::Uint(cp.rejected_static)),
+            ("timeouts", JsonValue::Uint(cp.timeouts)),
+            ("panics", JsonValue::Uint(cp.panics)),
+            ("exhausted", JsonValue::Uint(cp.exhausted)),
             ("patch_applies", JsonValue::Uint(cp.patch_applies)),
             (
                 "elapsed_nanos",
@@ -423,6 +525,12 @@ pub struct ResumeState {
     pub minimize_evals: u64,
     /// Static-filter rejections at the boundary.
     pub rejected_static: u64,
+    /// Per-candidate budget expiries at the boundary.
+    pub timeouts: u64,
+    /// Contained worker panics at the boundary.
+    pub panics: u64,
+    /// Resource-cap stops at the boundary.
+    pub exhausted: u64,
     /// Patch applications at the boundary.
     pub patch_applies: u64,
     /// Wall clock consumed before the interruption.
@@ -587,6 +695,11 @@ fn fold_session(
         store_writes: need_u64(&cp, "store_writes")?,
         minimize_evals: need_u64(&cp, "minimize_evals")?,
         rejected_static: need_u64(&cp, "rejected_static")?,
+        // Absent in logs written before the fault-containment
+        // counters existed; zero is the correct restoration there.
+        timeouts: field_u64(&cp, "timeouts").unwrap_or(0),
+        panics: field_u64(&cp, "panics").unwrap_or(0),
+        exhausted: field_u64(&cp, "exhausted").unwrap_or(0),
         patch_applies: need_u64(&cp, "patch_applies")?,
         elapsed: Duration::from_nanos(need_u64(&cp, "elapsed_nanos")?),
         busy: Duration::from_nanos(need_u64(&cp, "busy_nanos")?),
@@ -626,6 +739,7 @@ pub fn repair_session(
     let scenario = problem_digest(problem, base);
     let session = session_digest(scenario, base, trials);
     let (shared, damaged) = SharedEvalCache::open(&store)?;
+    shared.set_faults(base.faults.clone());
     if damaged > 0 {
         base.observer.emit(|| {
             Event::Store(StoreEvent {
@@ -702,6 +816,9 @@ pub fn repair_session(
             totals.eval_busy += result.totals.eval_busy;
             totals.store_hits += result.totals.store_hits;
             totals.store_writes += result.totals.store_writes;
+            totals.timeouts += result.totals.timeouts;
+            totals.panics += result.totals.panics;
+            totals.exhausted += result.totals.exhausted;
             result.totals = totals;
             return Ok(result);
         }
@@ -715,6 +832,9 @@ pub fn repair_session(
         totals.eval_busy += result.totals.eval_busy;
         totals.store_hits += result.totals.store_hits;
         totals.store_writes += result.totals.store_writes;
+        totals.timeouts += result.totals.timeouts;
+        totals.panics += result.totals.panics;
+        totals.exhausted += result.totals.exhausted;
         result.totals = totals.clone();
 
         if result.is_plausible() {

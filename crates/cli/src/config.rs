@@ -29,6 +29,9 @@ use std::path::{Path, PathBuf};
 /// | `phi` | x/z penalty weight | `2.0` |
 /// | `jobs` | evaluation worker threads; `0` = auto (`$CIRFIX_JOBS`, else all cores) | `0` |
 /// | `batch_size` | candidates per parallel dispatch | `32` |
+/// | `eval_timeout` | per-candidate wall-clock budget in seconds (fractions allowed); `0` = unbudgeted | `0` |
+/// | `sim_step_limit` | cap on total simulator operations per candidate | simulator default |
+/// | `chaos` | deterministic fault-injection spec, e.g. `panic@5,storefail@2,transient` | off |
 /// | `output` | where to write the repaired design | `repaired.v` |
 /// | `store` | persistent store directory, cwd-relative (enables write-through cache, checkpoints, corpus) | off |
 /// | `resume` | continue an interrupted session from its last checkpoint | `false` |

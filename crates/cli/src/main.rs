@@ -40,6 +40,16 @@
 //! --batch-size N       candidates per parallel dispatch (default 32)
 //! ```
 //!
+//! Fault containment (for `repair`):
+//!
+//! ```text
+//! --eval-timeout S     per-candidate wall-clock budget in seconds
+//!                      (fractions allowed); 0 (the default) = unbudgeted
+//! --sim-step-limit N   cap on total simulator operations per candidate
+//! --chaos SPEC         deterministic fault injection for chaos testing,
+//!                      e.g. "panic@5,hang@7,storefail@2,transient"
+//! ```
+//!
 //! Persistent store & resume (for `repair`):
 //!
 //! ```text
@@ -64,8 +74,8 @@ use std::time::Duration;
 
 use cirfix::{
     apply_patch, evaluate, fault_localization, oracle_from_golden, repair_session,
-    repair_with_trials, result_to_canonical_json, FitnessParams, Observer, Patch, RepairConfig,
-    RepairProblem, RepairStatus,
+    repair_with_trials, result_to_canonical_json, FaultInjector, FaultPlan, FitnessParams,
+    Observer, Patch, RepairConfig, RepairProblem, RepairStatus,
 };
 use cirfix_ast::{print, SourceFile};
 use cirfix_sim::{ProbeSpec, SimConfig};
@@ -154,10 +164,13 @@ fn build_problem(config: &Config) -> Result<RepairProblem, Box<dyn std::error::E
         config.num_or("probe_start", 5u64)?,
         config.num_or("probe_period", 10u64)?,
     );
-    let sim = SimConfig {
+    let mut sim = SimConfig {
         max_time: config.num_or("max_time", 100_000u64)?,
         ..SimConfig::default()
     };
+    if config.required("sim_step_limit").is_ok() {
+        sim.max_total_ops = config.num_or("sim_step_limit", sim.max_total_ops)?;
+    }
 
     let golden_path = config.path("golden")?;
     let golden_text = std::fs::read_to_string(&golden_path)
@@ -232,6 +245,17 @@ fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Er
     if config.required("halt_after").is_ok() {
         rc.halt_after = Some(config.num_or("halt_after", 0u32)?);
     }
+    // Per-candidate wall-clock budget; 0 (the default) = unbudgeted.
+    let eval_timeout = config.num_or("eval_timeout", 0.0f64)?;
+    if eval_timeout > 0.0 {
+        rc.eval_timeout = Some(Duration::from_secs_f64(eval_timeout));
+    }
+    if let Ok(spec) = config.required("chaos") {
+        let plan = FaultPlan::parse(spec).map_err(ConfigError)?;
+        if !plan.is_empty() {
+            rc.faults = Some(FaultInjector::new(plan));
+        }
+    }
     Ok(rc)
 }
 
@@ -280,6 +304,9 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     println!("  cache hits       {:>12}", result.cache_hits);
     println!("  store hits       {:>12}", t.store_hits);
     println!("  store writes     {:>12}", t.store_writes);
+    println!("  timeouts         {:>12}", t.timeouts);
+    println!("  panics           {:>12}", t.panics);
+    println!("  exhausted        {:>12}", t.exhausted);
     println!("  minimize evals   {:>12}", result.minimize_evals);
     println!("  wall clock       {:>12.1?}", t.wall_time);
     println!("  eval workers     {:>12}", t.jobs);

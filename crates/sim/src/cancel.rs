@@ -1,0 +1,101 @@
+//! Cooperative cancellation for in-flight simulations.
+//!
+//! Mutated designs routinely hang (§4 of the paper: `forever` loops,
+//! self-triggering processes). The operation limits in
+//! [`SimConfig`](crate::SimConfig) bound *work*, but a per-candidate
+//! wall-clock budget needs a way to stop a simulation from the outside.
+//! A [`CancelToken`] is a cheap, cloneable handle the repair engine hands
+//! to the simulator; the event loop polls it at region boundaries and
+//! every few thousand interpreter operations, so a cancelled run stops
+//! within microseconds of the request rather than at the next (possibly
+//! never-reached) natural stopping point.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cheap, cloneable cancellation handle.
+///
+/// Cancellation is *cooperative*: the simulator polls
+/// [`CancelToken::is_cancelled`] and unwinds with
+/// [`SimError::Cancelled`](crate::SimError::Cancelled) when it trips.
+/// A token trips either explicitly (via [`CancelToken::cancel`], from any
+/// thread) or implicitly once its optional deadline passes.
+///
+/// # Examples
+///
+/// ```
+/// use cirfix_sim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation. Safe to call from any thread; clones of
+    /// this token observe the request.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once cancellation was requested or the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The deadline this token trips at, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn manual_cancellation_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_the_token() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        far.cancel();
+        assert!(far.is_cancelled());
+    }
+}

@@ -12,6 +12,7 @@ use std::rc::Rc;
 use cirfix_ast::{Expr, SourceFile};
 use cirfix_logic::{EdgeKind, Logic, LogicVec};
 
+use crate::cancel::CancelToken;
 use crate::compile::{Op, Program};
 use crate::design::{Design, Scope, SignalId, Store, Target};
 use crate::elab::elaborate;
@@ -31,6 +32,14 @@ pub struct SimConfig {
     pub max_ops_per_resume: u64,
     /// Global operation budget across the whole run.
     pub max_total_ops: u64,
+    /// Maximum combined depth of the active/inactive/NBA regions plus
+    /// scheduled future time slots. A mutant that floods the scheduler
+    /// gets [`SimError::ResourceExhausted`] instead of exhausting host
+    /// memory.
+    pub max_queue_events: u64,
+    /// Maximum rows recorded across all probe traces, bounding trace
+    /// memory for mutants that trigger pathological sampling.
+    pub max_trace_rows: u64,
     /// Seed for `$random`.
     pub seed: u64,
 }
@@ -42,10 +51,18 @@ impl Default for SimConfig {
             max_deltas: 100_000,
             max_ops_per_resume: 1_000_000,
             max_total_ops: 200_000_000,
+            max_queue_events: 4_000_000,
+            max_trace_rows: 4_000_000,
             seed: 1,
         }
     }
 }
+
+/// Interpreter operations between cancellation polls, minus one.
+/// Polling reads the wall clock, so the hot loop only checks every
+/// `CANCEL_CHECK_MASK + 1` operations — still sub-millisecond
+/// cancellation latency at interpreter speeds.
+pub const CANCEL_CHECK_MASK: u64 = 0x3FF;
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -209,6 +226,8 @@ pub struct Simulator {
     mem_offset: Vec<u64>,
     mem_widths: Vec<usize>,
     started: bool,
+    cancel: Option<CancelToken>,
+    trace_rows: u64,
 }
 
 impl Simulator {
@@ -297,7 +316,17 @@ impl Simulator {
             mem_offset,
             mem_widths,
             started: false,
+            cancel: None,
+            trace_rows: 0,
         }
+    }
+
+    /// Attaches a cooperative cancellation token. The event loop polls it
+    /// at region boundaries and every [`CANCEL_CHECK_MASK`]+1 interpreter
+    /// operations; a tripped token aborts the run with
+    /// [`SimError::Cancelled`].
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Attaches an instrumentation probe. Must be called before
@@ -370,6 +399,7 @@ impl Simulator {
     pub fn run(&mut self) -> Result<SimOutcome, SimError> {
         self.init();
         loop {
+            self.check_cancel()?;
             self.process_regions()?;
             if self.finished {
                 break;
@@ -462,6 +492,12 @@ impl Simulator {
             if depth > self.metrics.peak_queue_depth {
                 self.metrics.peak_queue_depth = depth;
             }
+            if depth + self.future.len() as u64 > self.config.max_queue_events {
+                return Err(SimError::ResourceExhausted {
+                    what: "event queue",
+                    time: self.now,
+                });
+            }
             if let Some(ev) = self.active.pop_front() {
                 self.bump_delta()?;
                 self.metrics.active_events += 1;
@@ -502,10 +538,24 @@ impl Simulator {
         Ok(())
     }
 
+    fn check_cancel(&self) -> Result<(), SimError> {
+        match &self.cancel {
+            Some(t) if t.is_cancelled() => Err(SimError::Cancelled { time: self.now }),
+            _ => Ok(()),
+        }
+    }
+
     fn run_postponed(&mut self) -> Result<(), SimError> {
         for pi in 0..self.probes.len() {
             if self.probes[pi].pending {
                 self.probes[pi].pending = false;
+                self.trace_rows += 1;
+                if self.trace_rows > self.config.max_trace_rows {
+                    return Err(SimError::ResourceExhausted {
+                        what: "trace rows",
+                        time: self.now,
+                    });
+                }
                 let row: Vec<LogicVec> = self.probes[pi]
                     .sig_ids
                     .iter()
@@ -734,6 +784,9 @@ impl Simulator {
             }
             if self.total_ops > self.config.max_total_ops {
                 return Err(SimError::StepLimit { time: self.now });
+            }
+            if self.total_ops & CANCEL_CHECK_MASK == 0 {
+                self.check_cancel()?;
             }
             let pc = self.procs[p].pc;
             let Some(op) = prog.ops.get(pc) else {

@@ -39,6 +39,22 @@ pub enum SimError {
         /// Simulation time at which it occurred.
         time: u64,
     },
+    /// The run was cancelled from the outside via a
+    /// [`CancelToken`](crate::CancelToken) — typically a per-candidate
+    /// wall-clock budget expiring.
+    Cancelled {
+        /// Simulation time at which the cancellation was observed.
+        time: u64,
+    },
+    /// A bounded resource (event queue depth, recorded trace rows) hit
+    /// its configured cap. Returned instead of letting a pathological
+    /// mutant exhaust host memory.
+    ResourceExhausted {
+        /// Which resource ran out (`"event queue"`, `"trace rows"`).
+        what: &'static str,
+        /// Simulation time at which the cap was hit.
+        time: u64,
+    },
 }
 
 impl SimError {
@@ -70,6 +86,12 @@ impl fmt::Display for SimError {
             SimError::Runtime { message, time } => {
                 write!(f, "runtime error at time {time}: {message}")
             }
+            SimError::Cancelled { time } => {
+                write!(f, "simulation cancelled at time {time}")
+            }
+            SimError::ResourceExhausted { what, time } => {
+                write!(f, "{what} exhausted at time {time}")
+            }
         }
     }
 }
@@ -88,5 +110,14 @@ mod tests {
         let o = SimError::Oscillation { time: 40 };
         assert!(!o.is_compile_failure());
         assert!(o.to_string().contains("40"));
+        let c = SimError::Cancelled { time: 7 };
+        assert!(!c.is_compile_failure());
+        assert!(c.to_string().contains("cancelled at time 7"));
+        let r = SimError::ResourceExhausted {
+            what: "event queue",
+            time: 9,
+        };
+        assert!(!r.is_compile_failure());
+        assert_eq!(r.to_string(), "event queue exhausted at time 9");
     }
 }

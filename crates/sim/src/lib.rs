@@ -37,6 +37,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod cancel;
 mod compile;
 mod design;
 mod elab;
@@ -47,13 +48,14 @@ mod probe;
 pub mod vcd;
 pub mod width;
 
+pub use cancel::CancelToken;
 pub use compile::{CompileError, Op, Program, WaitSpec};
 pub use design::{
     ContAssign, Design, Memory, Process, ProcessKind, Scope, ScopeEntry, Signal, SignalId,
     SignalKind, Store, Target,
 };
 pub use elab::elaborate;
-pub use engine::{SimConfig, SimMetrics, SimOutcome, Simulator};
+pub use engine::{SimConfig, SimMetrics, SimOutcome, Simulator, CANCEL_CHECK_MASK};
 pub use error::SimError;
 pub use eval::{eval_const, eval_const_u64, eval_expr, EvalCtx, EvalFault, Lcg};
 pub use probe::{ProbeSchedule, ProbeSpec, Trace};

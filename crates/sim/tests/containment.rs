@@ -1,0 +1,192 @@
+//! Fault-containment tests for the simulation engine: cooperative
+//! cancellation via [`CancelToken`] and the hard resource caps that turn
+//! would-be memory exhaustion into [`SimError::ResourceExhausted`].
+
+use std::time::{Duration, Instant};
+
+use cirfix_parser::parse;
+use cirfix_sim::{CancelToken, ProbeSpec, SimConfig, SimError, Simulator};
+
+/// A design that never finishes and never suspends its hot process: the
+/// worst case for cancellation latency, only reachable through the
+/// masked in-interpreter poll.
+const SPIN: &str = r#"module t;
+    reg [63:0] n;
+    initial begin
+        n = 0;
+        forever begin
+            n = n + 1;
+        end
+    end
+endmodule"#;
+
+/// A design that never finishes but suspends every time unit, so
+/// cancellation is observed at timestep boundaries.
+const TICK: &str = r#"module t;
+    reg clk;
+    initial clk = 0;
+    always #1 clk = !clk;
+endmodule"#;
+
+fn unbounded() -> SimConfig {
+    SimConfig {
+        max_time: u64::MAX - 1,
+        max_deltas: u64::MAX,
+        max_ops_per_resume: u64::MAX,
+        max_total_ops: u64::MAX,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn deadline_cancels_a_spinning_process() {
+    let file = parse(SPIN).unwrap();
+    let mut sim = Simulator::new(&file, "t", unbounded()).unwrap();
+    let budget = Duration::from_millis(50);
+    let start = Instant::now();
+    sim.set_cancel(CancelToken::with_deadline(start + budget));
+    let err = sim.run().unwrap_err();
+    assert!(matches!(err, SimError::Cancelled { .. }), "{err}");
+    // Cooperative, but prompt: well within 2x the budget even on a
+    // loaded machine (the poll runs every ~1k interpreter ops).
+    assert!(
+        start.elapsed() < budget * 2 + Duration::from_millis(500),
+        "cancellation took {:?} for a {budget:?} budget",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn deadline_cancels_at_timestep_boundaries() {
+    let file = parse(TICK).unwrap();
+    let mut sim = Simulator::new(&file, "t", unbounded()).unwrap();
+    let budget = Duration::from_millis(50);
+    let start = Instant::now();
+    sim.set_cancel(CancelToken::with_deadline(start + budget));
+    let err = sim.run().unwrap_err();
+    assert!(matches!(err, SimError::Cancelled { .. }), "{err}");
+    assert!(start.elapsed() < budget * 2 + Duration::from_millis(500));
+}
+
+#[test]
+fn cross_thread_cancel_stops_the_run() {
+    let file = parse(SPIN).unwrap();
+    let mut sim = Simulator::new(&file, "t", unbounded()).unwrap();
+    let token = CancelToken::new();
+    sim.set_cancel(token.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        token.cancel();
+    });
+    let err = sim.run().unwrap_err();
+    canceller.join().unwrap();
+    assert!(matches!(err, SimError::Cancelled { .. }), "{err}");
+}
+
+#[test]
+fn pre_cancelled_token_aborts_before_any_work() {
+    let file = parse(TICK).unwrap();
+    let mut sim = Simulator::new(&file, "t", unbounded()).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    sim.set_cancel(token);
+    let err = sim.run().unwrap_err();
+    assert!(matches!(err, SimError::Cancelled { time: 0 }), "{err}");
+}
+
+#[test]
+fn uncancelled_token_does_not_change_results() {
+    let src = r#"module t;
+        reg [3:0] q;
+        initial begin q = 0; #10 q = 5; #10 $finish; end
+    endmodule"#;
+    let file = parse(src).unwrap();
+    let mut plain = Simulator::new(&file, "t", SimConfig::default()).unwrap();
+    let base = plain.run().unwrap();
+    let mut tokened = Simulator::new(&file, "t", SimConfig::default()).unwrap();
+    tokened.set_cancel(CancelToken::new());
+    let out = tokened.run().unwrap();
+    assert_eq!(base, out);
+    assert_eq!(plain.signal("q"), tokened.signal("q"));
+}
+
+#[test]
+fn event_queue_cap_returns_resource_exhausted() {
+    // Five pending processes against a cap of three: the scheduler
+    // refuses to grow instead of allocating without bound.
+    let src = r#"module t;
+        reg a;
+        initial #10 a = 0;
+        initial #20 a = 0;
+        initial #30 a = 0;
+        initial #40 a = 0;
+        initial #50 a = 0;
+    endmodule"#;
+    let file = parse(src).unwrap();
+    let mut sim = Simulator::new(
+        &file,
+        "t",
+        SimConfig {
+            max_queue_events: 3,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let err = sim.run().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::ResourceExhausted {
+                what: "event queue",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert!(!err.is_compile_failure());
+}
+
+#[test]
+fn trace_row_cap_returns_resource_exhausted() {
+    let file = parse(TICK).unwrap();
+    let mut sim = Simulator::new(
+        &file,
+        "t",
+        SimConfig {
+            max_time: 1_000_000,
+            max_trace_rows: 100,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim.add_probe(&ProbeSpec::periodic(vec!["clk".into()], 0, 1))
+        .unwrap();
+    let err = sim.run().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::ResourceExhausted {
+                what: "trace rows",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn default_caps_do_not_disturb_ordinary_runs() {
+    let src = r#"module t;
+        reg clk;
+        reg [7:0] n;
+        initial begin clk = 0; n = 0; end
+        always #5 clk = !clk;
+        always @(posedge clk) n <= n + 1;
+        initial #105 $finish;
+    endmodule"#;
+    let file = parse(src).unwrap();
+    let mut sim = Simulator::new(&file, "t", SimConfig::default()).unwrap();
+    let out = sim.run().unwrap();
+    assert!(out.finished);
+    assert_eq!(sim.signal("n").unwrap().to_u64(), Some(10));
+}

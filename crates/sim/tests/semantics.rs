@@ -293,6 +293,85 @@ fn step_limit_guards_against_heavy_mutants() {
     assert!(matches!(err, SimError::StepLimit { .. }));
 }
 
+/// Property test over adversarially "mutated" designs: `forever` loops
+/// with and without delays, zero-delay oscillators, and self-triggering
+/// NBAs — the shapes GP mutation produces in practice (§4). Every one
+/// must terminate within the configured budget and classify as a
+/// resource-style [`SimError`] (or finish cleanly), never hang or panic.
+#[test]
+fn adversarial_mutants_terminate_within_budget_and_classify() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xC1F1);
+    for case in 0..60u32 {
+        let width = rng.gen_range(1usize..=32);
+        let delay = rng.gen_range(0u64..=3);
+        let kind = rng.gen_range(0u32..4);
+        let src = match kind {
+            // A forever loop whose delay a mutation may have removed.
+            0 => {
+                let body = if delay == 0 {
+                    "n = n + 1;".to_string()
+                } else {
+                    format!("#{delay} n = n + 1;")
+                };
+                format!(
+                    "module t;\n reg [{msb}:0] n;\n initial begin n = 0; forever begin {body} end end\nendmodule",
+                    msb = width - 1
+                )
+            }
+            // A zero-delay oscillator in the blocking world.
+            1 => format!(
+                "module t;\n reg [{msb}:0] n;\n initial n = 0;\n always @(n) n = n + 1;\nendmodule",
+                msb = width - 1
+            ),
+            // A self-triggering non-blocking assignment.
+            2 => format!(
+                "module t;\n reg [{msb}:0] n;\n initial n = 0;\n always @(n) n <= n + 1;\nendmodule",
+                msb = width - 1
+            ),
+            // A free-running clock driving a sensitivity-list loop.
+            _ => {
+                let d = delay.max(1);
+                format!(
+                    "module t;\n reg clk;\n reg [{msb}:0] n;\n initial begin clk = 0; n = 0; end\n always #{d} clk = !clk;\n always @(clk) n <= n + 1;\nendmodule",
+                    msb = width - 1
+                )
+            }
+        };
+        let file = parse(&src).unwrap_or_else(|e| panic!("case {case}: parse: {e}\n{src}"));
+        let mut sim = Simulator::new(
+            &file,
+            "t",
+            SimConfig {
+                max_time: 1_000_000_000,
+                max_deltas: 2_000,
+                max_ops_per_resume: 20_000,
+                max_total_ops: 50_000,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("case {case}: elaborate: {e}\n{src}"));
+        let started = std::time::Instant::now();
+        let result = sim.run();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "case {case} overran its budget wall-clock\n{src}"
+        );
+        match result {
+            // Budget-bounded clean exit (event exhaustion / max_time).
+            Ok(_) => {}
+            Err(
+                SimError::Oscillation { .. }
+                | SimError::RunawayProcess { .. }
+                | SimError::StepLimit { .. }
+                | SimError::ResourceExhausted { .. },
+            ) => {}
+            Err(other) => panic!("case {case}: unexpected classification {other}\n{src}"),
+        }
+    }
+}
+
 #[test]
 fn blocking_intra_delay_holds_value_across_other_writes() {
     let sim = run(

@@ -105,6 +105,20 @@ pub struct StoreEvent {
     pub records: u64,
 }
 
+/// The classified conclusion of one fresh candidate evaluation — the
+/// fault-containment taxonomy (clean run, simulator guard trip,
+/// per-candidate budget expiry, contained panic, resource cap, static
+/// rejection).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalOutcomeEvent {
+    /// Stable outcome name: `"ok"`, `"elaboration"`, `"oscillation"`,
+    /// `"runaway"`, `"step_limit"`, `"runtime"`, `"timeout"`,
+    /// `"panicked"`, `"resource_exhausted"`, or `"rejected"`.
+    pub kind: String,
+    /// The evaluation's error text (empty for `"ok"`).
+    pub error: String,
+}
+
 /// A closed span: a named phase and its wall-clock duration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpanEvent {
@@ -129,6 +143,8 @@ pub enum Event {
     Lint(LintEvent),
     /// One persistent-store operation.
     Store(StoreEvent),
+    /// The classified conclusion of one fresh candidate evaluation.
+    EvalOutcome(EvalOutcomeEvent),
     /// A completed timing span.
     Span(SpanEvent),
 }
@@ -143,6 +159,7 @@ impl Event {
             Event::Sim(_) => "sim",
             Event::Lint(_) => "lint",
             Event::Store(_) => "store",
+            Event::EvalOutcome(_) => "eval_outcome",
             Event::Span(_) => "span",
         }
     }
@@ -197,6 +214,10 @@ impl Event {
                 pairs.push(("key", JsonValue::Str(st.key.clone())));
                 pairs.push(("records", JsonValue::Uint(st.records)));
             }
+            Event::EvalOutcome(o) => {
+                pairs.push(("kind", JsonValue::Str(o.kind.clone())));
+                pairs.push(("error", JsonValue::Str(o.error.clone())));
+            }
             Event::Span(sp) => {
                 pairs.push(("name", JsonValue::Str(sp.name.clone())));
                 pairs.push(("nanos", JsonValue::Uint(sp.nanos)));
@@ -238,6 +259,10 @@ mod tests {
                 op: "hit".into(),
                 key: "6c62272e07bb014262b821756295c58d".into(),
                 records: 1,
+            }),
+            Event::EvalOutcome(EvalOutcomeEvent {
+                kind: "timeout".into(),
+                error: "evaluation exceeded its wall-clock budget".into(),
             }),
             Event::Span(SpanEvent {
                 name: "repair \"quoted\"".into(),

@@ -28,8 +28,8 @@ mod observer;
 mod sink;
 
 pub use event::{
-    CandidateEvent, Event, FaultLocEvent, GenerationStats, LintEvent, SimStats, SpanEvent,
-    StoreEvent,
+    CandidateEvent, EvalOutcomeEvent, Event, FaultLocEvent, GenerationStats, LintEvent, SimStats,
+    SpanEvent, StoreEvent,
 };
 pub use json::{validate_json_line, JsonValue};
 pub use metrics::{Counter, Gauge, MetricsRegistry, Span};

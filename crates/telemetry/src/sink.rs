@@ -124,6 +124,8 @@ struct SummaryState {
     store_checkpoints: u64,
     store_resumes: u64,
     store_damage: u64,
+    store_degraded: u64,
+    outcomes: Vec<(String, u64)>, // outcome kind, count (first-seen order)
     spans: Vec<(String, u64, u64)>, // name, count, total nanos
 }
 
@@ -175,7 +177,20 @@ impl SummarySink {
             let _ = writeln!(out, "  errors               {:>12}", s.lint_errors);
             let _ = writeln!(out, "  warnings             {:>12}", s.lint_warnings);
         }
-        if s.store_hits + s.store_writes + s.store_checkpoints + s.store_resumes + s.store_damage
+        if !s.outcomes.is_empty() {
+            let _ = writeln!(out, "evaluation outcomes:");
+            let mut outcomes = s.outcomes.clone();
+            outcomes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (kind, count) in &outcomes {
+                let _ = writeln!(out, "  {kind:<20} {count:>12}");
+            }
+        }
+        if s.store_hits
+            + s.store_writes
+            + s.store_checkpoints
+            + s.store_resumes
+            + s.store_damage
+            + s.store_degraded
             > 0
         {
             let _ = writeln!(out, "store:");
@@ -187,6 +202,9 @@ impl SummarySink {
             }
             if s.store_damage > 0 {
                 let _ = writeln!(out, "  damaged records      {:>12}", s.store_damage);
+            }
+            if s.store_degraded > 0 {
+                let _ = writeln!(out, "  degraded (memory)    {:>12}", s.store_degraded);
             }
         }
         if !s.spans.is_empty() {
@@ -239,8 +257,16 @@ impl TelemetrySink for SummarySink {
                 "write" => s.store_writes += 1,
                 "checkpoint" => s.store_checkpoints += 1,
                 "resume" => s.store_resumes += 1,
+                "degraded" => s.store_degraded += 1,
                 _ => s.store_damage += st.records,
             },
+            Event::EvalOutcome(o) => {
+                if let Some(entry) = s.outcomes.iter_mut().find(|(k, _)| *k == o.kind) {
+                    entry.1 += 1;
+                } else {
+                    s.outcomes.push((o.kind.clone(), 1));
+                }
+            }
             Event::Span(sp) => {
                 if let Some(entry) = s.spans.iter_mut().find(|(n, _, _)| *n == sp.name) {
                     entry.1 += 1;

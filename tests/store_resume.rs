@@ -129,6 +129,50 @@ fn interrupted_and_resumed_run_is_byte_identical_to_uninterrupted() {
     }
 }
 
+/// The resume contract holds under injected transient store-write
+/// failures: a run killed at a checkpoint and resumed — with writes
+/// failing (then clearing on retry) in *both* halves — still matches
+/// the uninjected, uninterrupted run byte for byte. Only transient
+/// faults are meaningful here: injector ordinals restart on resume, so
+/// a persistent schedule would hit different writes than an
+/// uninterrupted run, by design.
+#[test]
+fn resume_survives_transient_store_faults_byte_identically() {
+    let scenario = cirfix_benchmarks::scenario("flip_flop_cond").expect("known scenario");
+    let problem = scenario.problem().expect("scenario builds");
+    let faults = || {
+        Some(cirfix::FaultInjector::new(
+            cirfix::FaultPlan::parse("storefail@0,storefail@3,transient").expect("valid plan"),
+        ))
+    };
+
+    let full_dir = fresh_dir("clean-full");
+    let full = repair_session(&problem, &config(1, Observer::none()), 2, &full_dir, false)
+        .expect("uninjected session runs");
+
+    let halt_dir = fresh_dir("faulty-halt");
+    let mut halted_config = config(1, Observer::none());
+    halted_config.halt_after = Some(0);
+    halted_config.faults = faults();
+    let halted =
+        repair_session(&problem, &halted_config, 2, &halt_dir, false).expect("halted session runs");
+    assert_eq!(halted.status, cirfix::RepairStatus::Interrupted);
+
+    let mut resume_config = config(1, Observer::none());
+    resume_config.faults = faults();
+    let resumed =
+        repair_session(&problem, &resume_config, 2, &halt_dir, true).expect("resumed session runs");
+
+    assert_eq!(
+        result_to_canonical_json(&full).to_json(),
+        result_to_canonical_json(&resumed).to_json(),
+        "transient store faults must not perturb the resumed result"
+    );
+
+    let _ = std::fs::remove_dir_all(full_dir);
+    let _ = std::fs::remove_dir_all(halt_dir);
+}
+
 /// Counts simulation events — the ground truth for "was anything
 /// actually re-simulated", independent of the totals bookkeeping.
 #[derive(Default)]

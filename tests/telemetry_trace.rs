@@ -54,13 +54,19 @@ fn repair_trace_is_valid_json_with_all_event_kinds() {
             .and_then(|(_, rest)| rest.split('"').next())
             .expect("every event carries a type tag");
         let kind = match tag {
-            "generation" | "candidate" | "fault_loc" | "sim" | "span" => tag,
+            "generation" | "candidate" | "fault_loc" | "sim" | "eval_outcome" | "span" => tag,
             other => panic!("unexpected event type `{other}`"),
         };
         *tally.entry(kind).or_insert(0) += 1;
     }
 
-    for kind in ["generation", "candidate", "fault_loc", "sim"] {
+    for kind in [
+        "generation",
+        "candidate",
+        "fault_loc",
+        "sim",
+        "eval_outcome",
+    ] {
         assert!(
             tally.get(kind).copied().unwrap_or(0) >= 1,
             "trace must contain at least one `{kind}` event; tally: {tally:?}"
