@@ -17,7 +17,7 @@
 
 use std::time::{Duration, Instant};
 
-use cirfix_telemetry::{Event, Observer, Span};
+use cirfix_telemetry::{Event, HeartbeatEvent, Observer, Profiler, Span};
 use rand::SeedableRng;
 
 use crate::engine::{resolve_jobs, run_batch};
@@ -26,7 +26,9 @@ use crate::fitness::FitnessParams;
 use crate::mutation::{all_stmt_ids, mutate, MutationParams};
 use crate::oracle::RepairProblem;
 use crate::patch::{apply_patch, Edit, Patch};
-use crate::repair::{evaluate, panicked_evaluation, RepairResult, RepairStatus, RunTotals};
+use crate::repair::{
+    evaluate_profiled, panicked_evaluation, RepairResult, RepairStatus, RunTotals,
+};
 use crate::templates::applicable_templates;
 
 /// Resource bounds for the brute-force baseline.
@@ -81,6 +83,36 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
     let empty_fl = FaultLoc::default();
 
     let observer = &config.observer;
+    let profiler = config.observer.enabled().then(Profiler::new);
+    let profiler = profiler.as_ref();
+    // Terminal snapshot: one heartbeat plus the per-phase busy profile,
+    // mirroring what the GP engine emits at end of run.
+    let emit_profile = |best_fitness: f64, evals: u64, wall: Duration| {
+        observer.emit(|| {
+            let secs = wall.as_secs_f64();
+            Event::Heartbeat(HeartbeatEvent {
+                status: "done".to_string(),
+                generation: 0,
+                best_fitness,
+                fitness_evals: evals,
+                cache_hits: 0,
+                store_hits: 0,
+                rejected_static: 0,
+                timeouts: 0,
+                panics: 0,
+                exhausted: 0,
+                evals_per_s: if secs > 0.0 { evals as f64 / secs } else { 0.0 },
+            })
+        });
+        if let Some(p) = profiler {
+            for event in p.phase_events() {
+                observer.emit(|| Event::Phase(event.clone()));
+            }
+            if let Some(h) = p.eval_histogram() {
+                observer.emit(|| Event::Histogram(h.clone()));
+            }
+        }
+    };
     let totals = |evals: u64, wall: Duration, busy: Duration| RunTotals {
         trials: 1,
         fitness_evals: evals,
@@ -116,7 +148,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         }
         let (mut results, batch_busy, panicked) =
             run_batch(jobs, deadline, &patches[..admit], |patch| {
-                evaluate(problem, patch, config.fitness)
+                evaluate_profiled(problem, patch, config.fitness, profiler)
             });
         *busy += batch_busy;
         // Same containment as the GP loop: a panicking candidate is
@@ -131,12 +163,13 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
                 return None;
             };
             *evals += 1;
-            observer.emit(|| Event::Candidate(eval.candidate_event(patch.len(), false)));
+            observer.emit(|| Event::Candidate(eval.candidate_event(patch.len(), false, "brute")));
             if eval.score > best.1 {
                 *best = (patch.clone(), eval.score);
             }
             if eval.score >= 1.0 {
                 let wall = started.elapsed();
+                emit_profile(1.0, *evals, wall);
                 return Some(RepairResult {
                     status: RepairStatus::Plausible,
                     best_fitness: 1.0,
@@ -232,6 +265,7 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
     }
 
     let wall = started.elapsed();
+    emit_profile(best.1, evals, wall);
     RepairResult {
         status: RepairStatus::Exhausted,
         best_fitness: best.1,

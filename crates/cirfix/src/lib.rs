@@ -78,6 +78,7 @@ mod outcome;
 mod patch;
 pub mod persist;
 mod repair;
+pub mod report;
 mod select;
 pub mod session;
 mod staticfilter;
@@ -107,6 +108,7 @@ pub use repair::{
     evaluate, repair, repair_with_trials, strip_hierarchy, Evaluation, RepairConfig, RepairResult,
     RepairStatus, Repairer, RunTotals,
 };
+pub use report::RunReport;
 pub use select::{elite_indices, tournament_select};
 pub use session::{repair_session, SessionError, SharedEvalCache};
 pub use staticfilter::{lint_prior, StaticFilter, LINT_BOOST};

@@ -26,6 +26,7 @@ pub fn minimize_observed(
                 growth_factor: 1.0,
                 fitness: if ok { 1.0 } else { 0.0 },
                 cached: false,
+                op: "minimize".to_string(),
             })
         });
         ok

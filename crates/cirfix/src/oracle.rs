@@ -8,6 +8,7 @@
 
 use cirfix_ast::SourceFile;
 use cirfix_sim::{CancelToken, ProbeSpec, SimConfig, SimError, SimOutcome, Simulator, Trace};
+use cirfix_telemetry::{Phase, Profiler};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -59,12 +60,47 @@ pub fn simulate_with_probe_cancellable(
     sim: &SimConfig,
     cancel: Option<CancelToken>,
 ) -> Result<(SimOutcome, Trace, Vec<String>), SimError> {
-    let mut simulator = Simulator::new(source, top, sim.clone())?;
+    simulate_with_probe_profiled(source, top, probe, sim, cancel, None)
+}
+
+/// [`simulate_with_probe_cancellable`] with elaborate/simulate busy
+/// time attributed to a [`Profiler`] via the simulator's own
+/// nanosecond counters. Safe to call from worker threads (the
+/// profiler is atomics only).
+pub(crate) fn simulate_with_probe_profiled(
+    source: &SourceFile,
+    top: &str,
+    probe: &ProbeSpec,
+    sim: &SimConfig,
+    cancel: Option<CancelToken>,
+    profiler: Option<&Profiler>,
+) -> Result<(SimOutcome, Trace, Vec<String>), SimError> {
+    let t0 = profiler.map(|_| std::time::Instant::now());
+    let mut simulator = match Simulator::new(source, top, sim.clone()) {
+        Ok(s) => {
+            if let Some(p) = profiler {
+                p.record(Phase::Elaborate, s.elaboration_nanos());
+            }
+            s
+        }
+        Err(e) => {
+            // Elaboration failed before a simulator existed; fall back
+            // to the externally measured duration.
+            if let (Some(p), Some(t0)) = (profiler, t0) {
+                p.record(Phase::Elaborate, t0.elapsed().as_nanos() as u64);
+            }
+            return Err(e);
+        }
+    };
     if let Some(token) = cancel {
         simulator.set_cancel(token);
     }
     let idx = simulator.add_probe(probe)?;
-    let outcome = simulator.run()?;
+    let outcome = simulator.run();
+    if let Some(p) = profiler {
+        p.record(Phase::Simulate, simulator.execution_nanos());
+    }
+    let outcome = outcome?;
     let trace = simulator.probe_trace(idx).clone();
     let log = simulator.log().to_vec();
     Ok((outcome, trace, log))

@@ -16,7 +16,8 @@ use cirfix_ast::NodeId;
 use cirfix_sim::{CancelToken, SimError, SimMetrics};
 use cirfix_store::Digest;
 use cirfix_telemetry::{
-    EvalOutcomeEvent, Event, GenerationStats, Observer, SimStats, Span, StoreEvent,
+    EvalOutcomeEvent, Event, GenerationStats, HeartbeatEvent, Observer, Phase, Profiler, SimStats,
+    Span, StoreEvent,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -28,7 +29,7 @@ use crate::faults::{FaultInjector, FaultKind};
 use crate::fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
 use crate::minimize::minimize;
 use crate::mutation::{mutate_with_prior, MutationParams};
-use crate::oracle::{simulate_with_probe_cancellable, RepairProblem};
+use crate::oracle::{simulate_with_probe_profiled, RepairProblem};
 use crate::outcome::EvalOutcome;
 use crate::patch::{apply_patch, Patch};
 use crate::persist::variant_fingerprint;
@@ -287,9 +288,22 @@ pub(crate) const TIMEOUT_ERROR: &str = "evaluation exceeded its wall-clock budge
 /// Evaluates one patch against a repair problem: apply → simulate →
 /// fitness. Compile failures and runtime errors score 0.
 pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -> Evaluation {
+    evaluate_profiled(problem, patch, params, None)
+}
+
+/// [`evaluate`] with optional per-phase busy attribution (the
+/// brute-force baseline's instrumentation hook).
+pub(crate) fn evaluate_profiled(
+    problem: &RepairProblem,
+    patch: &Patch,
+    params: FitnessParams,
+    profiler: Option<&Profiler>,
+) -> Evaluation {
+    let parse_span = profiler.map(|p| p.span(Phase::Parse));
     let (variant, _) = apply_patch(&problem.source, &problem.design_modules, patch);
     let growth = node_count(&variant) as f64 / node_count(&problem.source).max(1) as f64;
-    evaluate_variant(problem, &variant, growth, params, None, None)
+    drop(parse_span);
+    evaluate_variant(problem, &variant, growth, params, None, None, profiler)
 }
 
 /// The simulation half of [`evaluate`]: scores an already-applied
@@ -301,7 +315,10 @@ pub fn evaluate(problem: &RepairProblem, patch: &Patch, params: FitnessParams) -
 /// simulation runs under a deadline [`CancelToken`] and an expiry is
 /// classified [`EvalOutcome::Timeout`] with a fixed error string.
 /// `fault` is the chaos-testing hook — an injected fault scheduled for
-/// this evaluation by a [`FaultInjector`].
+/// this evaluation by a [`FaultInjector`]. `profiler`, when present,
+/// receives elaborate/simulate/score busy attribution and one
+/// whole-evaluation latency sample (atomics only, so worker threads
+/// record concurrently).
 pub(crate) fn evaluate_variant(
     problem: &RepairProblem,
     variant: &cirfix_ast::SourceFile,
@@ -309,6 +326,28 @@ pub(crate) fn evaluate_variant(
     params: FitnessParams,
     budget: Option<Duration>,
     fault: Option<FaultKind>,
+    profiler: Option<&Profiler>,
+) -> Evaluation {
+    match profiler {
+        None => evaluate_variant_inner(problem, variant, growth, params, budget, fault, None),
+        Some(p) => {
+            let t0 = Instant::now();
+            let eval =
+                evaluate_variant_inner(problem, variant, growth, params, budget, fault, Some(p));
+            p.record_eval(t0.elapsed().as_nanos() as u64);
+            eval
+        }
+    }
+}
+
+fn evaluate_variant_inner(
+    problem: &RepairProblem,
+    variant: &cirfix_ast::SourceFile,
+    growth: f64,
+    params: FitnessParams,
+    budget: Option<Duration>,
+    fault: Option<FaultKind>,
+    profiler: Option<&Profiler>,
 ) -> Evaluation {
     let deadline = budget.map(|b| Instant::now() + b);
     match fault {
@@ -338,15 +377,22 @@ pub(crate) fn evaluate_variant(
         None => {}
     }
     let token = deadline.map(CancelToken::with_deadline);
-    match simulate_with_probe_cancellable(
+    match simulate_with_probe_profiled(
         variant,
         &problem.top,
         &problem.probe,
         &problem.sim,
         token,
+        profiler,
     ) {
         Ok((outcome, trace, _)) => {
-            let report = fitness(&trace, &problem.oracle, params);
+            let report = match profiler {
+                Some(p) => {
+                    let _score = p.span(Phase::Score);
+                    fitness(&trace, &problem.oracle, params)
+                }
+                None => fitness(&trace, &problem.oracle, params),
+            };
             Evaluation {
                 score: report.score,
                 compiled: true,
@@ -443,17 +489,21 @@ fn sim_stats(m: &SimMetrics) -> SimStats {
 
 impl Evaluation {
     /// The telemetry payload describing this evaluation of a
-    /// `patch_len`-edit candidate.
+    /// `patch_len`-edit candidate proposed by operator `op`
+    /// (`"original"`, `"template"`, `"mutation"`, `"crossover"`,
+    /// `"minimize"`, or `""` when unknown).
     pub fn candidate_event(
         &self,
         patch_len: usize,
         cached: bool,
+        op: &str,
     ) -> cirfix_telemetry::CandidateEvent {
         cirfix_telemetry::CandidateEvent {
             patch_len: patch_len as u64,
             growth_factor: self.growth,
             fitness: self.score,
             cached,
+            op: op.to_string(),
         }
     }
 }
@@ -504,6 +554,10 @@ pub struct Repairer<'a> {
     session: Option<SessionRecorder>,
     // Checkpoint to restore instead of running the seed phase.
     resume: Option<ResumeState>,
+    // Per-phase busy attribution and eval-latency histogram. Only
+    // allocated when the observer is live, so a disabled observer pays
+    // neither the atomics nor the Instant reads.
+    profiler: Option<Box<Profiler>>,
 }
 
 /// What the coordinating thread decided about one batch item before
@@ -559,6 +613,7 @@ impl<'a> Repairer<'a> {
             BTreeMap::new()
         };
         let jobs = crate::engine::resolve_jobs(config.jobs);
+        let config_enabled = config.observer.enabled();
         Repairer {
             problem,
             config,
@@ -587,6 +642,7 @@ impl<'a> Repairer<'a> {
             pending_delta: Vec::new(),
             session: None,
             resume: None,
+            profiler: config_enabled.then(|| Box::new(Profiler::new())),
         }
     }
 
@@ -674,6 +730,48 @@ impl<'a> Repairer<'a> {
         self.evals >= self.config.max_fitness_evals || self.started.elapsed() >= self.config.timeout
     }
 
+    fn prof(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Emits one search-progress snapshot. Called at generation
+    /// boundaries and at run end — a deterministic cadence, so the
+    /// heartbeat stream is identical for every worker count.
+    fn emit_heartbeat(&self, status: &str, generation: u64, best_fitness: f64) {
+        self.config.observer.emit(|| {
+            let secs = self.started.elapsed().as_secs_f64();
+            Event::Heartbeat(HeartbeatEvent {
+                status: status.to_string(),
+                generation,
+                best_fitness,
+                fitness_evals: self.evals,
+                cache_hits: self.cache_hits,
+                store_hits: self.store_hits,
+                rejected_static: self.rejected_static,
+                timeouts: self.timeouts,
+                panics: self.panics,
+                exhausted: self.exhausted,
+                evals_per_s: if secs > 0.0 {
+                    self.evals as f64 / secs
+                } else {
+                    0.0
+                },
+            })
+        });
+    }
+
+    /// Emits the profiler's per-phase busy totals and the eval-latency
+    /// histogram (run end only: the totals are cumulative).
+    fn emit_profile(&self) {
+        let Some(p) = self.prof() else { return };
+        for phase in p.phase_events() {
+            self.config.observer.record(&Event::Phase(phase));
+        }
+        if let Some(hist) = p.eval_histogram() {
+            self.config.observer.record(&Event::Histogram(hist));
+        }
+    }
+
     /// A score-0 evaluation for a variant rejected before simulation.
     fn rejection(&self, error: String, growth: f64) -> Evaluation {
         Evaluation {
@@ -702,7 +800,9 @@ impl<'a> Repairer<'a> {
         if let Some(e) = self.cache.get(patch) {
             return Prepared::Hit(e.clone());
         }
+        let _parse = self.prof().map(|p| p.span(Phase::Parse));
         let (variant, _) = apply_patch(&self.problem.source, &self.problem.design_modules, patch);
+        drop(_parse);
         self.patch_applies += 1;
         // Content-addressed lookup in the shared cache: keyed by the
         // canonical print of the patched design, so it survives node
@@ -713,6 +813,7 @@ impl<'a> Repairer<'a> {
             .scenario
             .map(|s| variant_fingerprint(s, &variant, &self.problem.design_modules));
         if let (Some(shared), Some(key)) = (&self.shared, key) {
+            let _store = self.profiler.as_deref().map(|p| p.span(Phase::Store));
             if let Some(eval) = shared.peek(key) {
                 return Prepared::StoreHit { eval, key };
             }
@@ -758,6 +859,7 @@ impl<'a> Repairer<'a> {
         let Some(key) = key else { return };
         self.pending_delta.push((patch.clone(), key));
         if let Some(shared) = &self.shared {
+            let _store = self.profiler.as_deref().map(|p| p.span(Phase::Store));
             if shared.insert(key, eval) {
                 self.store_writes += 1;
                 self.config.observer.emit(|| {
@@ -785,18 +887,20 @@ impl<'a> Repairer<'a> {
     /// order): counts budgets, emits telemetry, and inserts into the
     /// cache. `sim` carries the worker's result for `Prepared::Sim`
     /// items; `None` there means the deadline cancelled the simulation.
+    /// `op` labels the candidate's originating operator in telemetry.
     fn commit(
         &mut self,
         patch: &Patch,
         prepared: Prepared,
         sim: Option<Evaluation>,
+        op: &str,
     ) -> Option<Evaluation> {
         let (eval, key) = match prepared {
             Prepared::Hit(eval) => {
                 self.cache_hits += 1;
                 self.config
                     .observer
-                    .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
+                    .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true, op)));
                 return Some(eval);
             }
             Prepared::StoreHit { eval, key } => {
@@ -813,7 +917,7 @@ impl<'a> Repairer<'a> {
                 });
                 self.config
                     .observer
-                    .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true)));
+                    .emit(|| Event::Candidate(eval.candidate_event(patch.len(), true, op)));
                 self.insert_evaluation(patch, &eval, Some(key));
                 return Some(eval);
             }
@@ -862,7 +966,11 @@ impl<'a> Repairer<'a> {
                 }));
             self.config
                 .observer
-                .record(&Event::Candidate(eval.candidate_event(patch.len(), false)));
+                .record(&Event::Candidate(eval.candidate_event(
+                    patch.len(),
+                    false,
+                    op,
+                )));
         }
         self.insert_evaluation(patch, &eval, key);
         Some(eval)
@@ -886,6 +994,7 @@ impl<'a> Repairer<'a> {
                     .and_then(|f| f.next_eval_fault());
                 let budget = self.config.eval_timeout;
                 let growth = *growth;
+                let profiler = self.prof();
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     evaluate_variant(
                         self.problem,
@@ -894,6 +1003,7 @@ impl<'a> Repairer<'a> {
                         self.config.fitness,
                         budget,
                         fault,
+                        profiler,
                     )
                 }));
                 Some(match r {
@@ -905,7 +1015,7 @@ impl<'a> Repairer<'a> {
             }
             _ => None,
         };
-        match self.commit(patch, prepared, sim) {
+        match self.commit(patch, prepared, sim, "original") {
             Some(eval) => eval,
             // Unreachable in practice — the synchronous path always
             // supplies a simulation result, so the commit cannot report
@@ -926,7 +1036,19 @@ impl<'a> Repairer<'a> {
     /// deadline cancelled in-flight work. Everything order-sensitive
     /// (cache inserts, counters, telemetry) happens here, identically
     /// for every worker count.
+    #[cfg(test)]
     fn evaluate_batch(&mut self, patches: &[Patch]) -> Vec<Option<Evaluation>> {
+        self.evaluate_batch_ops(patches, &[])
+    }
+
+    /// [`Repairer::evaluate_batch`] with per-patch operator labels for
+    /// telemetry (`ops[i]` labels `patches[i]`; missing entries label
+    /// as `""`). The labels do not influence evaluation.
+    fn evaluate_batch_ops(
+        &mut self,
+        patches: &[Patch],
+        ops: &[&'static str],
+    ) -> Vec<Option<Evaluation>> {
         // Classify in submission order, deduplicating identical
         // in-flight patches against the first occurrence.
         let mut first_seen: HashMap<&Patch, usize> = HashMap::new();
@@ -984,12 +1106,13 @@ impl<'a> Repairer<'a> {
         let problem = self.problem;
         let params = self.config.fitness;
         let budget = self.config.eval_timeout;
+        let profiler = self.profiler.as_deref();
         let (outcomes, busy, panicked) = crate::engine::run_batch(
             self.jobs,
             deadline,
             &sims,
             |&(_, variant, growth, fault)| {
-                evaluate_variant(problem, variant, growth, params, budget, fault)
+                evaluate_variant(problem, variant, growth, params, budget, fault, profiler)
             },
         );
         self.busy += busy;
@@ -1015,13 +1138,14 @@ impl<'a> Repairer<'a> {
                 out.push(None);
                 continue;
             }
+            let op = ops.get(i).copied().unwrap_or("");
             let merged = match p {
                 Prepared::Alias(j) => match &out[j] {
                     Some(eval) => {
                         let eval = eval.clone();
                         self.cache_hits += 1;
                         self.config.observer.emit(|| {
-                            Event::Candidate(eval.candidate_event(patches[i].len(), true))
+                            Event::Candidate(eval.candidate_event(patches[i].len(), true, op))
                         });
                         Some(eval)
                     }
@@ -1029,7 +1153,7 @@ impl<'a> Repairer<'a> {
                 },
                 p => {
                     let sim = sim_results.remove(&i).flatten();
-                    self.commit(&patches[i], p, sim)
+                    self.commit(&patches[i], p, sim, op)
                 }
             };
             if merged.is_none() {
@@ -1064,8 +1188,12 @@ impl<'a> Repairer<'a> {
     }
 
     /// Produces one or two children from the population (lines 5–17 of
-    /// Algorithm 1).
-    fn reproduce(&mut self, popn: &[(Patch, Evaluation)], original_fl: &FaultLoc) -> Vec<Patch> {
+    /// Algorithm 1), each labeled with the operator that proposed it.
+    fn reproduce(
+        &mut self,
+        popn: &[(Patch, Evaluation)],
+        original_fl: &FaultLoc,
+    ) -> Vec<(Patch, &'static str)> {
         let fitnesses: Vec<f64> = popn.iter().map(|(_, e)| e.score).collect();
         let pi = tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
         let (mut parent, mut parent_eval) = (popn[pi].0.clone(), popn[pi].1.clone());
@@ -1096,8 +1224,8 @@ impl<'a> Repairer<'a> {
             // Repair templates.
             self.mix.template += 1;
             match random_template(&variant, &self.problem.design_modules, &fl, &mut self.rng) {
-                Some(edit) => vec![parent.with(edit)],
-                None => vec![parent.clone()],
+                Some(edit) => vec![(parent.with(edit), "template")],
+                None => vec![(parent.clone(), "template")],
             }
         } else if self.rng.gen::<f64>() <= self.config.mut_threshold {
             self.mix.mutation += 1;
@@ -1109,15 +1237,15 @@ impl<'a> Repairer<'a> {
                 &mut self.rng,
                 &self.prior,
             ) {
-                Some(edit) => vec![parent.with(edit)],
-                None => vec![parent.clone()],
+                Some(edit) => vec![(parent.with(edit), "mutation")],
+                None => vec![(parent.clone(), "mutation")],
             }
         } else {
             self.mix.crossover += 2;
             let pj = tournament_select(&fitnesses, self.config.tournament_size, &mut self.rng);
             let parent2 = &popn[pj].0;
             let (c1, c2) = crossover(parent, parent2, &mut self.rng);
-            vec![c1, c2]
+            vec![(c1, "crossover"), (c2, "crossover")]
         }
     }
 
@@ -1140,6 +1268,7 @@ impl<'a> Repairer<'a> {
                     mutation_children: self.mix.mutation,
                     crossover_children: self.mix.crossover,
                 }));
+            self.emit_heartbeat("search", generation, best);
         }
         self.mix = OperatorMix::default();
     }
@@ -1204,6 +1333,8 @@ impl<'a> Repairer<'a> {
         improvement_steps: &[f64],
         generations: u32,
     ) -> RepairResult {
+        self.emit_heartbeat("interrupted", u64::from(generations), best.1);
+        self.emit_profile();
         let wall_time = self.started.elapsed();
         RepairResult {
             status: RepairStatus::Interrupted,
@@ -1322,14 +1453,15 @@ impl<'a> Repairer<'a> {
                 && !self.out_of_budget()
                 && found.is_none()
             {
-                let mut pending: Vec<Patch> = Vec::new();
+                let mut pending: Vec<(Patch, &'static str)> = Vec::new();
                 while popn.len() + pending.len() < self.config.popn_size
                     && pending.len() < batch_size
                 {
                     pending.extend(self.reproduce(&popn[..1], &original_fl));
                 }
-                let evals = self.evaluate_batch(&pending);
-                for (child, eval) in pending.into_iter().zip(evals) {
+                let (batch, ops): (Vec<Patch>, Vec<&'static str>) = pending.into_iter().unzip();
+                let evals = self.evaluate_batch_ops(&batch, &ops);
+                for (child, eval) in batch.into_iter().zip(evals) {
                     // A missing evaluation means the batch was cut
                     // short by the budget or the deadline.
                     let Some(eval) = eval else { break 'seed };
@@ -1364,14 +1496,15 @@ impl<'a> Repairer<'a> {
                 if self.out_of_budget() {
                     break 'outer;
                 }
-                let mut pending: Vec<Patch> = Vec::new();
+                let mut pending: Vec<(Patch, &'static str)> = Vec::new();
                 while children.len() + pending.len() < self.config.popn_size
                     && pending.len() < batch_size
                 {
                     pending.extend(self.reproduce(&popn, &original_fl));
                 }
-                let evals = self.evaluate_batch(&pending);
-                for (child, eval) in pending.into_iter().zip(evals) {
+                let (batch, ops): (Vec<Patch>, Vec<&'static str>) = pending.into_iter().unzip();
+                let evals = self.evaluate_batch_ops(&batch, &ops);
+                for (child, eval) in batch.into_iter().zip(evals) {
                     let Some(eval) = eval else { break 'outer };
                     if eval.score > best.1 {
                         best = (child.clone(), eval.score);
@@ -1434,14 +1567,18 @@ impl<'a> Repairer<'a> {
             None => (RepairStatus::Exhausted, best.0.clone(), best.0.len(), None),
         };
 
+        let final_best = if status == RepairStatus::Plausible {
+            1.0
+        } else {
+            best.1
+        };
+        self.emit_heartbeat("done", u64::from(generations), final_best);
+        self.emit_profile();
+
         let wall_time = self.started.elapsed();
         RepairResult {
             status,
-            best_fitness: if status == RepairStatus::Plausible {
-                1.0
-            } else {
-                best.1
-            },
+            best_fitness: final_best,
             patch,
             unminimized_len,
             generations,
@@ -1494,6 +1631,7 @@ impl<'a> Repairer<'a> {
         let panics = &mut self.panics;
         let exhausted = &mut self.exhausted;
         let pending_delta = &mut self.pending_delta;
+        let profiler = self.profiler.as_deref();
         minimize(patch, |p| {
             let (eval, cached) = match cache.get(p) {
                 Some(e) => {
@@ -1504,7 +1642,9 @@ impl<'a> Repairer<'a> {
                     // Minimization probes go through the same two-level
                     // cache as the search: shared-cache hits are not
                     // re-simulated, misses are written through.
+                    let parse_span = profiler.map(|pr| pr.span(Phase::Parse));
                     let (variant, _) = apply_patch(&problem.source, &problem.design_modules, p);
+                    drop(parse_span);
                     let key =
                         scenario.map(|s| variant_fingerprint(s, &variant, &problem.design_modules));
                     let hit = match (key, &shared) {
@@ -1541,6 +1681,7 @@ impl<'a> Repairer<'a> {
                                     params,
                                     eval_timeout,
                                     fault,
+                                    profiler,
                                 )
                             })) {
                                 Ok(e) => e,
@@ -1590,7 +1731,7 @@ impl<'a> Repairer<'a> {
                     }
                 }
             };
-            observer.emit(|| Event::Candidate(eval.candidate_event(p.len(), cached)));
+            observer.emit(|| Event::Candidate(eval.candidate_event(p.len(), cached, "minimize")));
             eval.score >= 1.0
         })
     }

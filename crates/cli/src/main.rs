@@ -14,12 +14,20 @@
 //!                                                 the golden one on a held-out bench
 //! cirfix lint <design.v|repair.conf> [--json]     run the static-analysis passes
 //! cirfix store <ls|verify|gc> <store-dir>         inspect or maintain a store
+//! cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]
+//!                                                 fold a trace or session into a run report
+//! cirfix watch <trace.jsonl> [--interval-ms N] [--once]
+//!                                                 live-tail a growing trace's heartbeats
 //! ```
 //!
 //! Observability flags (for `repair` and `simulate`):
 //!
 //! ```text
 //! --trace-out <path>   stream telemetry events as JSON lines to <path>
+//! --trace-timing MODE  `wall` (default) records real durations; `off`
+//!                      zeroes every duration/throughput field and drops
+//!                      histograms, so traces are byte-identical across
+//!                      `--jobs` values
 //! --metrics            print an aggregate telemetry summary at the end
 //! ```
 //!
@@ -79,7 +87,7 @@ use cirfix::{
 };
 use cirfix_ast::{print, SourceFile};
 use cirfix_sim::{ProbeSpec, SimConfig};
-use cirfix_telemetry::{FanoutSink, JsonLinesSink, SummarySink, TelemetrySink};
+use cirfix_telemetry::{FanoutSink, JsonLinesSink, SummarySink, TelemetrySink, TimingFreeSink};
 use config::{Config, ConfigError};
 
 fn main() -> ExitCode {
@@ -96,7 +104,9 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: cirfix <repair|simulate|fitness|localize|verify> <config-file> [--key value ...]\n\
      \u{20}      cirfix lint <design.v|repair.conf> [--json]\n\
-     \u{20}      cirfix store <ls|verify|gc> <store-dir>"
+     \u{20}      cirfix store <ls|verify|gc> <store-dir>\n\
+     \u{20}      cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]\n\
+     \u{20}      cirfix watch <trace.jsonl> [--interval-ms N] [--once]"
         .to_string()
 }
 
@@ -110,6 +120,14 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // `store` operates on a store directory, not a repair config.
     if command == "store" {
         return cmd_store(rest);
+    }
+    // `report` and `watch` consume run artifacts (a trace file or a
+    // store directory), not a repair config.
+    if command == "report" {
+        return cmd_report(rest);
+    }
+    if command == "watch" {
+        return cmd_watch(rest);
     }
     let (config_path, overrides) = rest.split_first().ok_or_else(usage)?;
     let mut config = Config::load(Path::new(config_path))?;
@@ -202,7 +220,19 @@ fn build_telemetry(config: &Config) -> Result<Telemetry, Box<dyn std::error::Err
     if let Ok(path) = config.required("trace_out") {
         let sink = JsonLinesSink::create(Path::new(path))
             .map_err(|e| ConfigError(format!("cannot open {path}: {e}")))?;
-        sinks.push(Box::new(sink));
+        match config.string_or("trace_timing", "wall").as_str() {
+            "wall" => sinks.push(Box::new(sink)),
+            // Timing-free mode: zero every duration/throughput field
+            // and drop histograms, so the trace bytes depend only on
+            // the (deterministic) search, not the clock or `--jobs`.
+            "off" => sinks.push(Box::new(TimingFreeSink::new(sink))),
+            other => {
+                return Err(ConfigError(format!(
+                    "trace_timing must be `wall` or `off`, got `{other}`"
+                ))
+                .into())
+            }
+        }
     }
     let mut summary = None;
     if matches!(
@@ -600,6 +630,194 @@ fn cmd_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         other => Err(format!("unknown store action `{other}`\n{store_usage}").into()),
+    }
+}
+
+/// `cirfix report`: fold a JSON-lines telemetry trace, or a persisted
+/// session log from a store directory, into one run report.
+///
+/// ```text
+/// cirfix report <trace.jsonl>                     fold a trace file
+/// cirfix report <store-dir> [--session NAME]      fold a session log
+/// cirfix report ... --json                        machine-readable output
+/// ```
+///
+/// With a store directory and no `--session`, a single session is
+/// picked automatically; multiple sessions are an error listing the
+/// candidates. Folding is deterministic: the same input bytes always
+/// produce the same report bytes.
+fn cmd_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let report_usage = "usage: cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]";
+    let (input, flags) = args.split_first().ok_or(report_usage)?;
+    let mut json = false;
+    let mut session: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--session" => {
+                let name = flags
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--session needs a value\n{report_usage}"))?;
+                session = Some(name.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown report flag `{other}`\n{report_usage}").into()),
+        }
+    }
+
+    let path = Path::new(input);
+    let report = if path.is_dir() {
+        let store = cirfix_store::Store::open(path)?;
+        let name = match session {
+            Some(name) => name,
+            None => {
+                let mut names: Vec<String> = store
+                    .all_segments()?
+                    .into_iter()
+                    .filter(|p| p.parent().is_some_and(|d| d.ends_with("sessions")))
+                    .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(str::to_string))
+                    .collect();
+                names.sort();
+                match names.len() {
+                    0 => return Err("store has no session logs".into()),
+                    1 => names.remove(0),
+                    _ => {
+                        return Err(format!(
+                            "store has {} sessions; pick one with --session <name>:\n  {}",
+                            names.len(),
+                            names.join("\n  ")
+                        )
+                        .into())
+                    }
+                }
+            }
+        };
+        let (records, health) = store.load_session(&name)?;
+        if records.is_empty() {
+            return Err(format!("session `{name}` has no records").into());
+        }
+        if !health.is_clean() {
+            eprintln!(
+                "warning: session `{name}` has damage ({} corrupt record(s), torn tail: {}); reporting on the clean records",
+                health.corrupt.len(),
+                health.torn_tail.is_some()
+            );
+        }
+        cirfix::RunReport::from_session(&records)
+    } else {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+        cirfix::RunReport::from_trace(&text)?
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+/// `cirfix watch`: live viewer for a growing JSON-lines trace. Tails
+/// the file, redraws the latest heartbeat snapshot as it arrives, and
+/// exits when the run's terminal heartbeat (status other than
+/// `"search"`) appears.
+///
+/// ```text
+/// cirfix watch <trace.jsonl> [--interval-ms N] [--once]
+/// ```
+///
+/// `--once` processes whatever the file holds right now and exits —
+/// usable in scripts and CI. Only complete lines are consumed; a
+/// half-written trailing line is left for the next poll.
+fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{IsTerminal, Read, Seek, SeekFrom};
+
+    let watch_usage = "usage: cirfix watch <trace.jsonl> [--interval-ms N] [--once]";
+    let (input, flags) = args.split_first().ok_or(watch_usage)?;
+    let mut once = false;
+    let mut interval = Duration::from_millis(500);
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            "--interval-ms" => {
+                let ms: u64 = flags
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--interval-ms needs a value\n{watch_usage}"))?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms: {e}"))?;
+                interval = Duration::from_millis(ms.max(1));
+                i += 2;
+            }
+            other => return Err(format!("unknown watch flag `{other}`\n{watch_usage}").into()),
+        }
+    }
+
+    let path = Path::new(input);
+    let clear_screen = std::io::stdout().is_terminal();
+    let mut offset: u64 = 0;
+    let mut pending = String::new();
+    let mut heartbeats: u64 = 0;
+    loop {
+        // The file may not exist yet (the run is still starting) and
+        // may be truncated and rewritten (a fresh run on the same
+        // path); both just reset the tail position.
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                let len = f.metadata()?.len();
+                if len < offset {
+                    offset = 0;
+                    pending.clear();
+                }
+                if len > offset {
+                    f.seek(SeekFrom::Start(offset))?;
+                    let mut bytes = Vec::with_capacity((len - offset) as usize);
+                    f.take(len - offset).read_to_end(&mut bytes)?;
+                    offset = len;
+                    pending.push_str(&String::from_utf8_lossy(&bytes));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if once {
+                    return Err(format!("cannot read {}: {e}", path.display()).into());
+                }
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display()).into()),
+        }
+        // Consume complete lines; keep a half-written tail for later.
+        let mut terminal_status = None;
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            if let Some(h) = cirfix::report::heartbeat_line(&line) {
+                heartbeats += 1;
+                if clear_screen {
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!("watching {} (heartbeat {heartbeats})", path.display());
+                println!("{}", cirfix::report::render_heartbeat(&h, "  "));
+                if h.status != "search" {
+                    terminal_status = Some(h.status);
+                }
+            }
+        }
+        if let Some(status) = terminal_status {
+            println!("run {status}");
+            return Ok(());
+        }
+        if once {
+            if heartbeats == 0 {
+                println!("no heartbeat in {} yet", path.display());
+            }
+            return Ok(());
+        }
+        std::thread::sleep(interval);
     }
 }
 

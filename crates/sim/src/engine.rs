@@ -228,6 +228,8 @@ pub struct Simulator {
     started: bool,
     cancel: Option<CancelToken>,
     trace_rows: u64,
+    elab_nanos: u64,
+    exec_nanos: u64,
 }
 
 impl Simulator {
@@ -238,8 +240,11 @@ impl Simulator {
     /// Returns [`SimError::Elaboration`] when the design is malformed —
     /// the *compile failure* case of the CirFix loop.
     pub fn new(file: &SourceFile, top: &str, config: SimConfig) -> Result<Simulator, SimError> {
+        let t0 = std::time::Instant::now();
         let design = elaborate(file, top)?;
-        Ok(Simulator::from_design(design, config))
+        let mut sim = Simulator::from_design(design, config);
+        sim.elab_nanos = t0.elapsed().as_nanos() as u64;
+        Ok(sim)
     }
 
     /// Builds a simulator from an already elaborated design.
@@ -318,6 +323,8 @@ impl Simulator {
             started: false,
             cancel: None,
             trace_rows: 0,
+            elab_nanos: 0,
+            exec_nanos: 0,
         }
     }
 
@@ -397,6 +404,13 @@ impl Simulator {
     /// Returns a [`SimError`] on oscillation or resource exhaustion —
     /// runtime failures that CirFix scores as fitness 0.
     pub fn run(&mut self) -> Result<SimOutcome, SimError> {
+        let t0 = std::time::Instant::now();
+        let result = self.run_inner();
+        self.exec_nanos += t0.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn run_inner(&mut self) -> Result<SimOutcome, SimError> {
         self.init();
         loop {
             self.check_cancel()?;
@@ -440,6 +454,21 @@ impl Simulator {
     /// [`SimOutcome`] is produced).
     pub fn metrics(&self) -> &SimMetrics {
         &self.metrics
+    }
+
+    /// Wall-clock nanoseconds spent elaborating the design inside
+    /// [`Simulator::new`] (zero for [`Simulator::from_design`], where
+    /// the caller elaborated). Phase hook for profilers; kept out of
+    /// [`SimMetrics`] so persisted, determinism-critical counters stay
+    /// timing-free.
+    pub fn elaboration_nanos(&self) -> u64 {
+        self.elab_nanos
+    }
+
+    /// Wall-clock nanoseconds spent inside [`Simulator::run`] so far
+    /// (accumulated across calls; also valid after an error).
+    pub fn execution_nanos(&self) -> u64 {
+        self.exec_nanos
     }
 
     fn init(&mut self) {

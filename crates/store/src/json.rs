@@ -302,6 +302,30 @@ pub fn field_str<'a>(value: &'a JsonValue, key: &str) -> Option<&'a str> {
     }
 }
 
+/// Interprets a value as a float, accepting plain numbers and the
+/// tagged strings the telemetry writer uses for non-finite values
+/// (`"NaN"`, `"Infinity"`, `"-Infinity"`), so NaN/Inf fitness survives
+/// a trace round-trip.
+pub fn json_f64(value: &JsonValue) -> Option<f64> {
+    match value {
+        JsonValue::Float(f) => Some(*f),
+        JsonValue::Uint(u) => Some(*u as f64),
+        JsonValue::Int(i) => Some(*i as f64),
+        JsonValue::Str(s) => match s.as_str() {
+            "NaN" => Some(f64::NAN),
+            "Infinity" => Some(f64::INFINITY),
+            "-Infinity" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A field read as a float via [`json_f64`].
+pub fn field_f64(value: &JsonValue, key: &str) -> Option<f64> {
+    json_f64(field(value, key)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +348,29 @@ mod tests {
         let line = v.to_json();
         let parsed = parse_json(&line).expect("parses");
         assert_eq!(parsed.to_json(), line, "re-serialization is canonical");
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_losslessly() {
+        // The worst-fitness mapping can hand the trace NaN or ±Inf;
+        // the writer tags them as strings and `json_f64` maps them
+        // back, so no value degrades to null on a round-trip.
+        let v = JsonValue::obj(vec![
+            ("nan", JsonValue::Float(f64::NAN)),
+            ("pinf", JsonValue::Float(f64::INFINITY)),
+            ("ninf", JsonValue::Float(f64::NEG_INFINITY)),
+            ("plain", JsonValue::Float(0.25)),
+        ]);
+        let line = v.to_json();
+        let parsed = parse_json(&line).expect("parses");
+        assert_eq!(parsed.to_json(), line, "text round-trip is canonical");
+        assert!(field_f64(&parsed, "nan").expect("nan").is_nan());
+        assert_eq!(field_f64(&parsed, "pinf"), Some(f64::INFINITY));
+        assert_eq!(field_f64(&parsed, "ninf"), Some(f64::NEG_INFINITY));
+        assert_eq!(field_f64(&parsed, "plain"), Some(0.25));
+        // Arbitrary strings are not silently coerced to floats.
+        let odd = parse_json("{\"s\":\"Infinityish\"}").expect("parses");
+        assert_eq!(field_f64(&odd, "s"), None);
     }
 
     #[test]

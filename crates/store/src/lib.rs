@@ -30,7 +30,7 @@ pub mod segment;
 pub mod store;
 
 pub use hash::{fnv64, Digest, Fnv128};
-pub use json::{field, field_str, field_u64, parse_json};
+pub use json::{field, field_f64, field_str, field_u64, json_f64, parse_json};
 pub use record::{decode_record, encode_record, RecordError};
 pub use segment::{read_segment, recover_segment, SegmentHealth, SegmentWriter};
 pub use store::{EvalWriter, FileReport, GcReport, Store, StoreHealth, StoreReport};

@@ -38,6 +38,10 @@ pub struct CandidateEvent {
     /// Whether the score came from the evaluation cache rather than a
     /// fresh simulation.
     pub cached: bool,
+    /// The operator that proposed the candidate: `"original"`,
+    /// `"template"`, `"mutation"`, `"crossover"`, `"minimize"`, or
+    /// `""` when unknown.
+    pub op: String,
 }
 
 /// One fault-localization pass (Algorithm 2).
@@ -128,6 +132,63 @@ pub struct SpanEvent {
     pub nanos: u64,
 }
 
+/// Aggregated busy time attributed to one pipeline phase by the
+/// [`Profiler`](crate::Profiler): exclusive time (child spans deducted)
+/// summed across all worker threads.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseEvent {
+    /// Phase name: `"parse"`, `"elaborate"`, `"simulate"`, `"score"`,
+    /// or `"store"`.
+    pub name: String,
+    /// How many spans closed against this phase.
+    pub count: u64,
+    /// Total exclusive busy nanoseconds across all threads.
+    pub nanos: u64,
+}
+
+/// A periodic snapshot of search progress, emitted at generation
+/// boundaries (a deterministic cadence) and once more when the run
+/// ends.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HeartbeatEvent {
+    /// `"search"` while the run is live, `"done"` or `"interrupted"`
+    /// for the final snapshot.
+    pub status: String,
+    /// Last completed generation.
+    pub generation: u64,
+    /// Best fitness seen so far.
+    pub best_fitness: f64,
+    /// Fresh fitness evaluations so far.
+    pub fitness_evals: u64,
+    /// In-memory cache hits so far.
+    pub cache_hits: u64,
+    /// Persistent-store cache hits so far.
+    pub store_hits: u64,
+    /// Mutants rejected by the static filter before simulation.
+    pub rejected_static: u64,
+    /// Evaluations that expired their per-candidate budget.
+    pub timeouts: u64,
+    /// Evaluations that panicked and were contained.
+    pub panics: u64,
+    /// Evaluations stopped by a simulator resource guard.
+    pub exhausted: u64,
+    /// Fresh-evaluation throughput since the run started (0 in
+    /// timing-free traces).
+    pub evals_per_s: f64,
+}
+
+/// A log-bucketed latency histogram: bucket `i` counts samples whose
+/// duration in nanoseconds satisfies `2^i <= nanos < 2^(i+1)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramEvent {
+    /// What was measured, e.g. `"eval_latency"`.
+    pub name: String,
+    /// Total number of samples.
+    pub total: u64,
+    /// Non-empty buckets as `(bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
 /// Any telemetry event the pipeline can emit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -147,6 +208,12 @@ pub enum Event {
     EvalOutcome(EvalOutcomeEvent),
     /// A completed timing span.
     Span(SpanEvent),
+    /// Aggregated per-phase busy time from the profiler.
+    Phase(PhaseEvent),
+    /// A periodic search-progress snapshot.
+    Heartbeat(HeartbeatEvent),
+    /// A log-bucketed latency histogram.
+    Histogram(HistogramEvent),
 }
 
 impl Event {
@@ -161,6 +228,9 @@ impl Event {
             Event::Store(_) => "store",
             Event::EvalOutcome(_) => "eval_outcome",
             Event::Span(_) => "span",
+            Event::Phase(_) => "phase",
+            Event::Heartbeat(_) => "heartbeat",
+            Event::Histogram(_) => "histogram",
         }
     }
 
@@ -185,6 +255,7 @@ impl Event {
                 pairs.push(("growth_factor", JsonValue::Float(c.growth_factor)));
                 pairs.push(("fitness", JsonValue::Float(c.fitness)));
                 pairs.push(("cached", JsonValue::Bool(c.cached)));
+                pairs.push(("op", JsonValue::Str(c.op.clone())));
             }
             Event::FaultLoc(f) => {
                 pairs.push(("implicated_nodes", JsonValue::Uint(f.implicated_nodes)));
@@ -222,6 +293,42 @@ impl Event {
                 pairs.push(("name", JsonValue::Str(sp.name.clone())));
                 pairs.push(("nanos", JsonValue::Uint(sp.nanos)));
             }
+            Event::Phase(p) => {
+                pairs.push(("name", JsonValue::Str(p.name.clone())));
+                pairs.push(("count", JsonValue::Uint(p.count)));
+                pairs.push(("nanos", JsonValue::Uint(p.nanos)));
+            }
+            Event::Heartbeat(h) => {
+                pairs.push(("status", JsonValue::Str(h.status.clone())));
+                pairs.push(("generation", JsonValue::Uint(h.generation)));
+                pairs.push(("best_fitness", JsonValue::Float(h.best_fitness)));
+                pairs.push(("fitness_evals", JsonValue::Uint(h.fitness_evals)));
+                pairs.push(("cache_hits", JsonValue::Uint(h.cache_hits)));
+                pairs.push(("store_hits", JsonValue::Uint(h.store_hits)));
+                pairs.push(("rejected_static", JsonValue::Uint(h.rejected_static)));
+                pairs.push(("timeouts", JsonValue::Uint(h.timeouts)));
+                pairs.push(("panics", JsonValue::Uint(h.panics)));
+                pairs.push(("exhausted", JsonValue::Uint(h.exhausted)));
+                pairs.push(("evals_per_s", JsonValue::Float(h.evals_per_s)));
+            }
+            Event::Histogram(h) => {
+                pairs.push(("name", JsonValue::Str(h.name.clone())));
+                pairs.push(("total", JsonValue::Uint(h.total)));
+                pairs.push((
+                    "buckets",
+                    JsonValue::Array(
+                        h.buckets
+                            .iter()
+                            .map(|&(bucket, count)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Uint(u64::from(bucket)),
+                                    JsonValue::Uint(count),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
         }
         JsonValue::obj(pairs).to_json()
     }
@@ -245,6 +352,7 @@ mod tests {
                 growth_factor: 1.5,
                 fitness: 0.75,
                 cached: true,
+                op: "mutation".into(),
             }),
             Event::FaultLoc(FaultLocEvent::default()),
             Event::Sim(SimStats::default()),
@@ -267,6 +375,25 @@ mod tests {
             Event::Span(SpanEvent {
                 name: "repair \"quoted\"".into(),
                 nanos: 12345,
+            }),
+            Event::Phase(PhaseEvent {
+                name: "simulate".into(),
+                count: 40,
+                nanos: 7_000_000,
+            }),
+            Event::Heartbeat(HeartbeatEvent {
+                status: "search".into(),
+                generation: 2,
+                best_fitness: 0.875,
+                fitness_evals: 123,
+                cache_hits: 9,
+                evals_per_s: 4200.5,
+                ..HeartbeatEvent::default()
+            }),
+            Event::Histogram(HistogramEvent {
+                name: "eval_latency".into(),
+                total: 5,
+                buckets: vec![(14, 3), (17, 2)],
             }),
         ];
         for e in &events {

@@ -19,7 +19,9 @@ pub enum JsonValue {
     Int(i64),
     /// Unsigned integer wide enough for counters.
     Uint(u64),
-    /// A finite float; NaN and infinities serialize as `null`.
+    /// A float. Non-finite values serialize as the strings `"NaN"`,
+    /// `"Infinity"`, and `"-Infinity"` (JSON numbers cannot express
+    /// them), which readers map back losslessly.
     Float(f64),
     /// A string, escaped on write.
     Str(String),
@@ -57,8 +59,12 @@ impl JsonValue {
                     // `{f:?}` keeps a decimal point or exponent, so the
                     // output re-parses as a float rather than an int.
                     let _ = write!(out, "{f:?}");
+                } else if f.is_nan() {
+                    out.push_str("\"NaN\"");
+                } else if *f > 0.0 {
+                    out.push_str("\"Infinity\"");
                 } else {
-                    out.push_str("null");
+                    out.push_str("\"-Infinity\"");
                 }
             }
             JsonValue::Str(s) => write_escaped(s, out),
@@ -308,9 +314,16 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(JsonValue::Float(f64::NAN).to_json(), "null");
-        assert_eq!(JsonValue::Float(f64::INFINITY).to_json(), "null");
+    fn non_finite_floats_become_tagged_strings() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_json(), "\"NaN\"");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_json(), "\"Infinity\"");
+        assert_eq!(
+            JsonValue::Float(f64::NEG_INFINITY).to_json(),
+            "\"-Infinity\""
+        );
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            validate_json_line(&JsonValue::Float(v).to_json()).expect("valid");
+        }
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //!   bump from multiple threads.
 //! * **Typed events** — [`Event`] and its payloads
 //!   ([`GenerationStats`], [`CandidateEvent`], [`FaultLocEvent`],
-//!   [`SimStats`], [`SpanEvent`]) describing what each pipeline stage
-//!   did, in terms that map to the paper's Algorithm 1 / §3.2.
+//!   [`SimStats`], [`SpanEvent`], [`PhaseEvent`], [`HeartbeatEvent`],
+//!   [`HistogramEvent`]) describing what each pipeline stage did, in
+//!   terms that map to the paper's Algorithm 1 / §3.2.
+//! * **Profiler** — the [`Profiler`] attributes exclusive busy time to
+//!   the fixed pipeline [`Phase`]s (parse / elaborate / simulate /
+//!   score / store) across worker threads with nestable guards, and
+//!   log-buckets whole-evaluation latencies.
 //! * **Sinks** — the [`TelemetrySink`] trait and its implementations:
 //!   [`NullSink`] (default, near-zero overhead), [`JsonLinesSink`]
 //!   (machine-readable event stream), [`SummarySink`] (human-readable
-//!   end-of-run report), and [`FanoutSink`] (several at once).
+//!   end-of-run report), [`TimingFreeSink`] (scrubs wall-clock payloads
+//!   so traces are byte-identical across `--jobs`), and [`FanoutSink`]
+//!   (several at once).
 //!
 //! Producers hold an [`Observer`] — a cloneable `Arc` handle that fits
 //! inside config structs — and call [`Observer::emit`] with a closure
@@ -25,13 +32,15 @@ mod event;
 mod json;
 mod metrics;
 mod observer;
+mod profiler;
 mod sink;
 
 pub use event::{
-    CandidateEvent, EvalOutcomeEvent, Event, FaultLocEvent, GenerationStats, LintEvent, SimStats,
-    SpanEvent, StoreEvent,
+    CandidateEvent, EvalOutcomeEvent, Event, FaultLocEvent, GenerationStats, HeartbeatEvent,
+    HistogramEvent, LintEvent, PhaseEvent, SimStats, SpanEvent, StoreEvent,
 };
 pub use json::{validate_json_line, JsonValue};
 pub use metrics::{Counter, Gauge, MetricsRegistry, Span};
 pub use observer::Observer;
-pub use sink::{FanoutSink, JsonLinesSink, NullSink, SummarySink, TelemetrySink};
+pub use profiler::{Phase, PhaseGuard, Profiler};
+pub use sink::{FanoutSink, JsonLinesSink, NullSink, SummarySink, TelemetrySink, TimingFreeSink};

@@ -127,6 +127,9 @@ struct SummaryState {
     store_degraded: u64,
     outcomes: Vec<(String, u64)>, // outcome kind, count (first-seen order)
     spans: Vec<(String, u64, u64)>, // name, count, total nanos
+    phases: Vec<(String, u64, u64)>, // name, count, total nanos
+    heartbeats: u64,
+    eval_samples: u64, // eval-latency histogram totals
 }
 
 /// Accumulates events and renders a human-readable end-of-run report.
@@ -214,6 +217,21 @@ impl SummarySink {
                 let _ = writeln!(out, "  {name:<20} {count:>6}x {ms:>12.3} ms");
             }
         }
+        if !s.phases.is_empty() {
+            let _ = writeln!(out, "phases (busy):");
+            for (name, count, nanos) in &s.phases {
+                let ms = *nanos as f64 / 1e6;
+                let _ = writeln!(out, "  {name:<20} {count:>6}x {ms:>12.3} ms");
+            }
+        }
+        if s.heartbeats > 0 {
+            let _ = writeln!(out, "heartbeats:");
+            let _ = writeln!(out, "  snapshots            {:>12}", s.heartbeats);
+        }
+        if s.eval_samples > 0 {
+            let _ = writeln!(out, "eval latency:");
+            let _ = writeln!(out, "  samples              {:>12}", s.eval_samples);
+        }
         out
     }
 }
@@ -275,7 +293,76 @@ impl TelemetrySink for SummarySink {
                     s.spans.push((sp.name.clone(), 1, sp.nanos));
                 }
             }
+            Event::Phase(p) => {
+                if let Some(entry) = s.phases.iter_mut().find(|(n, _, _)| *n == p.name) {
+                    entry.1 += p.count;
+                    entry.2 += p.nanos;
+                } else {
+                    s.phases.push((p.name.clone(), p.count, p.nanos));
+                }
+            }
+            Event::Heartbeat(h) => {
+                s.heartbeats += 1;
+                s.last_best = s.last_best.max(h.best_fitness);
+            }
+            Event::Histogram(h) => {
+                s.eval_samples += h.total;
+            }
         }
+    }
+}
+
+/// Scrubs wall-clock-dependent payloads before forwarding to an inner
+/// sink, so traces are byte-identical across worker counts and
+/// machines: span and phase durations become zero, heartbeat
+/// throughput becomes zero, and latency histograms are dropped
+/// entirely. Counts (span/phase tallies, heartbeat progress counters)
+/// are deterministic and pass through untouched.
+pub struct TimingFreeSink<S> {
+    inner: S,
+}
+
+impl<S: TelemetrySink> TimingFreeSink<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> TimingFreeSink<S> {
+        TimingFreeSink { inner }
+    }
+
+    /// Consumes the wrapper and returns the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TelemetrySink> TelemetrySink for TimingFreeSink<S> {
+    fn record(&self, event: &Event) {
+        match event {
+            Event::Span(sp) => {
+                let mut sp = sp.clone();
+                sp.nanos = 0;
+                self.inner.record(&Event::Span(sp));
+            }
+            Event::Phase(p) => {
+                let mut p = p.clone();
+                p.nanos = 0;
+                self.inner.record(&Event::Phase(p));
+            }
+            Event::Heartbeat(h) => {
+                let mut h = h.clone();
+                h.evals_per_s = 0.0;
+                self.inner.record(&Event::Heartbeat(h));
+            }
+            Event::Histogram(_) => {}
+            other => self.inner.record(other),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
     }
 }
 

@@ -6,8 +6,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 
 use cirfix_telemetry::{
-    CandidateEvent, Counter, Event, FanoutSink, FaultLocEvent, GenerationStats, JsonLinesSink,
-    MetricsRegistry, NullSink, Observer, SimStats, Span, SpanEvent, SummarySink, TelemetrySink,
+    CandidateEvent, Counter, Event, FanoutSink, FaultLocEvent, GenerationStats, HeartbeatEvent,
+    HistogramEvent, JsonLinesSink, MetricsRegistry, NullSink, Observer, PhaseEvent, SimStats, Span,
+    SpanEvent, SummarySink, TelemetrySink, TimingFreeSink,
 };
 
 /// A sink that stores every event for later inspection.
@@ -165,6 +166,7 @@ fn json_lines_sink_emits_one_parseable_line_per_event() {
         growth_factor: 1.5,
         fitness: 0.75,
         cached: false,
+        op: "template".to_string(),
     }));
     sink.record(&Event::Span(SpanEvent {
         name: "repair".to_string(),
@@ -176,6 +178,40 @@ fn json_lines_sink_emits_one_parseable_line_per_event() {
     for line in lines {
         cirfix_telemetry::validate_json_line(line).expect("valid JSON");
     }
+}
+
+#[test]
+fn timing_free_sink_scrubs_wall_clock_payloads() {
+    let sink = TimingFreeSink::new(JsonLinesSink::new(Vec::new()));
+    sink.record(&Event::Span(SpanEvent {
+        name: "repair".to_string(),
+        nanos: 123_456,
+    }));
+    sink.record(&Event::Phase(PhaseEvent {
+        name: "simulate".to_string(),
+        count: 4,
+        nanos: 999_999,
+    }));
+    sink.record(&Event::Heartbeat(HeartbeatEvent {
+        status: "search".to_string(),
+        generation: 1,
+        fitness_evals: 42,
+        evals_per_s: 88.5,
+        ..HeartbeatEvent::default()
+    }));
+    sink.record(&Event::Histogram(HistogramEvent {
+        name: "eval_latency".to_string(),
+        total: 3,
+        buckets: vec![(10, 3)],
+    }));
+    let text = String::from_utf8(sink.into_inner().into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // The histogram is dropped outright; everything else survives with
+    // its wall-clock payloads zeroed and its counts intact.
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"nanos\":0") && !lines[0].contains("123"));
+    assert!(lines[1].contains("\"count\":4") && lines[1].contains("\"nanos\":0"));
+    assert!(lines[2].contains("\"fitness_evals\":42") && lines[2].contains("\"evals_per_s\":0.0"));
 }
 
 /// Feeds a fixed event sequence to a [`SummarySink`] and compares the
@@ -202,6 +238,7 @@ fn summary_report_matches_golden_file() {
             growth_factor: 1.0,
             fitness: 0.5,
             cached: i % 5 == 0,
+            op: "mutation".to_string(),
         }));
     }
     sink.record(&Event::FaultLoc(FaultLocEvent {

@@ -32,14 +32,22 @@ impl TelemetrySink for CollectingSink {
 }
 
 /// The deterministic portion of a trace: everything except timing spans
-/// (wall-clock) and store operations (which legitimately differ between
-/// an interrupted-and-resumed pair and one uninterrupted run).
+/// and phase/histogram profiles (wall-clock), store operations, and
+/// heartbeats — all of which are scoped to one process lifetime, so
+/// they legitimately differ between an interrupted-and-resumed pair and
+/// one uninterrupted run (the halted half ends with a terminal
+/// `interrupted` heartbeat and its own segment's phase totals).
 fn deterministic_events(sink: &CollectingSink) -> Vec<String> {
     sink.0
         .lock()
         .expect("sink poisoned")
         .iter()
-        .filter(|(kind, _)| kind != "span" && kind != "store")
+        .filter(|(kind, _)| {
+            !matches!(
+                kind.as_str(),
+                "span" | "store" | "phase" | "heartbeat" | "histogram"
+            )
+        })
         .map(|(_, json)| json.clone())
         .collect()
 }

@@ -54,7 +54,8 @@ fn repair_trace_is_valid_json_with_all_event_kinds() {
             .and_then(|(_, rest)| rest.split('"').next())
             .expect("every event carries a type tag");
         let kind = match tag {
-            "generation" | "candidate" | "fault_loc" | "sim" | "eval_outcome" | "span" => tag,
+            "generation" | "candidate" | "fault_loc" | "sim" | "eval_outcome" | "span"
+            | "phase" | "heartbeat" | "histogram" => tag,
             other => panic!("unexpected event type `{other}`"),
         };
         *tally.entry(kind).or_insert(0) += 1;
@@ -66,6 +67,9 @@ fn repair_trace_is_valid_json_with_all_event_kinds() {
         "fault_loc",
         "sim",
         "eval_outcome",
+        "phase",
+        "heartbeat",
+        "histogram",
     ] {
         assert!(
             tally.get(kind).copied().unwrap_or(0) >= 1,
