@@ -65,6 +65,7 @@
 //! ```
 
 mod brute;
+mod control;
 mod crossover;
 mod engine;
 pub mod explain;
@@ -87,6 +88,7 @@ mod verify;
 
 pub use brute::{brute_force_repair, BruteConfig};
 pub use cirfix_telemetry::Observer;
+pub use control::{BatchGate, SearchControl};
 pub use crossover::crossover;
 pub use engine::{evaluate_many, resolve_jobs};
 pub use faultloc::{fault_loc_event, fault_localization, FaultLoc};

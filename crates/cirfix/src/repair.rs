@@ -22,6 +22,7 @@ use cirfix_telemetry::{
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::control::SearchControl;
 use crate::crossover::crossover;
 use crate::engine::panic_message;
 use crate::faultloc::{fault_loc_event, fault_localization, FaultLoc};
@@ -115,6 +116,12 @@ pub struct RepairConfig {
     /// Telemetry destination. Defaults to a disabled observer, in which
     /// case no events are constructed.
     pub observer: Observer,
+    /// External control for service mode: client-initiated cancellation
+    /// (checked at candidate-batch boundaries, returning a resumable
+    /// [`RepairStatus::Interrupted`]) and an optional fair-share batch
+    /// gate through which every worker-pool dispatch takes a turn. The
+    /// inert default adds no overhead and no behaviour change.
+    pub control: SearchControl,
 }
 
 impl RepairConfig {
@@ -145,6 +152,7 @@ impl RepairConfig {
             eval_timeout: None,
             faults: None,
             observer: Observer::none(),
+            control: SearchControl::none(),
         }
     }
 
@@ -995,6 +1003,9 @@ impl<'a> Repairer<'a> {
                 let budget = self.config.eval_timeout;
                 let growth = *growth;
                 let profiler = self.prof();
+                // Synchronous evaluations occupy the worker pool too:
+                // take a scheduling turn for the duration of the sim.
+                let _turn = self.config.control.turn();
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     evaluate_variant(
                         self.problem,
@@ -1107,6 +1118,11 @@ impl<'a> Repairer<'a> {
         let params = self.config.fitness;
         let budget = self.config.eval_timeout;
         let profiler = self.profiler.as_deref();
+        // In service mode the worker pool is shared between sessions:
+        // hold a scheduling turn for exactly the span of the dispatch,
+        // so concurrent jobs interleave at batch granularity. The guard
+        // is inert (and free) for batch runs.
+        let turn = self.config.control.turn();
         let (outcomes, busy, panicked) = crate::engine::run_batch(
             self.jobs,
             deadline,
@@ -1115,6 +1131,7 @@ impl<'a> Repairer<'a> {
                 evaluate_variant(problem, variant, growth, params, budget, fault, profiler)
             },
         );
+        drop(turn);
         self.busy += busy;
         let mut sim_results: HashMap<usize, Option<Evaluation>> = sims
             .iter()
@@ -1325,7 +1342,8 @@ impl<'a> Repairer<'a> {
     }
 
     /// Builds the terminal result for a [`RepairConfig::halt_after`]
-    /// stop: the search state is on disk, not in the result.
+    /// stop or an external [`SearchControl`] cancellation: the search
+    /// state is on disk, not in the result.
     fn interrupted_result(
         &self,
         best: &(Patch, f64),
@@ -1453,6 +1471,16 @@ impl<'a> Repairer<'a> {
                 && !self.out_of_budget()
                 && found.is_none()
             {
+                // External cancellation lands at batch boundaries. No
+                // checkpoint has been written yet in the seed phase, so
+                // return without one: a partial-population checkpoint
+                // would desynchronize the RNG replay on resume, while a
+                // checkpoint-free log restarts the trial from scratch
+                // with every already-persisted evaluation answered from
+                // the store.
+                if self.config.control.is_cancelled() {
+                    return self.interrupted_result(&best, &history, &improvement_steps, 0);
+                }
                 let mut pending: Vec<(Patch, &'static str)> = Vec::new();
                 while popn.len() + pending.len() < self.config.popn_size
                     && pending.len() < batch_size
@@ -1495,6 +1523,17 @@ impl<'a> Repairer<'a> {
             while children.len() < self.config.popn_size && found.is_none() {
                 if self.out_of_budget() {
                     break 'outer;
+                }
+                // Cancellation takes effect within one batch boundary,
+                // abandoning the partial generation; resume replays it
+                // deterministically from the last checkpoint.
+                if self.config.control.is_cancelled() {
+                    return self.interrupted_result(
+                        &best,
+                        &history,
+                        &improvement_steps,
+                        generations,
+                    );
                 }
                 let mut pending: Vec<(Patch, &'static str)> = Vec::new();
                 while children.len() + pending.len() < self.config.popn_size
@@ -1621,6 +1660,7 @@ impl<'a> Repairer<'a> {
         let shared = self.shared.clone();
         let eval_timeout = self.config.eval_timeout;
         let faults = self.config.faults.clone();
+        let control = self.config.control.clone();
         let cache = &mut self.cache;
         let cache_hits = &mut self.cache_hits;
         let store_hits = &mut self.store_hits;
@@ -1673,6 +1713,7 @@ impl<'a> Repairer<'a> {
                             // panicking candidate is classified and the
                             // ddmin loop keeps going.
                             let fault = faults.as_ref().and_then(|f| f.next_eval_fault());
+                            let turn = control.turn();
                             let e = match catch_unwind(AssertUnwindSafe(|| {
                                 evaluate_variant(
                                     problem,
@@ -1689,6 +1730,7 @@ impl<'a> Repairer<'a> {
                                     panicked_evaluation(problem, &panic_message(payload), growth)
                                 }
                             };
+                            drop(turn);
                             *evals += 1;
                             *minimize_evals += 1;
                             match e.outcome {

@@ -20,6 +20,21 @@
 //!                                                 live-tail a growing trace's heartbeats
 //! ```
 //!
+//! Repair as a service (see `crates/serve`):
+//!
+//! ```text
+//! cirfix serve <store-dir> [--socket PATH|tcp:ADDR] [--max-active N]
+//!              [--max-queue N] [--max-evals-per-job N]
+//!              [--max-seconds-per-job N] [--trace-out PATH]
+//!              [--gc-interval-s N]                run the repair daemon
+//! cirfix submit <repair.conf> [--socket ADDR] [--key value ...]
+//!                                                 queue a repair job
+//! cirfix status [JOB] [--socket ADDR]             list jobs (or one)
+//! cirfix watch <JOB> --socket ADDR [--once]       stream a job's heartbeats
+//! cirfix cancel <JOB> [--socket ADDR]             stop a job (resumably)
+//! cirfix shutdown [--socket ADDR]                 drain and stop the daemon
+//! ```
+//!
 //! Observability flags (for `repair` and `simulate`):
 //!
 //! ```text
@@ -71,9 +86,7 @@
 //!                      (used by the CI determinism checks)
 //! ```
 //!
-//! See [`config::Config`] for the recognized keys.
-
-mod config;
+//! See [`cirfix_serve::conf::Config`] for the recognized keys.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -81,14 +94,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cirfix::{
-    apply_patch, evaluate, fault_localization, oracle_from_golden, repair_session,
-    repair_with_trials, result_to_canonical_json, FaultInjector, FaultPlan, FitnessParams,
-    Observer, Patch, RepairConfig, RepairProblem, RepairStatus,
+    apply_patch, evaluate, fault_localization, repair_session, repair_with_trials,
+    result_to_canonical_json, FitnessParams, Observer, Patch, RepairStatus,
 };
-use cirfix_ast::{print, SourceFile};
+use cirfix_ast::print;
+use cirfix_serve::conf::{self, Config, ConfigError};
+use cirfix_serve::{Client, Request, ServeAddr, ServeOpts};
 use cirfix_sim::{ProbeSpec, SimConfig};
-use cirfix_telemetry::{FanoutSink, JsonLinesSink, SummarySink, TelemetrySink, TimingFreeSink};
-use config::{Config, ConfigError};
+use cirfix_store::{field, field_str};
+use cirfix_telemetry::{
+    FanoutSink, JsonLinesSink, JsonValue, SummarySink, TelemetrySink, TimingFreeSink,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,7 +122,12 @@ fn usage() -> String {
      \u{20}      cirfix lint <design.v|repair.conf> [--json]\n\
      \u{20}      cirfix store <ls|verify|gc> <store-dir>\n\
      \u{20}      cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]\n\
-     \u{20}      cirfix watch <trace.jsonl> [--interval-ms N] [--once]"
+     \u{20}      cirfix watch <trace.jsonl|JOB --socket ADDR> [--interval-ms N] [--once]\n\
+     \u{20}      cirfix serve <store-dir> [--socket PATH|tcp:ADDR] [--max-active N] [--max-queue N]\n\
+     \u{20}      cirfix submit <repair.conf> [--socket ADDR] [--key value ...]\n\
+     \u{20}      cirfix status [JOB] [--socket ADDR]\n\
+     \u{20}      cirfix cancel <JOB> [--socket ADDR]\n\
+     \u{20}      cirfix shutdown [--socket ADDR]"
         .to_string()
 }
 
@@ -129,28 +150,19 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if command == "watch" {
         return cmd_watch(rest);
     }
+    // The service verbs talk to (or run) a daemon instead of loading a
+    // repair config themselves.
+    match command.as_str() {
+        "serve" => return cmd_serve(rest),
+        "submit" => return cmd_submit(rest),
+        "status" => return cmd_status(rest),
+        "cancel" => return cmd_cancel(rest),
+        "shutdown" => return cmd_shutdown(rest),
+        _ => {}
+    }
     let (config_path, overrides) = rest.split_first().ok_or_else(usage)?;
     let mut config = Config::load(Path::new(config_path))?;
-    // Valueless switches; everything else is a `--key value` pair.
-    const BOOL_FLAGS: &[&str] = &["metrics", "static_filter", "lint_prior", "resume"];
-    let mut i = 0;
-    while i < overrides.len() {
-        let key = overrides[i]
-            .strip_prefix("--")
-            .ok_or_else(|| ConfigError(format!("expected --key, got `{}`", overrides[i])))?;
-        // `--trace-out` and `trace_out` name the same config key.
-        let key = key.replace('-', "_");
-        if BOOL_FLAGS.contains(&key.as_str()) {
-            config.set(&key, "true");
-            i += 1;
-            continue;
-        }
-        let value = overrides
-            .get(i + 1)
-            .ok_or_else(|| ConfigError(format!("--{key} needs a value")))?;
-        config.set(&key, value);
-        i += 2;
-    }
+    conf::apply_overrides(&mut config, overrides)?;
 
     match command.as_str() {
         "repair" => cmd_repair(&config),
@@ -160,53 +172,6 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "verify" => cmd_verify(&config),
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
-}
-
-fn load_sources(config: &Config) -> Result<(SourceFile, SourceFile), Box<dyn std::error::Error>> {
-    let read = |key: &str| -> Result<String, Box<dyn std::error::Error>> {
-        let path = config.path(key)?;
-        Ok(std::fs::read_to_string(&path)
-            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?)
-    };
-    let design = cirfix_parser::parse(&read("design")?)?;
-    let testbench = cirfix_parser::parse(&read("testbench")?)?;
-    Ok((design, testbench))
-}
-
-fn build_problem(config: &Config) -> Result<RepairProblem, Box<dyn std::error::Error>> {
-    let (design, testbench) = load_sources(config)?;
-    let top = config.required("top")?.to_string();
-    let design_modules = config.list("design_modules")?;
-    let probe = ProbeSpec::periodic(
-        config.list("probe_signals")?,
-        config.num_or("probe_start", 5u64)?,
-        config.num_or("probe_period", 10u64)?,
-    );
-    let mut sim = SimConfig {
-        max_time: config.num_or("max_time", 100_000u64)?,
-        ..SimConfig::default()
-    };
-    if config.required("sim_step_limit").is_ok() {
-        sim.max_total_ops = config.num_or("sim_step_limit", sim.max_total_ops)?;
-    }
-
-    let golden_path = config.path("golden")?;
-    let golden_text = std::fs::read_to_string(&golden_path)
-        .map_err(|e| ConfigError(format!("cannot read {}: {e}", golden_path.display())))?;
-    let mut golden = cirfix_parser::parse(&golden_text)?;
-    golden.extend_from(testbench.clone());
-    let oracle = oracle_from_golden(&golden, &top, &probe, &sim)?;
-
-    let mut source = design;
-    source.extend_from(testbench);
-    Ok(RepairProblem {
-        source,
-        top,
-        design_modules,
-        probe,
-        oracle,
-        sim,
-    })
 }
 
 /// The observability destinations requested by `trace_out` / `metrics`.
@@ -251,47 +216,9 @@ fn build_telemetry(config: &Config) -> Result<Telemetry, Box<dyn std::error::Err
     Ok(Telemetry { observer, summary })
 }
 
-fn repair_config(config: &Config) -> Result<RepairConfig, Box<dyn std::error::Error>> {
-    let mut rc = RepairConfig::fast(config.num_or("seed", 1u64)?);
-    rc.popn_size = config.num_or("popn_size", rc.popn_size)?;
-    rc.max_generations = config.num_or("max_generations", rc.max_generations)?;
-    rc.max_fitness_evals = config.num_or("max_evals", rc.max_fitness_evals)?;
-    rc.timeout = Duration::from_secs(config.num_or("timeout_s", 120u64)?);
-    rc.fitness = FitnessParams {
-        phi: config.num_or("phi", 2.0f64)?,
-    };
-    let flag = |key: &str| {
-        matches!(
-            config.string_or(key, "false").as_str(),
-            "true" | "1" | "yes"
-        )
-    };
-    rc.static_filter = flag("static_filter");
-    rc.lint_prior = flag("lint_prior");
-    // `0` = auto: the `CIRFIX_JOBS` environment variable when set,
-    // otherwise every available core.
-    rc.jobs = config.num_or("jobs", 0usize)?;
-    rc.batch_size = config.num_or("batch_size", rc.batch_size)?;
-    if config.required("halt_after").is_ok() {
-        rc.halt_after = Some(config.num_or("halt_after", 0u32)?);
-    }
-    // Per-candidate wall-clock budget; 0 (the default) = unbudgeted.
-    let eval_timeout = config.num_or("eval_timeout", 0.0f64)?;
-    if eval_timeout > 0.0 {
-        rc.eval_timeout = Some(Duration::from_secs_f64(eval_timeout));
-    }
-    if let Ok(spec) = config.required("chaos") {
-        let plan = FaultPlan::parse(spec).map_err(ConfigError)?;
-        if !plan.is_empty() {
-            rc.faults = Some(FaultInjector::new(plan));
-        }
-    }
-    Ok(rc)
-}
-
 fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
-    let problem = build_problem(config)?;
-    let mut rc = repair_config(config)?;
+    let problem = conf::build_problem(config)?;
+    let mut rc = conf::repair_config(config)?;
     let telemetry = build_telemetry(config)?;
     rc.observer = telemetry.observer.clone();
     let trials = config.num_or("trials", 3u32)?;
@@ -395,7 +322,7 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_simulate(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
-    let problem = build_problem(config)?;
+    let problem = conf::build_problem(config)?;
     let (outcome, trace, log) =
         cirfix::simulate_with_probe(&problem.source, &problem.top, &problem.probe, &problem.sim)?;
     println!(
@@ -434,7 +361,7 @@ fn cmd_simulate(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_fitness(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
-    let problem = build_problem(config)?;
+    let problem = conf::build_problem(config)?;
     let phi = config.num_or("phi", 2.0f64)?;
     let eval = evaluate(&problem, &Patch::empty(), FitnessParams { phi });
     println!("fitness: {:.6}", eval.score);
@@ -452,7 +379,7 @@ fn cmd_fitness(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_localize(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
-    let problem = build_problem(config)?;
+    let problem = conf::build_problem(config)?;
     let eval = evaluate(&problem, &Patch::empty(), FitnessParams::default());
     println!("mismatch seed: {:?}", eval.mismatched);
     let modules: Vec<&cirfix_ast::Module> = problem
@@ -721,25 +648,29 @@ fn cmd_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// `cirfix watch`: live viewer for a growing JSON-lines trace. Tails
-/// the file, redraws the latest heartbeat snapshot as it arrives, and
-/// exits when the run's terminal heartbeat (status other than
-/// `"search"`) appears.
+/// `cirfix watch`: live viewer for search heartbeats. With a trace
+/// file, tails the file, redraws the latest heartbeat snapshot as it
+/// arrives, and exits when the run's terminal heartbeat (status other
+/// than `"search"`) appears. With `--socket`, the positional argument
+/// is a daemon job id and heartbeats stream over the socket instead.
 ///
 /// ```text
 /// cirfix watch <trace.jsonl> [--interval-ms N] [--once]
+/// cirfix watch <JOB> --socket ADDR [--once]
 /// ```
 ///
-/// `--once` processes whatever the file holds right now and exits —
+/// `--once` processes whatever is available right now and exits —
 /// usable in scripts and CI. Only complete lines are consumed; a
 /// half-written trailing line is left for the next poll.
 fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use std::io::{IsTerminal, Read, Seek, SeekFrom};
 
-    let watch_usage = "usage: cirfix watch <trace.jsonl> [--interval-ms N] [--once]";
+    let watch_usage = "usage: cirfix watch <trace.jsonl> [--interval-ms N] [--once]\n\
+         \u{20}      cirfix watch <JOB> --socket ADDR [--once]";
     let (input, flags) = args.split_first().ok_or(watch_usage)?;
     let mut once = false;
     let mut interval = Duration::from_millis(500);
+    let mut socket: Option<String> = None;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -756,8 +687,18 @@ fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 interval = Duration::from_millis(ms.max(1));
                 i += 2;
             }
+            "--socket" => {
+                let addr = flags
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--socket needs a value\n{watch_usage}"))?;
+                socket = Some(addr.clone());
+                i += 2;
+            }
             other => return Err(format!("unknown watch flag `{other}`\n{watch_usage}").into()),
         }
+    }
+    if let Some(addr) = socket {
+        return watch_socket(input, once, &ServeAddr::parse(&addr));
     }
 
     let path = Path::new(input);
@@ -819,6 +760,221 @@ fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         std::thread::sleep(interval);
     }
+}
+
+/// Streams a daemon job's heartbeats over the socket, rendering each
+/// snapshot like the file-based watch.
+fn watch_socket(job: &str, once: bool, addr: &ServeAddr) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::IsTerminal;
+
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to daemon at {addr}: {e}"))?;
+    let clear_screen = std::io::stdout().is_terminal();
+    let mut heartbeats: u64 = 0;
+    let last = client.watch(job, once, |line| {
+        let state = field_str(line, "state").unwrap_or("?").to_string();
+        let heartbeat = field(line, "event")
+            .filter(|e| !matches!(e, JsonValue::Null))
+            .and_then(|e| cirfix::report::heartbeat_line(&e.to_json()));
+        if let Some(h) = heartbeat {
+            heartbeats += 1;
+            if clear_screen {
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("watching job {job} at {addr} (heartbeat {heartbeats}, state {state})");
+            println!("{}", cirfix::report::render_heartbeat(&h, "  "));
+        }
+    })?;
+    if !cirfix_serve::client::response_ok(&last) {
+        return Err(cirfix_serve::client::response_error(&last).into());
+    }
+    if heartbeats == 0 {
+        println!("no heartbeat from job {job} yet");
+    }
+    if matches!(field(&last, "done"), Some(JsonValue::Bool(true))) {
+        let state = field_str(&last, "state").unwrap_or("?");
+        println!("job {state}");
+    }
+    Ok(())
+}
+
+/// Shared flag parsing for the client verbs: pulls out `--socket ADDR`
+/// (default `cirfix.sock` in the current directory) and returns the
+/// remaining arguments untouched.
+fn split_socket(args: &[String]) -> Result<(ServeAddr, Vec<String>), Box<dyn std::error::Error>> {
+    let mut addr = ServeAddr::Unix(PathBuf::from("cirfix.sock"));
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--socket" {
+            let value = args.get(i + 1).ok_or("--socket needs a value")?;
+            addr = ServeAddr::parse(value);
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((addr, rest))
+}
+
+/// Prints a job line from a response's fields. Submit/cancel replies
+/// carry the id under `job`; full records (status listings) under `id`.
+fn print_job_line(line: &JsonValue) {
+    let job = field_str(line, "job")
+        .or_else(|| field_str(line, "id"))
+        .unwrap_or("?");
+    let state = field_str(line, "state").unwrap_or("?");
+    let detail = field_str(line, "detail").unwrap_or("");
+    if detail.is_empty() {
+        println!("{job}  {state}");
+    } else {
+        println!("{job}  {state}  {detail}");
+    }
+}
+
+/// `cirfix serve`: run the repair daemon over a store directory.
+///
+/// Blocks until a client sends `shutdown` (or the process is killed —
+/// the store's job registry makes that safe: the next daemon over the
+/// same store resumes every in-flight job from its checkpoint).
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let serve_usage = "usage: cirfix serve <store-dir> [--socket PATH|tcp:ADDR] [--max-active N] \
+                       [--max-queue N] [--max-evals-per-job N] [--max-seconds-per-job N] \
+                       [--trace-out PATH] [--gc-interval-s N]";
+    let (store_dir, flags) = args.split_first().ok_or(serve_usage)?;
+    let (addr, flags) = split_socket(flags)?;
+    let mut opts = ServeOpts::new(store_dir);
+    let mut i = 0;
+    while i < flags.len() {
+        let value = |i: usize| -> Result<&String, Box<dyn std::error::Error>> {
+            flags
+                .get(i + 1)
+                .ok_or_else(|| format!("{} needs a value\n{serve_usage}", flags[i]).into())
+        };
+        match flags[i].as_str() {
+            "--max-active" => opts.max_active = value(i)?.parse()?,
+            "--max-queue" => opts.max_queue = value(i)?.parse()?,
+            "--max-evals-per-job" => opts.max_evals_per_job = Some(value(i)?.parse()?),
+            "--max-seconds-per-job" => opts.max_seconds_per_job = Some(value(i)?.parse()?),
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value(i)?)),
+            "--gc-interval-s" => {
+                opts.gc_interval = Some(Duration::from_secs(value(i)?.parse()?));
+            }
+            other => return Err(format!("unknown serve flag `{other}`\n{serve_usage}").into()),
+        }
+        i += 2;
+    }
+    println!(
+        "cirfix daemon: store {} socket {addr} (max {} active, {} queued)",
+        store_dir, opts.max_active, opts.max_queue
+    );
+    cirfix_serve::serve(&addr, opts)?;
+    println!("daemon stopped");
+    Ok(())
+}
+
+/// `cirfix submit`: queue a repair job on a running daemon. Config
+/// overrides after the conf path are forwarded verbatim, so a daemon
+/// job is specified exactly like a `cirfix repair` invocation.
+fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let submit_usage = "usage: cirfix submit <repair.conf> [--socket ADDR] [--key value ...]";
+    let (conf_path, flags) = args.split_first().ok_or(submit_usage)?;
+    let (addr, flags) = split_socket(flags)?;
+    // Same `--key value` grammar as `cirfix repair`, forwarded as
+    // `(key, value)` pairs for the daemon to apply.
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < flags.len() {
+        let key = flags[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ConfigError(format!("expected --key, got `{}`", flags[i])))?;
+        let key = key.replace('-', "_");
+        if conf::BOOL_FLAGS.contains(&key.as_str()) {
+            overrides.push((key, "true".to_string()));
+            i += 1;
+            continue;
+        }
+        let value = flags
+            .get(i + 1)
+            .ok_or_else(|| ConfigError(format!("--{key} needs a value")))?;
+        overrides.push((key, value.clone()));
+        i += 2;
+    }
+    // The daemon resolves the conf relative to its own cwd; send an
+    // absolute path so submissions work from anywhere.
+    let conf_abs =
+        std::fs::canonicalize(conf_path).map_err(|e| format!("cannot resolve {conf_path}: {e}"))?;
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to daemon at {addr}: {e}"))?;
+    let line = client.request(&Request::Submit {
+        conf: conf_abs.display().to_string(),
+        overrides,
+    })?;
+    if !cirfix_serve::client::response_ok(&line) {
+        return Err(cirfix_serve::client::response_error(&line).into());
+    }
+    print_job_line(&line);
+    Ok(())
+}
+
+/// `cirfix status`: list the daemon's jobs (or one, by id).
+fn cmd_status(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (addr, rest) = split_socket(args)?;
+    let job = match rest.as_slice() {
+        [] => None,
+        [id] => Some(id.clone()),
+        _ => return Err("usage: cirfix status [JOB] [--socket ADDR]".into()),
+    };
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to daemon at {addr}: {e}"))?;
+    let line = client.request(&Request::Status { job })?;
+    if !cirfix_serve::client::response_ok(&line) {
+        return Err(cirfix_serve::client::response_error(&line).into());
+    }
+    match field(&line, "jobs") {
+        Some(JsonValue::Array(jobs)) if !jobs.is_empty() => {
+            for job in jobs {
+                print_job_line(job);
+            }
+        }
+        _ => println!("no jobs"),
+    }
+    Ok(())
+}
+
+/// `cirfix cancel`: stop a queued or running job. The job keeps its
+/// checkpoint — a later daemon over the same store resumes it.
+fn cmd_cancel(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (addr, rest) = split_socket(args)?;
+    let [job] = rest.as_slice() else {
+        return Err("usage: cirfix cancel <JOB> [--socket ADDR]".into());
+    };
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to daemon at {addr}: {e}"))?;
+    let line = client.request(&Request::Cancel { job: job.clone() })?;
+    if !cirfix_serve::client::response_ok(&line) {
+        return Err(cirfix_serve::client::response_error(&line).into());
+    }
+    print_job_line(&line);
+    Ok(())
+}
+
+/// `cirfix shutdown`: drain and stop the daemon. Running jobs stop at
+/// their next batch boundary with resumable checkpoints.
+fn cmd_shutdown(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (addr, rest) = split_socket(args)?;
+    if !rest.is_empty() {
+        return Err("usage: cirfix shutdown [--socket ADDR]".into());
+    }
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to daemon at {addr}: {e}"))?;
+    let line = client.request(&Request::Shutdown)?;
+    if !cirfix_serve::client::response_ok(&line) {
+        return Err(cirfix_serve::client::response_error(&line).into());
+    }
+    println!("daemon draining");
+    Ok(())
 }
 
 /// `cirfix verify`: simulate the design named by `verify_design` (default:

@@ -1,0 +1,168 @@
+//! Client side of the protocol: connect, send a verb, read responses.
+//!
+//! Used by the `cirfix submit/status/watch/cancel/shutdown` CLI verbs
+//! and by the in-process tests and benchmarks.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use cirfix_store::{field_str, parse_json};
+use cirfix_telemetry::JsonValue;
+
+use crate::protocol::{read_frame, request_line, Frame, Request, MAX_LINE_BYTES};
+use crate::server::ServeAddr;
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a `cirfix serve` daemon.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (daemon not running, wrong path, …).
+    pub fn connect(addr: &ServeAddr) -> io::Result<Client> {
+        let stream = match addr {
+            ServeAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            ServeAddr::Tcp(spec) => Stream::Tcp(TcpStream::connect(spec.as_str())?),
+        };
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        let line = request_line(req);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line as parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a closed or truncated connection surfaces as
+    /// `UnexpectedEof`, unparseable response bytes as `InvalidData`.
+    pub fn read_response(&mut self) -> io::Result<JsonValue> {
+        match read_frame(&mut self.reader, MAX_LINE_BYTES)? {
+            Frame::Line(line) => {
+                parse_json(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
+            Frame::Oversized => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized response line",
+            )),
+            Frame::Eof | Frame::Truncated => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )),
+        }
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_response`].
+    pub fn request(&mut self, req: &Request) -> io::Result<JsonValue> {
+        self.send(req)?;
+        self.read_response()
+    }
+
+    /// Sends a `watch` request and hands every streamed line to
+    /// `on_line` until the job finishes (`once` stops after the first
+    /// snapshot). Returns the final line.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_response`]; the first error response line
+    /// (e.g. `unknown_job`) is returned as the final line, not an
+    /// error.
+    pub fn watch(
+        &mut self,
+        job: &str,
+        once: bool,
+        mut on_line: impl FnMut(&JsonValue),
+    ) -> io::Result<JsonValue> {
+        self.send(&Request::Watch {
+            job: job.to_string(),
+            once,
+        })?;
+        loop {
+            let line = self.read_response()?;
+            on_line(&line);
+            let failed = matches!(
+                cirfix_store::field(&line, "ok"),
+                Some(JsonValue::Bool(false))
+            );
+            let done = matches!(
+                cirfix_store::field(&line, "done"),
+                Some(JsonValue::Bool(true))
+            );
+            if failed || done || once {
+                return Ok(line);
+            }
+        }
+    }
+}
+
+/// Extracts the error message from a failed response line, or a
+/// generic fallback.
+pub fn response_error(line: &JsonValue) -> String {
+    let code = field_str(line, "error").unwrap_or("error");
+    match field_str(line, "message") {
+        Some(msg) => format!("{code}: {msg}"),
+        None => code.to_string(),
+    }
+}
+
+/// Whether a response line reports success.
+pub fn response_ok(line: &JsonValue) -> bool {
+    matches!(cirfix_store::field(line, "ok"), Some(JsonValue::Bool(true)))
+}

@@ -1,9 +1,25 @@
-//! The `repair.conf` format: simple `key = value` lines, mirroring the
+//! The `repair.conf` format and the builders that turn a parsed config
+//! into a [`RepairProblem`] / [`RepairConfig`].
+//!
+//! This module used to live in the CLI; the daemon moved it here so
+//! `cirfix serve` can build jobs from the same config files (and the
+//! same `--key value` override syntax) that `cirfix repair` takes —
+//! submitting a conf to the daemon and running it in batch mode are,
+//! by construction, the same computation.
+//!
+//! The format is simple `key = value` lines, mirroring the
 //! configuration file of the paper's artifact (§A.4).
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use cirfix::{
+    oracle_from_golden, FaultInjector, FaultPlan, FitnessParams, RepairConfig, RepairProblem,
+};
+use cirfix_ast::SourceFile;
+use cirfix_sim::{ProbeSpec, SimConfig};
 
 /// A parsed repair configuration file.
 ///
@@ -103,6 +119,11 @@ impl Config {
         self.values.insert(key.to_string(), value.to_string());
     }
 
+    /// Removes a key, exposing the default again.
+    pub fn unset(&mut self, key: &str) {
+        self.values.remove(key);
+    }
+
     /// A required string value.
     ///
     /// # Errors
@@ -137,6 +158,11 @@ impl Config {
         }
     }
 
+    /// A boolean flag: `true`/`1`/`yes` count as set.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.string_or(key, "false").as_str(), "true" | "1" | "yes")
+    }
+
     /// A required path, resolved against the config file's directory.
     ///
     /// # Errors
@@ -165,6 +191,137 @@ impl Config {
             .filter(|s| !s.is_empty())
             .collect())
     }
+}
+
+/// Config keys that are valueless switches in `--key` override syntax;
+/// everything else is a `--key value` pair.
+pub const BOOL_FLAGS: &[&str] = &["metrics", "static_filter", "lint_prior", "resume"];
+
+/// Applies `--key value` (and bare `--flag` for [`BOOL_FLAGS`])
+/// overrides to `config`. `cirfix repair` and `cirfix submit` share
+/// this, so a submitted job accepts exactly the batch CLI's syntax.
+///
+/// # Errors
+///
+/// Malformed switches and missing values.
+pub fn apply_overrides(config: &mut Config, overrides: &[String]) -> Result<(), ConfigError> {
+    let mut i = 0;
+    while i < overrides.len() {
+        let key = overrides[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ConfigError(format!("expected --key, got `{}`", overrides[i])))?;
+        // `--trace-out` and `trace_out` name the same config key.
+        let key = key.replace('-', "_");
+        if BOOL_FLAGS.contains(&key.as_str()) {
+            config.set(&key, "true");
+            i += 1;
+            continue;
+        }
+        let value = overrides
+            .get(i + 1)
+            .ok_or_else(|| ConfigError(format!("--{key} needs a value")))?;
+        config.set(&key, value);
+        i += 2;
+    }
+    Ok(())
+}
+
+/// Parses the `design` and `testbench` sources named by `config`.
+///
+/// # Errors
+///
+/// I/O and parse errors.
+pub fn load_sources(config: &Config) -> Result<(SourceFile, SourceFile), ConfigError> {
+    let read = |key: &str| -> Result<String, ConfigError> {
+        let path = config.path(key)?;
+        std::fs::read_to_string(&path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))
+    };
+    let design = cirfix_parser::parse(&read("design")?).map_err(|e| ConfigError(e.to_string()))?;
+    let testbench =
+        cirfix_parser::parse(&read("testbench")?).map_err(|e| ConfigError(e.to_string()))?;
+    Ok((design, testbench))
+}
+
+/// Builds the full [`RepairProblem`] — parsed sources, probe spec, and
+/// the oracle simulated from the golden design — from a config.
+///
+/// # Errors
+///
+/// Missing keys, unreadable or unparseable sources, oracle failures.
+pub fn build_problem(config: &Config) -> Result<RepairProblem, ConfigError> {
+    let (design, testbench) = load_sources(config)?;
+    let top = config.required("top")?.to_string();
+    let design_modules = config.list("design_modules")?;
+    let probe = ProbeSpec::periodic(
+        config.list("probe_signals")?,
+        config.num_or("probe_start", 5u64)?,
+        config.num_or("probe_period", 10u64)?,
+    );
+    let mut sim = SimConfig {
+        max_time: config.num_or("max_time", 100_000u64)?,
+        ..SimConfig::default()
+    };
+    if config.required("sim_step_limit").is_ok() {
+        sim.max_total_ops = config.num_or("sim_step_limit", sim.max_total_ops)?;
+    }
+
+    let golden_path = config.path("golden")?;
+    let golden_text = std::fs::read_to_string(&golden_path)
+        .map_err(|e| ConfigError(format!("cannot read {}: {e}", golden_path.display())))?;
+    let mut golden = cirfix_parser::parse(&golden_text).map_err(|e| ConfigError(e.to_string()))?;
+    golden.extend_from(testbench.clone());
+    let oracle =
+        oracle_from_golden(&golden, &top, &probe, &sim).map_err(|e| ConfigError(e.to_string()))?;
+
+    let mut source = design;
+    source.extend_from(testbench);
+    Ok(RepairProblem {
+        source,
+        top,
+        design_modules,
+        probe,
+        oracle,
+        sim,
+    })
+}
+
+/// Builds the search parameters from a config (everything except the
+/// observer and control, which depend on the execution mode).
+///
+/// # Errors
+///
+/// Unparseable numeric values or chaos specs.
+pub fn repair_config(config: &Config) -> Result<RepairConfig, ConfigError> {
+    let mut rc = RepairConfig::fast(config.num_or("seed", 1u64)?);
+    rc.popn_size = config.num_or("popn_size", rc.popn_size)?;
+    rc.max_generations = config.num_or("max_generations", rc.max_generations)?;
+    rc.max_fitness_evals = config.num_or("max_evals", rc.max_fitness_evals)?;
+    rc.timeout = Duration::from_secs(config.num_or("timeout_s", 120u64)?);
+    rc.fitness = FitnessParams {
+        phi: config.num_or("phi", 2.0f64)?,
+    };
+    rc.static_filter = config.flag("static_filter");
+    rc.lint_prior = config.flag("lint_prior");
+    // `0` = auto: the `CIRFIX_JOBS` environment variable when set,
+    // otherwise every available core.
+    rc.jobs = config.num_or("jobs", 0usize)?;
+    rc.batch_size = config.num_or("batch_size", rc.batch_size)?;
+    if config.required("halt_after").is_ok() {
+        rc.halt_after = Some(config.num_or("halt_after", 0u32)?);
+    }
+    // Per-candidate wall-clock budget; 0 (the default) = unbudgeted.
+    let eval_timeout = config.num_or("eval_timeout", 0.0f64)?;
+    if eval_timeout > 0.0 {
+        rc.eval_timeout = Some(Duration::from_secs_f64(eval_timeout));
+    }
+    if let Ok(spec) = config.required("chaos") {
+        let plan = FaultPlan::parse(spec).map_err(ConfigError)?;
+        if !plan.is_empty() {
+            rc.faults = Some(FaultInjector::new(plan));
+        }
+    }
+    Ok(rc)
 }
 
 #[cfg(test)]
@@ -209,5 +366,24 @@ mod tests {
         let mut c = Config::parse("top = a\n", Path::new(".")).unwrap();
         c.set("top", "b");
         assert_eq!(c.required("top").unwrap(), "b");
+        c.unset("top");
+        assert!(c.required("top").is_err());
+    }
+
+    #[test]
+    fn cli_override_syntax() {
+        let mut c = Config::parse("seed = 1\n", Path::new(".")).unwrap();
+        let args: Vec<String> = ["--seed", "7", "--resume", "--trace-out", "t.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        apply_overrides(&mut c, &args).unwrap();
+        assert_eq!(c.required("seed").unwrap(), "7");
+        assert!(c.flag("resume"));
+        assert_eq!(c.required("trace_out").unwrap(), "t.jsonl");
+        let bad: Vec<String> = vec!["seed".into()];
+        assert!(apply_overrides(&mut c, &bad).is_err());
+        let dangling: Vec<String> = vec!["--seed".into()];
+        assert!(apply_overrides(&mut c, &dangling).is_err());
     }
 }

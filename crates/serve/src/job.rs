@@ -1,0 +1,261 @@
+//! Job records: the daemon's unit of work and its persisted form.
+//!
+//! Every state transition is appended to the store's job registry
+//! (`jobs/jobs.jsonl`); the *last* record per job id wins. On restart
+//! the daemon folds the registry and re-enqueues every job that is not
+//! in a terminal state — a SIGKILLed daemon therefore resumes its
+//! in-flight jobs from their session checkpoints.
+
+use std::collections::HashMap;
+
+use cirfix_store::{field, field_str, field_u64};
+use cirfix_telemetry::JsonValue;
+
+/// The job state machine.
+///
+/// ```text
+/// queued → running → plausible | failed        (terminal)
+///              ↘ cancelled | interrupted        (resumable)
+/// ```
+///
+/// `cancelled` (client asked) and `interrupted` (daemon shut down) are
+/// deliberately *resumable*: the session checkpoint is intact, and a
+/// daemon restarted over the same store picks the job back up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a scheduler slot.
+    Queued,
+    /// Actively searching.
+    Running,
+    /// Finished with a plausible repair.
+    Plausible,
+    /// Finished without one (search exhausted, or the job errored —
+    /// see [`JobRecord::detail`]).
+    Failed,
+    /// Stopped by a client `cancel`; resumable from its checkpoint.
+    Cancelled,
+    /// Stopped by daemon shutdown; resumable from its checkpoint.
+    Interrupted,
+}
+
+impl JobState {
+    /// The wire/registry spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Plausible => "plausible",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Parses the registry spelling.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "plausible" => JobState::Plausible,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            "interrupted" => JobState::Interrupted,
+            _ => return None,
+        })
+    }
+
+    /// Terminal states are never resumed or re-run by a restart.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Plausible | JobState::Failed)
+    }
+}
+
+/// What a client submitted: a config path plus ordered overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Path to the `repair.conf` (daemon-side).
+    pub conf: String,
+    /// `(key, value)` config overrides, applied in submission order.
+    pub overrides: Vec<(String, String)>,
+}
+
+/// One job registry record — a full snapshot, not a delta, so folding
+/// is simply "last record per id wins".
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Short job id: the first 12 hex digits of the session digest.
+    pub id: String,
+    /// Full session digest (hex) — names the session log in the store.
+    pub session: String,
+    /// The submitted work.
+    pub spec: JobSpec,
+    /// Current state.
+    pub state: JobState,
+    /// Admission sequence number; restart re-enqueues in this order so
+    /// recovery preserves the original fairness rotation.
+    pub seq: u64,
+    /// Human-readable detail: final repair status, or the error that
+    /// failed the job. Empty while queued/running.
+    pub detail: String,
+}
+
+impl JobRecord {
+    /// Serializes the record for the registry (and for `status`
+    /// responses, which embed the same object).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("id", JsonValue::Str(self.id.clone())),
+            ("session", JsonValue::Str(self.session.clone())),
+            ("conf", JsonValue::Str(self.spec.conf.clone())),
+            (
+                "overrides",
+                JsonValue::Array(
+                    self.spec
+                        .overrides
+                        .iter()
+                        .map(|(k, v)| {
+                            JsonValue::Array(vec![
+                                JsonValue::Str(k.clone()),
+                                JsonValue::Str(v.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("state", JsonValue::Str(self.state.as_str().into())),
+            ("seq", JsonValue::Uint(self.seq)),
+            ("detail", JsonValue::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Deserializes a registry record; `None` for malformed records
+    /// (skipped, like any other damaged store record).
+    pub fn from_json(v: &JsonValue) -> Option<JobRecord> {
+        let overrides = match field(v, "overrides") {
+            Some(JsonValue::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        JsonValue::Array(pair) => match pair.as_slice() {
+                            [JsonValue::Str(k), JsonValue::Str(val)] => {
+                                out.push((k.clone(), val.clone()));
+                            }
+                            _ => return None,
+                        },
+                        _ => return None,
+                    }
+                }
+                out
+            }
+            None => Vec::new(),
+            Some(_) => return None,
+        };
+        Some(JobRecord {
+            id: field_str(v, "id")?.to_string(),
+            session: field_str(v, "session")?.to_string(),
+            spec: JobSpec {
+                conf: field_str(v, "conf")?.to_string(),
+                overrides,
+            },
+            state: JobState::parse(field_str(v, "state")?)?,
+            seq: field_u64(v, "seq")?,
+            detail: field_str(v, "detail").unwrap_or_default().to_string(),
+        })
+    }
+}
+
+/// Folds raw registry records to the live view: last record per id
+/// wins, result ordered by admission sequence.
+pub fn fold_jobs(records: &[JsonValue]) -> Vec<JobRecord> {
+    let mut latest: HashMap<String, JobRecord> = HashMap::new();
+    for raw in records {
+        if let Some(rec) = JobRecord::from_json(raw) {
+            latest.insert(rec.id.clone(), rec);
+        }
+    }
+    let mut out: Vec<JobRecord> = latest.into_values().collect();
+    out.sort_by_key(|r| r.seq);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirfix_store::parse_json;
+
+    fn record(id: &str, state: JobState, seq: u64) -> JobRecord {
+        JobRecord {
+            id: id.into(),
+            session: format!("{id}ffffffffffffffffffff"),
+            spec: JobSpec {
+                conf: "/tmp/r.conf".into(),
+                overrides: vec![("seed".into(), "9".into())],
+            },
+            state,
+            seq,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = record("abc123def456", JobState::Running, 3);
+        let line = rec.to_json().to_json();
+        let back = JobRecord::from_json(&parse_json(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn fold_keeps_last_record_per_id_in_admission_order() {
+        let raw: Vec<JsonValue> = [
+            record("b", JobState::Queued, 2),
+            record("a", JobState::Queued, 1),
+            record("a", JobState::Running, 1),
+            record("a", JobState::Plausible, 1),
+            record("b", JobState::Running, 2),
+        ]
+        .iter()
+        .map(JobRecord::to_json)
+        .collect();
+        let folded = fold_jobs(&raw);
+        assert_eq!(folded.len(), 2);
+        assert_eq!(
+            (folded[0].id.as_str(), folded[0].state),
+            ("a", JobState::Plausible)
+        );
+        assert_eq!(
+            (folded[1].id.as_str(), folded[1].state),
+            ("b", JobState::Running)
+        );
+    }
+
+    #[test]
+    fn malformed_records_are_skipped() {
+        let raw = vec![
+            parse_json("{\"id\":\"x\"}").unwrap(),
+            record("ok", JobState::Queued, 1).to_json(),
+        ];
+        let folded = fold_jobs(&raw);
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].id, "ok");
+    }
+
+    #[test]
+    fn state_spellings_round_trip() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Plausible,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Interrupted,
+        ] {
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(JobState::parse("bogus"), None);
+        assert!(JobState::Plausible.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Cancelled.is_terminal());
+        assert!(!JobState::Interrupted.is_terminal());
+    }
+}

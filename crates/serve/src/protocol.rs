@@ -1,0 +1,372 @@
+//! The versioned JSON-lines wire protocol.
+//!
+//! One request per line, one (or, for `watch`, a stream of) response
+//! line(s) per request, over a Unix or TCP socket. Requests carry a
+//! protocol version `v`; the daemon rejects versions it does not speak
+//! rather than guessing. The reader caps line length, recovers from
+//! oversized and malformed input without dropping the connection, and
+//! distinguishes a clean close from a truncated (newline-less) frame.
+//!
+//! Reusing the workspace's hand-rolled JSON — `cirfix-store`'s parser
+//! for reading, `cirfix-telemetry`'s writer for writing — keeps the
+//! daemon zero-dependency like everything else.
+//!
+//! ```text
+//! → {"v":1,"verb":"submit","conf":"/abs/repair.conf","overrides":[["seed","7"]]}
+//! ← {"v":1,"ok":true,"verb":"submit","job":"4f09a1d2e6b3","state":"queued"}
+//! → {"v":1,"verb":"watch","job":"4f09a1d2e6b3","once":true}
+//! ← {"v":1,"ok":true,"verb":"watch","job":"...","state":"running","event":{...}}
+//! → {"v":1,"verb":"cancel","job":"4f09a1d2e6b3"}
+//! ← {"v":1,"ok":true,"verb":"cancel","job":"...","state":"cancelled"}
+//! ← {"v":1,"ok":false,"error":"unknown_verb","message":"no verb `frobnicate`"}
+//! ```
+
+use std::io::{self, BufRead};
+
+use cirfix_store::{field, field_str, field_u64, parse_json};
+use cirfix_telemetry::JsonValue;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Longest accepted request line, in bytes. A submit with overrides is
+/// a few hundred bytes; anything near this cap is garbage or abuse.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a repair job: a config path plus CLI-style overrides.
+    Submit {
+        /// Path to the `repair.conf`, resolved by the daemon.
+        conf: String,
+        /// `(key, value)` config overrides, applied in order.
+        overrides: Vec<(String, String)>,
+    },
+    /// Report one job (by id) or every known job.
+    Status {
+        /// Job id, or `None` for all jobs.
+        job: Option<String>,
+    },
+    /// Stream heartbeat telemetry for a job until it reaches a
+    /// terminal state (or just the latest snapshot, with `once`).
+    Watch {
+        /// Job id.
+        job: String,
+        /// Send one snapshot and stop instead of streaming.
+        once: bool,
+    },
+    /// Stop a running (or dequeue a queued) job.
+    Cancel {
+        /// Job id.
+        job: String,
+    },
+    /// Drain and stop the daemon: running jobs are interrupted at the
+    /// next batch boundary and left resumable; queued jobs stay queued.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A structured protocol-level error, sent back as
+/// `{"ok":false,"error":<code>,"message":...}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Stable machine-readable code (`bad_request`, `unknown_verb`,
+    /// `oversized`, `unsupported_version`, `queue_full`,
+    /// `unknown_job`, `shutting_down`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error with the given code and message.
+    pub fn new(code: &'static str, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// One framing outcome from [`read_frame`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (without its newline).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; it was consumed through
+    /// its newline (or EOF) so the connection can keep serving.
+    Oversized,
+    /// The peer closed the connection cleanly (EOF at a line start).
+    Eof,
+    /// The connection died mid-line: bytes arrived but no newline.
+    Truncated,
+}
+
+/// Reads one newline-delimited frame, enforcing the line-length cap.
+///
+/// # Errors
+///
+/// Propagates transport errors (other than EOF, which is a [`Frame`]).
+pub fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (found_newline, used) = {
+            let available = match reader.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(if buf.is_empty() {
+                    Frame::Eof
+                } else {
+                    Frame::Truncated
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > max {
+            // Drain the rest of the oversized line so the next frame
+            // starts clean, without buffering the garbage.
+            let mut drained = found_newline;
+            while !drained {
+                let (done, used) = {
+                    let available = reader.fill_buf()?;
+                    if available.is_empty() {
+                        return Ok(Frame::Oversized);
+                    }
+                    match available.iter().position(|&b| b == b'\n') {
+                        Some(pos) => (true, pos + 1),
+                        None => (false, available.len()),
+                    }
+                };
+                reader.consume(used);
+                drained = done;
+            }
+            return Ok(Frame::Oversized);
+        }
+        if found_newline {
+            return Ok(Frame::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+    }
+}
+
+fn str_pairs(v: &JsonValue) -> Option<Vec<(String, String)>> {
+    let JsonValue::Array(items) = v else {
+        return None;
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let JsonValue::Array(pair) = item else {
+            return None;
+        };
+        match pair.as_slice() {
+            [JsonValue::Str(k), JsonValue::Str(val)] => out.push((k.clone(), val.clone())),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn require_job(v: &JsonValue) -> Result<String, WireError> {
+    field_str(v, "job")
+        .map(str::to_string)
+        .ok_or_else(|| WireError::new("bad_request", "missing string field `job`"))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`WireError`] with code `bad_request`, `unsupported_version`, or
+/// `unknown_verb`; the connection stays usable after any of them.
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let v = parse_json(line).map_err(|e| WireError::new("bad_request", e))?;
+    let version = field_u64(&v, "v")
+        .ok_or_else(|| WireError::new("bad_request", "missing numeric field `v`"))?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::new(
+            "unsupported_version",
+            format!("this daemon speaks v{PROTOCOL_VERSION}, request was v{version}"),
+        ));
+    }
+    let verb = field_str(&v, "verb")
+        .ok_or_else(|| WireError::new("bad_request", "missing string field `verb`"))?;
+    match verb {
+        "submit" => {
+            let conf = field_str(&v, "conf")
+                .map(str::to_string)
+                .ok_or_else(|| WireError::new("bad_request", "missing string field `conf`"))?;
+            let overrides = match field(&v, "overrides") {
+                None => Vec::new(),
+                Some(o) => str_pairs(o).ok_or_else(|| {
+                    WireError::new(
+                        "bad_request",
+                        "`overrides` must be an array of [key, value] string pairs",
+                    )
+                })?,
+            };
+            Ok(Request::Submit { conf, overrides })
+        }
+        "status" => Ok(Request::Status {
+            job: field_str(&v, "job").map(str::to_string),
+        }),
+        "watch" => Ok(Request::Watch {
+            job: require_job(&v)?,
+            once: matches!(field(&v, "once"), Some(JsonValue::Bool(true))),
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: require_job(&v)?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        "ping" => Ok(Request::Ping),
+        other => Err(WireError::new("unknown_verb", format!("no verb `{other}`"))),
+    }
+}
+
+/// Serializes a request — the client half of the wire format.
+pub fn request_line(req: &Request) -> String {
+    let mut pairs = vec![("v", JsonValue::Uint(PROTOCOL_VERSION))];
+    match req {
+        Request::Submit { conf, overrides } => {
+            pairs.push(("verb", JsonValue::Str("submit".into())));
+            pairs.push(("conf", JsonValue::Str(conf.clone())));
+            if !overrides.is_empty() {
+                pairs.push((
+                    "overrides",
+                    JsonValue::Array(
+                        overrides
+                            .iter()
+                            .map(|(k, v)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Str(k.clone()),
+                                    JsonValue::Str(v.clone()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        Request::Status { job } => {
+            pairs.push(("verb", JsonValue::Str("status".into())));
+            if let Some(job) = job {
+                pairs.push(("job", JsonValue::Str(job.clone())));
+            }
+        }
+        Request::Watch { job, once } => {
+            pairs.push(("verb", JsonValue::Str("watch".into())));
+            pairs.push(("job", JsonValue::Str(job.clone())));
+            if *once {
+                pairs.push(("once", JsonValue::Bool(true)));
+            }
+        }
+        Request::Cancel { job } => {
+            pairs.push(("verb", JsonValue::Str("cancel".into())));
+            pairs.push(("job", JsonValue::Str(job.clone())));
+        }
+        Request::Shutdown => pairs.push(("verb", JsonValue::Str("shutdown".into()))),
+        Request::Ping => pairs.push(("verb", JsonValue::Str("ping".into()))),
+    }
+    JsonValue::obj(pairs).to_json()
+}
+
+/// Builds a success response line for `verb` with extra fields.
+pub fn ok_line(verb: &str, fields: Vec<(&str, JsonValue)>) -> String {
+    let mut pairs = vec![
+        ("v", JsonValue::Uint(PROTOCOL_VERSION)),
+        ("ok", JsonValue::Bool(true)),
+        ("verb", JsonValue::Str(verb.into())),
+    ];
+    pairs.extend(fields);
+    JsonValue::obj(pairs).to_json()
+}
+
+/// Builds the error response line for a [`WireError`].
+pub fn err_line(e: &WireError) -> String {
+    JsonValue::obj(vec![
+        ("v", JsonValue::Uint(PROTOCOL_VERSION)),
+        ("ok", JsonValue::Bool(false)),
+        ("error", JsonValue::Str(e.code.into())),
+        ("message", JsonValue::Str(e.message.clone())),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = [
+            Request::Submit {
+                conf: "/tmp/x.conf".into(),
+                overrides: vec![("seed".into(), "7".into())],
+            },
+            Request::Submit {
+                conf: "r.conf".into(),
+                overrides: vec![],
+            },
+            Request::Status { job: None },
+            Request::Status {
+                job: Some("abc".into()),
+            },
+            Request::Watch {
+                job: "abc".into(),
+                once: true,
+            },
+            Request::Cancel { job: "abc".into() },
+            Request::Shutdown,
+            Request::Ping,
+        ];
+        for req in reqs {
+            let line = request_line(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_versions_and_verbs() {
+        let e = parse_request("{\"v\":2,\"verb\":\"ping\"}").unwrap_err();
+        assert_eq!(e.code, "unsupported_version");
+        let e = parse_request("{\"verb\":\"ping\"}").unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        let e = parse_request("{\"v\":1,\"verb\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(e.code, "unknown_verb");
+        let e = parse_request("not json at all").unwrap_err();
+        assert_eq!(e.code, "bad_request");
+    }
+
+    #[test]
+    fn frames_split_on_newlines_with_cap() {
+        let data = b"short\n".to_vec();
+        let mut r = BufReader::new(&data[..]);
+        assert_eq!(read_frame(&mut r, 64).unwrap(), Frame::Line("short".into()));
+        assert_eq!(read_frame(&mut r, 64).unwrap(), Frame::Eof);
+
+        let mut big = vec![b'x'; 100];
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        let mut r = BufReader::new(&big[..]);
+        assert_eq!(read_frame(&mut r, 64).unwrap(), Frame::Oversized);
+        assert_eq!(read_frame(&mut r, 64).unwrap(), Frame::Line("after".into()));
+
+        let torn = b"no newline".to_vec();
+        let mut r = BufReader::new(&torn[..]);
+        assert_eq!(read_frame(&mut r, 64).unwrap(), Frame::Truncated);
+    }
+}

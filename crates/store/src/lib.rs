@@ -33,4 +33,4 @@ pub use hash::{fnv64, Digest, Fnv128};
 pub use json::{field, field_f64, field_str, field_u64, json_f64, parse_json};
 pub use record::{decode_record, encode_record, RecordError};
 pub use segment::{read_segment, recover_segment, SegmentHealth, SegmentWriter};
-pub use store::{EvalWriter, FileReport, GcReport, Store, StoreHealth, StoreReport};
+pub use store::{EvalWriter, FileReport, GcReport, Lease, Store, StoreHealth, StoreReport};

@@ -1,20 +1,36 @@
-//! The on-disk store: directory layout, typed access to the three
-//! record families (evaluations, sessions, corpus), verification, and
+//! The on-disk store: directory layout, typed access to the record
+//! families (evaluations, sessions, corpus, jobs), verification, and
 //! garbage collection.
 //!
 //! Layout under the store directory:
 //!
 //! ```text
-//! <dir>/evals/evals-<n>.jsonl     append-only evaluation cache segments
+//! <dir>/evals/<s>/evals-<n>.jsonl append-only evaluation cache segments,
+//!                                 sharded by the first hex digit of the
+//!                                 record key (16 shard directories)
+//! <dir>/evals/evals-<n>.jsonl     legacy flat segments (still read; gc
+//!                                 migrates them into shards)
 //! <dir>/sessions/<id>.jsonl       one resumable session log per session id
 //! <dir>/corpus/corpus.jsonl       plausible repairs, one record each
+//! <dir>/jobs/jobs.jsonl           daemon job registry (last state wins)
 //! ```
 //!
 //! Every file is a checksummed segment (see [`crate::segment`]). Each
-//! writing process appends evaluations to its *own* fresh segment, so
+//! writing process appends evaluations to *its own* fresh segments, so
 //! concurrent runs never interleave lines; [`Store::gc`] later compacts
-//! the segments into one, dropping corrupt records and duplicate keys.
+//! the segments, dropping corrupt records and duplicate keys.
+//!
+//! # Concurrent GC
+//!
+//! `gc` is safe to run while other processes (or the calling process
+//! itself) hold open segments: every live writer advertises itself with
+//! a `.lease` sidecar file naming its PID, and `gc` skips leased
+//! segments whose owner is still alive. Stale leases — left behind by a
+//! `kill -9` — are detected (the PID is gone) and cleaned up, so a
+//! crashed writer never blocks compaction forever. This is what lets a
+//! `cirfix serve` daemon run background GC under live repair jobs.
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -104,6 +120,8 @@ pub struct GcReport {
     pub records_kept: usize,
     /// Bytes reclaimed on disk.
     pub bytes_reclaimed: u64,
+    /// Segments left untouched because a live writer holds them.
+    pub files_skipped_active: usize,
 }
 
 /// A persistent store rooted at one directory.
@@ -115,7 +133,7 @@ pub struct Store {
 impl Store {
     /// Opens (creating if necessary) a store at `dir`.
     pub fn open(dir: &Path) -> io::Result<Store> {
-        for sub in ["evals", "sessions", "corpus"] {
+        for sub in ["evals", "sessions", "corpus", "jobs"] {
             fs::create_dir_all(dir.join(sub))?;
         }
         Ok(Store {
@@ -138,10 +156,39 @@ impl Store {
         Ok(paths)
     }
 
-    /// Every segment file in the store, in stable path order.
+    /// Every evaluation segment, in stable path order: legacy flat
+    /// `evals/*.jsonl` files first, then the 16 shard directories.
+    pub fn eval_segments(&self) -> io::Result<Vec<PathBuf>> {
+        let root = self.dir.join("evals");
+        let mut paths = Vec::new();
+        let mut shard_dirs = Vec::new();
+        for entry in fs::read_dir(&root)?.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.is_dir() {
+                shard_dirs.push(p);
+            } else if p.extension().is_some_and(|e| e == "jsonl") {
+                paths.push(p);
+            }
+        }
+        shard_dirs.sort();
+        paths.sort();
+        for shard in shard_dirs {
+            let mut in_shard: Vec<PathBuf> = fs::read_dir(&shard)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .collect();
+            in_shard.sort();
+            paths.extend(in_shard);
+        }
+        Ok(paths)
+    }
+
+    /// Every segment file in the store, in stable family-then-path
+    /// order.
     pub fn all_segments(&self) -> io::Result<Vec<PathBuf>> {
-        let mut all = Vec::new();
-        for sub in ["evals", "sessions", "corpus"] {
+        let mut all = self.eval_segments()?;
+        for sub in ["sessions", "corpus", "jobs"] {
             all.extend(self.segments_in(sub)?);
         }
         Ok(all)
@@ -156,7 +203,7 @@ impl Store {
     pub fn load_evals(&self) -> io::Result<(Vec<(Digest, JsonValue)>, StoreHealth)> {
         let mut entries = Vec::new();
         let mut health = StoreHealth::default();
-        for path in self.segments_in("evals")? {
+        for path in self.eval_segments()? {
             let (bodies, seg) = read_segment(&path)?;
             health.absorb(&seg);
             for body in bodies {
@@ -172,12 +219,13 @@ impl Store {
         Ok((entries, health))
     }
 
-    /// A writer that appends evaluation records to a fresh segment of
-    /// its own (created lazily on first write).
+    /// A writer that appends evaluation records to fresh segments of
+    /// its own — one per shard touched, created lazily on first write
+    /// and leased (see the module docs) until the writer is dropped.
     pub fn eval_writer(&self) -> EvalWriter {
         EvalWriter {
             dir: self.dir.join("evals"),
-            writer: None,
+            shards: HashMap::new(),
         }
     }
 
@@ -206,6 +254,14 @@ impl Store {
         SegmentWriter::append(&path)
     }
 
+    /// Marks session `id` as actively written by this process, so a
+    /// concurrent [`Store::gc`] neither reaps nor truncates its log mid-
+    /// append. The lease is released when the guard drops (and treated
+    /// as stale once the owning process dies).
+    pub fn session_lease(&self, id: &str) -> io::Result<Lease> {
+        Lease::take(&self.session_path(id))
+    }
+
     // ----- corpus --------------------------------------------------------
 
     fn corpus_path(&self) -> PathBuf {
@@ -225,6 +281,40 @@ impl Store {
             return Ok((Vec::new(), SegmentHealth::default()));
         }
         read_segment(&path)
+    }
+
+    // ----- jobs ----------------------------------------------------------
+
+    fn jobs_path(&self) -> PathBuf {
+        self.dir.join("jobs").join("jobs.jsonl")
+    }
+
+    /// Appends one job-state record (its body must carry an `"id"`
+    /// field) and syncs it to stable storage — the daemon's job state
+    /// machine must survive `kill -9`.
+    pub fn append_job(&self, body: &JsonValue) -> io::Result<()> {
+        recover_segment(&self.jobs_path())?;
+        let mut w = SegmentWriter::append(&self.jobs_path())?;
+        w.write_record(body)?;
+        w.sync()
+    }
+
+    /// Reads the daemon job registry in append order, skipping damaged
+    /// records. Folding is the caller's job: the *last* record per job
+    /// id is its current state.
+    pub fn load_jobs(&self) -> io::Result<(Vec<JsonValue>, SegmentHealth)> {
+        let path = self.jobs_path();
+        if !path.exists() {
+            return Ok((Vec::new(), SegmentHealth::default()));
+        }
+        read_segment(&path)
+    }
+
+    /// Marks the job registry as actively written by this process (the
+    /// daemon holds this for its lifetime), so a concurrent
+    /// [`Store::gc`] does not rewrite it between two appends.
+    pub fn jobs_lease(&self) -> io::Result<Lease> {
+        Lease::take(&self.jobs_path())
     }
 
     // ----- maintenance ---------------------------------------------------
@@ -251,11 +341,20 @@ impl Store {
         Ok(report)
     }
 
-    /// Garbage collection: compacts all evaluation segments into one
+    /// Garbage collection: compacts evaluation segments per shard
     /// (dropping corrupt records, torn tails, and duplicate keys —
-    /// first write wins, matching the in-memory cache), removes session
-    /// logs whose final record marks the session complete, truncates
-    /// torn tails everywhere, and rewrites the corpus without damage.
+    /// first write wins, matching the in-memory cache), migrates legacy
+    /// flat segments into shards, removes session logs whose final
+    /// record marks the session complete, truncates torn tails
+    /// elsewhere, rewrites the corpus without damage, and folds the job
+    /// registry down to one record per job.
+    ///
+    /// Safe under concurrent writers: segments (and session logs, and
+    /// the job registry) held by a live process — advertised by a
+    /// `.lease` sidecar naming a PID that is still running — are left
+    /// entirely untouched and counted in
+    /// [`GcReport::files_skipped_active`]. Leases whose owner died are
+    /// removed and their segments compacted normally.
     pub fn gc(&self) -> io::Result<GcReport> {
         let mut report = GcReport::default();
         let before: u64 = self
@@ -265,44 +364,78 @@ impl Store {
             .map(|m| m.len())
             .sum();
 
-        // Compact evaluations. The fresh segment is written to a tmp
-        // file and renamed into place *before* the old segments are
-        // deleted, so a crash at any point leaves at worst duplicate
-        // records (which dedup on load), never lost ones.
-        let old_segments = self.segments_in("evals")?;
-        let (entries, _) = self.load_evals()?;
-        let mut seen = std::collections::HashSet::new();
-        let mut kept = Vec::new();
-        for (key, body) in entries {
-            if seen.insert(key) {
-                kept.push(body);
+        // Partition evaluation segments into live (leased by a running
+        // process) and compactable.
+        let mut active = Vec::new();
+        let mut old_segments = Vec::new();
+        for path in self.eval_segments()? {
+            if lease_is_live(&path) {
+                active.push(path);
             } else {
-                report.records_dropped += 1;
+                remove_stale_lease(&path);
+                old_segments.push(path);
             }
         }
+        report.files_skipped_active += active.len();
+
+        // Compact the compactable segments shard by shard. Fresh
+        // segments are written to tmp files and renamed into place
+        // *before* the old segments are deleted, so a crash at any
+        // point leaves at worst duplicate records (which dedup on
+        // load), never lost ones.
         if !old_segments.is_empty() {
-            let tmp = self.dir.join("evals").join("compact.tmp");
-            let _ = fs::remove_file(&tmp);
-            {
-                let mut w = SegmentWriter::append(&tmp)?;
-                for body in &kept {
-                    w.write_record(body)?;
-                }
-                w.sync()?;
-            }
-            let next = next_segment_index(&old_segments);
-            fs::rename(&tmp, self.dir.join("evals").join(segment_name(next)))?;
+            let mut seen = std::collections::HashSet::new();
+            let mut kept_per_shard: HashMap<String, Vec<JsonValue>> = HashMap::new();
+            let mut kept_total = 0usize;
             for path in &old_segments {
-                let (_, h) = read_segment(path)?;
+                let (bodies, h) = read_segment(path)?;
                 report.records_dropped += h.corrupt.len() + usize::from(h.torn_tail.is_some());
+                for body in bodies {
+                    match field_str(&body, "key").and_then(Digest::from_hex) {
+                        Some(key) if seen.insert(key) => {
+                            let shard = shard_of(&key.to_hex());
+                            kept_per_shard.entry(shard).or_default().push(body);
+                            kept_total += 1;
+                        }
+                        _ => report.records_dropped += 1,
+                    }
+                }
+            }
+            for (shard, bodies) in &kept_per_shard {
+                let shard_dir = self.dir.join("evals").join(shard);
+                fs::create_dir_all(&shard_dir)?;
+                let tmp = shard_dir.join("compact.tmp");
+                let _ = fs::remove_file(&tmp);
+                {
+                    let mut w = SegmentWriter::append(&tmp)?;
+                    for body in bodies {
+                        w.write_record(body)?;
+                    }
+                    w.sync()?;
+                }
+                let existing: Vec<PathBuf> = fs::read_dir(&shard_dir)?
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .collect();
+                let next = next_segment_index(&existing);
+                fs::rename(&tmp, shard_dir.join(segment_name(next)))?;
+            }
+            for path in &old_segments {
                 fs::remove_file(path)?;
                 report.files_removed += 1;
             }
+            report.records_kept += kept_total;
         }
-        report.records_kept += kept.len();
 
         // Sessions: drop completed logs, truncate torn tails elsewhere.
+        // A leased log belongs to a running session — hands off even on
+        // its torn tail, which may be an append in flight.
         for path in self.segments_in("sessions")? {
+            if lease_is_live(&path) {
+                report.files_skipped_active += 1;
+                continue;
+            }
+            remove_stale_lease(&path);
             let (bodies, health) = read_segment(&path)?;
             let complete = bodies
                 .last()
@@ -341,6 +474,45 @@ impl Store {
             }
         }
 
+        // Jobs: fold to the last record per id — unless a daemon holds
+        // the registry open.
+        let jobs = self.jobs_path();
+        if jobs.exists() {
+            if lease_is_live(&jobs) {
+                report.files_skipped_active += 1;
+            } else {
+                remove_stale_lease(&jobs);
+                let (bodies, health) = read_segment(&jobs)?;
+                let mut last: Vec<(String, JsonValue)> = Vec::new();
+                for body in bodies {
+                    let Some(id) = field_str(&body, "id").map(str::to_string) else {
+                        report.records_dropped += 1;
+                        continue;
+                    };
+                    match last.iter_mut().find(|(i, _)| *i == id) {
+                        Some(slot) => {
+                            slot.1 = body;
+                            report.records_dropped += 1;
+                        }
+                        None => last.push((id, body)),
+                    }
+                }
+                report.records_dropped +=
+                    health.corrupt.len() + usize::from(health.torn_tail.is_some());
+                let tmp = self.dir.join("jobs").join("compact.tmp");
+                let _ = fs::remove_file(&tmp);
+                {
+                    let mut w = SegmentWriter::append(&tmp)?;
+                    for (_, body) in &last {
+                        w.write_record(body)?;
+                    }
+                    w.sync()?;
+                }
+                fs::rename(&tmp, &jobs)?;
+                report.records_kept += last.len();
+            }
+        }
+
         let after: u64 = self
             .all_segments()?
             .iter()
@@ -370,20 +542,97 @@ fn next_segment_index(existing: &[PathBuf]) -> u64 {
         .map_or(1, |n| n + 1)
 }
 
-/// Appends evaluation records to a private fresh segment, created
-/// lazily so read-only (fully warm) runs leave no empty files behind.
+/// The shard directory name for a record key: its first hex digit.
+fn shard_of(key_hex: &str) -> String {
+    match key_hex.chars().next() {
+        Some(c) if c.is_ascii_hexdigit() => c.to_ascii_lowercase().to_string(),
+        _ => "0".to_string(),
+    }
+}
+
+// ----- leases -------------------------------------------------------------
+
+/// The `.lease` sidecar path for a segment file.
+fn lease_path(segment: &Path) -> PathBuf {
+    let mut name = segment.as_os_str().to_os_string();
+    name.push(".lease");
+    PathBuf::from(name)
+}
+
+/// Whether `pid` names a currently running process. On Linux this is a
+/// `/proc` lookup; elsewhere we conservatively report `true` (leases
+/// then only expire when released, never by owner death).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Whether `segment` is held by a live writer. A lease naming a dead
+/// PID (or unreadable) is stale, not live.
+fn lease_is_live(segment: &Path) -> bool {
+    let lease = lease_path(segment);
+    match fs::read_to_string(&lease) {
+        Ok(text) => text.trim().parse::<u32>().is_ok_and(pid_alive),
+        Err(_) => false,
+    }
+}
+
+/// Removes a stale lease sidecar, if any.
+fn remove_stale_lease(segment: &Path) {
+    let _ = fs::remove_file(lease_path(segment));
+}
+
+/// An RAII writer lease on one segment file: a `.lease` sidecar naming
+/// this process's PID, removed on drop. [`Store::gc`] leaves leased
+/// files alone while the owner lives, and reclaims the lease once it
+/// dies.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+}
+
+impl Lease {
+    fn take(segment: &Path) -> io::Result<Lease> {
+        let path = lease_path(segment);
+        fs::write(&path, format!("{}\n", std::process::id()))?;
+        Ok(Lease { path })
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Appends evaluation records to private fresh segments — one per
+/// shard touched, created lazily so read-only (fully warm) runs leave
+/// no empty files behind, and leased against concurrent GC until the
+/// writer drops.
 #[derive(Debug)]
 pub struct EvalWriter {
     dir: PathBuf,
-    writer: Option<SegmentWriter>,
+    shards: HashMap<String, (SegmentWriter, Lease)>,
 }
 
 impl EvalWriter {
-    /// Appends one evaluation record (its body must carry the `"key"`
-    /// digest field).
+    /// Appends one evaluation record to its shard's segment. The body
+    /// must carry the `"key"` digest field — it selects the shard.
     pub fn write(&mut self, body: &JsonValue) -> io::Result<()> {
-        if self.writer.is_none() {
-            let existing: Vec<PathBuf> = fs::read_dir(&self.dir)?
+        let Some(key) = field_str(body, "key") else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "evaluation record has no \"key\" field",
+            ));
+        };
+        let shard = shard_of(key);
+        if !self.shards.contains_key(&shard) {
+            let shard_dir = self.dir.join(&shard);
+            fs::create_dir_all(&shard_dir)?;
+            let existing: Vec<PathBuf> = fs::read_dir(&shard_dir)?
                 .filter_map(Result::ok)
                 .map(|e| e.path())
                 .collect();
@@ -391,31 +640,35 @@ impl EvalWriter {
             // writers picking the same index.
             let mut index = next_segment_index(&existing);
             let writer = loop {
-                let path = self.dir.join(segment_name(index));
+                let path = shard_dir.join(segment_name(index));
                 match fs::OpenOptions::new()
                     .create_new(true)
                     .append(true)
                     .open(&path)
                 {
-                    Ok(_) => break SegmentWriter::append(&path)?,
+                    Ok(_) => {
+                        let lease = Lease::take(&path)?;
+                        break (SegmentWriter::append(&path)?, lease);
+                    }
                     Err(e) if e.kind() == io::ErrorKind::AlreadyExists => index += 1,
                     Err(e) => return Err(e),
                 }
             };
-            self.writer = Some(writer);
+            self.shards.insert(shard.clone(), writer);
         }
-        self.writer
-            .as_mut()
+        self.shards
+            .get_mut(&shard)
             .expect("writer was just created")
+            .0
             .write_record(body)
     }
 
     /// Forces written records to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
-        match self.writer.as_mut() {
-            Some(w) => w.sync(),
-            None => Ok(()),
+        for (w, _) in self.shards.values_mut() {
+            w.sync()?;
         }
+        Ok(())
     }
 }
 
@@ -448,7 +701,43 @@ mod tests {
         let (entries, health) = store.load_evals().unwrap();
         assert_eq!(entries.len(), 4);
         assert!(health.is_clean());
-        assert_eq!(entries[2].0, Digest(2));
+        assert!(entries.iter().any(|(k, _)| *k == Digest(2)));
+    }
+
+    #[test]
+    fn writes_are_sharded_by_key_prefix() {
+        let store = tmp_store("shards");
+        let mut w = store.eval_writer();
+        // Digest hex is 32 chars; 0x1... and 0xf... land in different
+        // shard directories.
+        let a = Digest(0x1000_0000_0000_0000_0000_0000_0000_0000);
+        let b = Digest(0xf000_0000_0000_0000_0000_0000_0000_0000);
+        w.write(&eval_body(a, 1)).unwrap();
+        w.write(&eval_body(b, 2)).unwrap();
+        drop(w);
+        assert!(store.dir().join("evals/1").is_dir());
+        assert!(store.dir().join("evals/f").is_dir());
+        let (entries, health) = store.load_evals().unwrap();
+        assert!(health.is_clean());
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn legacy_flat_segments_are_read_and_migrated_by_gc() {
+        let store = tmp_store("legacy");
+        // A pre-sharding store: a segment directly under evals/.
+        let flat = store.dir().join("evals").join("evals-00001.jsonl");
+        let mut w = SegmentWriter::append(&flat).unwrap();
+        w.write_record(&eval_body(Digest(7), 7)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (entries, _) = store.load_evals().unwrap();
+        assert_eq!(entries.len(), 1, "flat segments are still read");
+        store.gc().unwrap();
+        assert!(!flat.exists(), "gc migrates flat segments into shards");
+        let (entries, health) = store.load_evals().unwrap();
+        assert!(health.is_clean());
+        assert_eq!(entries.len(), 1);
     }
 
     #[test]
@@ -458,7 +747,7 @@ mod tests {
         a.write(&eval_body(Digest(1), 1)).unwrap();
         let mut b = store.eval_writer();
         b.write(&eval_body(Digest(2), 2)).unwrap();
-        assert_eq!(store.segments_in("evals").unwrap().len(), 2);
+        assert_eq!(store.eval_segments().unwrap().len(), 2);
         let (entries, _) = store.load_evals().unwrap();
         assert_eq!(entries.len(), 2);
     }
@@ -475,7 +764,7 @@ mod tests {
         let report = store.gc().unwrap();
         assert_eq!(report.records_kept, 2);
         assert_eq!(report.records_dropped, 1);
-        assert_eq!(store.segments_in("evals").unwrap().len(), 1);
+        assert_eq!(report.files_skipped_active, 0);
         let (entries, health) = store.load_evals().unwrap();
         assert!(health.is_clean());
         let one = entries.iter().find(|(k, _)| *k == Digest(1)).unwrap();
@@ -484,6 +773,63 @@ mod tests {
             Some(1),
             "first write wins"
         );
+    }
+
+    #[test]
+    fn gc_skips_segments_held_by_live_writers() {
+        let store = tmp_store("gc-live");
+        let mut live = store.eval_writer();
+        live.write(&eval_body(Digest(1), 1)).unwrap();
+        live.sync().unwrap();
+        let mut done = store.eval_writer();
+        done.write(&eval_body(Digest(2), 2)).unwrap();
+        drop(done);
+
+        // `live` still holds its segment (same-process lease, PID
+        // alive): gc must leave it untouched and still compact the
+        // released one.
+        let report = store.gc().unwrap();
+        assert_eq!(report.files_skipped_active, 1);
+        assert_eq!(report.records_kept, 1);
+
+        // The held segment keeps accepting writes after the gc — the
+        // regression this guards: the old gc deleted it out from under
+        // the writer, silently dropping every subsequent record.
+        live.write(&eval_body(Digest(3), 3)).unwrap();
+        live.sync().unwrap();
+        drop(live);
+        let (entries, health) = store.load_evals().unwrap();
+        assert!(health.is_clean());
+        let mut keys: Vec<u128> = entries.iter().map(|(k, _)| k.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2, 3]);
+
+        // With the writer gone the lease is released; a second gc
+        // compacts everything.
+        let report = store.gc().unwrap();
+        assert_eq!(report.files_skipped_active, 0);
+        let (entries, _) = store.load_evals().unwrap();
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn gc_reclaims_stale_leases_from_dead_writers() {
+        let store = tmp_store("gc-stale");
+        let mut w = store.eval_writer();
+        w.write(&eval_body(Digest(9), 9)).unwrap();
+        w.sync().unwrap();
+        // Forget the writer without running Drop: the lease file stays
+        // behind, as after a `kill -9`...
+        std::mem::forget(w);
+        let seg = store.eval_segments().unwrap()[0].clone();
+        let lease = lease_path(&seg);
+        assert!(lease.exists());
+        // ...then rewrite it to name a PID that cannot exist.
+        fs::write(&lease, "4294967294\n").unwrap();
+        let report = store.gc().unwrap();
+        assert_eq!(report.files_skipped_active, 0, "stale lease is not live");
+        assert!(!lease.exists(), "stale lease cleaned up");
+        assert_eq!(report.records_kept, 1);
     }
 
     #[test]
@@ -507,12 +853,55 @@ mod tests {
     }
 
     #[test]
+    fn gc_spares_leased_sessions_even_when_complete() {
+        let store = tmp_store("session-lease");
+        let done = JsonValue::obj(vec![("type", JsonValue::Str("complete".into()))]);
+        store
+            .session_writer("held")
+            .unwrap()
+            .write_record(&done)
+            .unwrap();
+        let lease = store.session_lease("held").unwrap();
+        store.gc().unwrap();
+        assert!(
+            store.session_path("held").exists(),
+            "leased session survives gc"
+        );
+        drop(lease);
+        store.gc().unwrap();
+        assert!(!store.session_path("held").exists());
+    }
+
+    #[test]
+    fn job_registry_appends_and_folds_through_gc() {
+        let store = tmp_store("jobs");
+        let rec = |id: &str, state: &str| {
+            JsonValue::obj(vec![
+                ("id", JsonValue::Str(id.into())),
+                ("state", JsonValue::Str(state.into())),
+            ])
+        };
+        store.append_job(&rec("a", "queued")).unwrap();
+        store.append_job(&rec("b", "queued")).unwrap();
+        store.append_job(&rec("a", "running")).unwrap();
+        store.append_job(&rec("a", "plausible")).unwrap();
+        let (records, health) = store.load_jobs().unwrap();
+        assert!(health.is_clean());
+        assert_eq!(records.len(), 4);
+        store.gc().unwrap();
+        let (records, _) = store.load_jobs().unwrap();
+        assert_eq!(records.len(), 2, "gc folds to last record per id");
+        assert_eq!(field_str(&records[0], "state"), Some("plausible"));
+        assert_eq!(field_str(&records[1], "state"), Some("queued"));
+    }
+
+    #[test]
     fn verify_reports_without_modifying() {
         let store = tmp_store("verify");
         let mut w = store.eval_writer();
         w.write(&eval_body(Digest(1), 1)).unwrap();
         drop(w);
-        let seg = &store.segments_in("evals").unwrap()[0];
+        let seg = &store.eval_segments().unwrap()[0];
         let len_before = fs::metadata(seg).unwrap().len();
         // Torn tail.
         use std::io::Write as _;

@@ -237,6 +237,15 @@ impl Event {
     /// Serializes the event as a single-line JSON object with a
     /// `"type"` tag followed by the variant's fields.
     pub fn to_json(&self) -> String {
+        self.to_json_tagged(&[])
+    }
+
+    /// [`Event::to_json`] with extra string fields appended after the
+    /// variant's own — used by the daemon to scope events to a job
+    /// (`{"type":"heartbeat",...,"job":"4f09a1d2e6b3"}`) in an
+    /// aggregate trace shared by every session. Tag keys must not
+    /// collide with event fields; callers pick reserved names.
+    pub fn to_json_tagged(&self, tags: &[(&str, &str)]) -> String {
         let mut pairs = vec![("type", JsonValue::Str(self.kind().into()))];
         match self {
             Event::Generation(g) => {
@@ -329,6 +338,9 @@ impl Event {
                     ),
                 ));
             }
+        }
+        for &(key, value) in tags {
+            pairs.push((key, JsonValue::Str(value.into())));
         }
         JsonValue::obj(pairs).to_json()
     }

@@ -43,4 +43,7 @@ pub use json::{validate_json_line, JsonValue};
 pub use metrics::{Counter, Gauge, MetricsRegistry, Span};
 pub use observer::Observer;
 pub use profiler::{Phase, PhaseGuard, Profiler};
-pub use sink::{FanoutSink, JsonLinesSink, NullSink, SummarySink, TelemetrySink, TimingFreeSink};
+pub use sink::{
+    FanoutSink, JsonLinesSink, NullSink, SummarySink, TaggedJsonLinesSink, TelemetrySink,
+    TimingFreeSink,
+};

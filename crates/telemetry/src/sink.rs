@@ -101,6 +101,44 @@ impl<W: Write + Send> TelemetrySink for JsonLinesSink<W> {
     }
 }
 
+/// A [`JsonLinesSink`] over a *shared* writer that scopes every event
+/// with a constant string field, e.g. `"job": "<id>"`. The `cirfix
+/// serve` daemon gives each session its own tag over one aggregate
+/// trace file, so interleaved events from concurrent jobs stay
+/// attributable. Per-job traces stay untagged (and therefore
+/// byte-identical to a batch run's); only the shared stream is tagged.
+pub struct TaggedJsonLinesSink<W: Write + Send> {
+    key: String,
+    value: String,
+    writer: Arc<Mutex<W>>,
+}
+
+impl<W: Write + Send> TaggedJsonLinesSink<W> {
+    /// Tags every event with `key: value` and appends it to the shared
+    /// `writer`. Clones of the `Arc` may back other tags or sinks; each
+    /// line is written atomically under the lock.
+    pub fn new(key: &str, value: &str, writer: Arc<Mutex<W>>) -> TaggedJsonLinesSink<W> {
+        TaggedJsonLinesSink {
+            key: key.to_string(),
+            value: value.to_string(),
+            writer,
+        }
+    }
+}
+
+impl<W: Write + Send> TelemetrySink for TaggedJsonLinesSink<W> {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_tagged(&[(&self.key, &self.value)]);
+        let mut w = self.writer.lock().expect("sink poisoned");
+        // Telemetry must never take down a repair run; drop on error.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
 /// Running aggregates for the summary report.
 #[derive(Debug, Default, Clone)]
 struct SummaryState {

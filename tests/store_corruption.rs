@@ -32,14 +32,20 @@ fn config() -> RepairConfig {
 /// (newline-less, incomplete) record to the same segment. Returns the
 /// segment path.
 fn damage_first_eval_segment(store_dir: &Path) -> PathBuf {
-    let evals = store_dir.join("evals");
-    let mut segments: Vec<PathBuf> = fs::read_dir(&evals)
-        .expect("evals dir exists")
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .collect();
+    // Evaluations live in per-key-prefix shard directories under
+    // `evals/`; ask the store itself rather than assuming the layout.
+    let mut segments = Store::open(store_dir)
+        .expect("store opens")
+        .eval_segments()
+        .expect("evals listable");
     segments.sort();
-    let segment = segments.first().expect("cold run wrote a segment").clone();
+    // Pick a shard with at least two records so exactly one can be
+    // damaged while a sibling stays intact.
+    let segment = segments
+        .iter()
+        .find(|p| fs::read_to_string(p).is_ok_and(|text| text.lines().count() >= 2))
+        .expect("cold run wrote a multi-record segment")
+        .clone();
 
     let text = fs::read_to_string(&segment).expect("segment is UTF-8");
     let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
