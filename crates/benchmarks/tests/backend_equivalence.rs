@@ -1,0 +1,143 @@
+//! Full-pipeline equivalence across the simulation backends.
+//!
+//! Two process-wide switches change *how* simulation computes but must
+//! never change *what* it computes:
+//!
+//! * the logic backend — word-packed two-plane vectors vs the per-bit
+//!   reference algorithms (`cirfix_logic::set_backend`);
+//! * the expression execution mode — compiled postfix bytecode vs the
+//!   original tree walker (`cirfix_sim::set_exec_mode`).
+//!
+//! For every benchmark scenario this suite builds the repair problem
+//! (which simulates the golden design to produce the oracle trace) and
+//! evaluates the faulty design, under all backend/mode combinations,
+//! and requires byte-identical problem digests, fitness scores,
+//! mismatch sets and outcome classifications. The digest covers the
+//! serialized oracle trace, so a single differing bit anywhere in
+//! either simulation shows up here.
+//!
+//! Both switches are process-global, so all flips happen inside single
+//! `#[test]` functions (the test binary runs test fns concurrently).
+
+use cirfix::{
+    all_stmt_ids, evaluate, evaluate_many, problem_digest, Edit, FitnessParams, Patch, RepairConfig,
+};
+use cirfix_benchmarks::scenarios;
+use cirfix_logic::{set_backend, Backend};
+use cirfix_sim::{set_exec_mode, ExecMode};
+use std::sync::Mutex;
+
+/// Both switches are process-global; the two tests in this binary run
+/// on separate threads, so they take this lock for their whole body.
+static SWITCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Everything deterministic about one scenario under one combo.
+fn fingerprint(id: &str) -> String {
+    let problem = cirfix_benchmarks::scenario(id)
+        .expect("scenario exists")
+        .problem()
+        .expect("problem builds");
+    let digest = problem_digest(&problem, &RepairConfig::fast(1));
+    let eval = evaluate(&problem, &Patch::empty(), FitnessParams::default());
+    format!(
+        "digest={digest:?} score={:x} compiled={} mismatched={:?} outcome={:?} error={:?}",
+        eval.score.to_bits(),
+        eval.compiled,
+        eval.mismatched,
+        eval.outcome,
+        eval.error,
+    )
+}
+
+fn restore_defaults() {
+    set_backend(Backend::Packed);
+    set_exec_mode(ExecMode::Bytecode);
+}
+
+#[test]
+fn all_scenarios_identical_across_backends_and_exec_modes() {
+    let _guard = SWITCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let combos = [
+        (Backend::Packed, ExecMode::Bytecode), // production
+        (Backend::Packed, ExecMode::TreeWalk),
+        (Backend::Reference, ExecMode::Bytecode),
+        (Backend::Reference, ExecMode::TreeWalk), // fully naive
+    ];
+    assert_eq!(scenarios().len(), 32, "the full suite must be covered");
+    for scenario in scenarios() {
+        let mut baseline: Option<String> = None;
+        for (backend, mode) in combos {
+            set_backend(backend);
+            set_exec_mode(mode);
+            let fp = fingerprint(scenario.id);
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(base) => assert_eq!(
+                    &fp, base,
+                    "[{}] diverged under {backend:?}/{mode:?}",
+                    scenario.id
+                ),
+            }
+        }
+    }
+    restore_defaults();
+}
+
+/// The worker-thread path must agree with itself across worker counts
+/// *and* with the tree walker: each worker thread compiles into its own
+/// thread-local cache, so this also exercises cold-cache compilation
+/// under concurrency.
+#[test]
+fn batch_evaluation_matches_across_jobs_and_exec_modes() {
+    let _guard = SWITCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scenario = cirfix_benchmarks::scenario("counter_reset").expect("scenario exists");
+    let problem = scenario.problem().expect("problem builds");
+    // A deterministic patch set: the empty patch plus a delete-statement
+    // sweep over the design.
+    let mut patches = vec![Patch::empty()];
+    patches.extend(
+        all_stmt_ids(&problem.source, &problem.design_modules)
+            .into_iter()
+            .take(15)
+            .map(|id| Patch::single(Edit::DeleteStmt { target: id })),
+    );
+
+    let summarize = |evals: &[cirfix::Evaluation]| -> Vec<String> {
+        evals
+            .iter()
+            .map(|e| {
+                format!(
+                    "score={:x} compiled={} outcome={:?}",
+                    e.score.to_bits(),
+                    e.compiled,
+                    e.outcome
+                )
+            })
+            .collect()
+    };
+
+    set_exec_mode(ExecMode::Bytecode);
+    let j1 = summarize(&evaluate_many(
+        &problem,
+        &patches,
+        FitnessParams::default(),
+        1,
+    ));
+    let j4 = summarize(&evaluate_many(
+        &problem,
+        &patches,
+        FitnessParams::default(),
+        4,
+    ));
+    set_exec_mode(ExecMode::TreeWalk);
+    let tw = summarize(&evaluate_many(
+        &problem,
+        &patches,
+        FitnessParams::default(),
+        4,
+    ));
+    restore_defaults();
+
+    assert_eq!(j1, j4, "jobs=1 vs jobs=4 diverged under bytecode");
+    assert_eq!(j4, tw, "bytecode vs tree-walk diverged in batch evaluation");
+}

@@ -16,6 +16,7 @@
 //! the coordinating thread during the in-order merge, so `jobs = 1` and
 //! `jobs = 8` produce identical `RepairResult`s for the same seed.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -144,7 +145,12 @@ where
 
 /// Evaluates many patches concurrently — the parallel counterpart of
 /// calling [`evaluate`](crate::evaluate) in a loop. Results come back
-/// in submission order; no cache or budget is involved.
+/// in submission order; no budget is involved.
+///
+/// Identical patches are simulated once: GA populations and repeated
+/// sweeps carry many exact-duplicate candidates, and evaluation is a
+/// pure function of (problem, patch, params), so duplicates within one
+/// batch share a single simulation and receive clones of its result.
 ///
 /// `jobs = 0` resolves via [`resolve_jobs`]. This is the bulk primitive
 /// used by the brute-force baseline and the speedup benchmark; the GP
@@ -155,21 +161,43 @@ pub fn evaluate_many(
     params: FitnessParams,
     jobs: usize,
 ) -> Vec<Evaluation> {
-    let (results, _, panicked) = run_batch(resolve_jobs(jobs), None, patches, |p| {
+    // Dedup in first-occurrence order so results stay deterministic
+    // regardless of worker scheduling.
+    let mut seen: HashMap<&Patch, usize> = HashMap::with_capacity(patches.len());
+    let mut unique: Vec<&Patch> = Vec::with_capacity(patches.len());
+    let mut slot_of: Vec<usize> = Vec::with_capacity(patches.len());
+    for p in patches {
+        let slot = *seen.entry(p).or_insert_with(|| {
+            unique.push(p);
+            unique.len() - 1
+        });
+        slot_of.push(slot);
+    }
+    let (mut results, _, panicked) = run_batch(resolve_jobs(jobs), None, &unique, |p| {
         evaluate(problem, p, params)
     });
-    let mut panicked = panicked.into_iter().peekable();
-    results
-        .into_iter()
+    let panic_msg: HashMap<usize, String> = panicked.into_iter().collect();
+    // Each unique result is *moved* into its last output slot and cloned
+    // into any earlier ones.
+    let mut last_use: Vec<usize> = vec![0; unique.len()];
+    for (i, &u) in slot_of.iter().enumerate() {
+        last_use[u] = i;
+    }
+    slot_of
+        .iter()
         .enumerate()
-        .map(|(i, r)| match r {
-            Some(eval) => eval,
-            None => {
-                let msg = match panicked.peek() {
-                    Some(&(j, _)) if j == i => panicked.next().map(|(_, m)| m),
-                    _ => None,
-                };
-                panicked_evaluation(problem, msg.as_deref().unwrap_or("worker lost"), 1.0)
+        .map(|(i, &u)| {
+            if results[u].is_none() {
+                return panicked_evaluation(
+                    problem,
+                    panic_msg.get(&u).map_or("worker lost", String::as_str),
+                    1.0,
+                );
+            }
+            if last_use[u] == i {
+                results[u].take().expect("present")
+            } else {
+                results[u].as_ref().expect("present").clone()
             }
         })
         .collect()

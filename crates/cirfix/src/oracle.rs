@@ -101,8 +101,8 @@ pub(crate) fn simulate_with_probe_profiled(
         p.record(Phase::Simulate, simulator.execution_nanos());
     }
     let outcome = outcome?;
-    let trace = simulator.probe_trace(idx).clone();
-    let log = simulator.log().to_vec();
+    let trace = simulator.take_probe_trace(idx);
+    let log = simulator.take_log();
     Ok((outcome, trace, log))
 }
 

@@ -1,0 +1,47 @@
+//! Process-wide evaluation-backend switch for differential testing.
+//!
+//! The word-packed operators in `ops.rs` are the production backend.
+//! For whole-run equivalence testing the simulator can be flipped to
+//! the per-bit [`crate::reference`] algorithms, which compute every
+//! operator bit by bit through the `bit()`/`set_bit()` adapters. Both
+//! backends implement the same IEEE 1364 semantics; the differential
+//! suites assert they are indistinguishable.
+//!
+//! The switch is a process-wide relaxed atomic rather than a field of
+//! any configuration struct: simulator configs are folded into
+//! persisted problem digests, and the backend choice must never
+//! perturb those (the whole point is that it is unobservable).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which operator implementations [`crate::LogicVec`] methods run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Two-plane word-packed operators (production).
+    Packed,
+    /// Per-bit reference algorithms (differential testing).
+    Reference,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the operator backend for the whole process.
+pub fn set_backend(backend: Backend) {
+    BACKEND.store(backend as u8, Ordering::Relaxed);
+}
+
+/// The currently selected operator backend.
+#[inline]
+pub fn backend() -> Backend {
+    if BACKEND.load(Ordering::Relaxed) == 0 {
+        Backend::Packed
+    } else {
+        Backend::Reference
+    }
+}
+
+/// `true` when the per-bit reference backend is selected.
+#[inline]
+pub(crate) fn use_reference() -> bool {
+    backend() == Backend::Reference
+}

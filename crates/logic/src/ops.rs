@@ -4,9 +4,28 @@
 //! arithmetic and relational operators produce all-`x` (respectively `x`)
 //! results when any input bit is `x`/`z`; bitwise operators propagate
 //! unknowns per-bit.
+//!
+//! The implementations here are *word-packed*: each operator combines
+//! the two `u64` bit-planes (see `vec.rs` for the encoding) a word at a
+//! time. Writing `v = a & !b` for the definite-one mask and
+//! `k = !a & !b` for the definite-zero mask, the per-plane rules are:
+//!
+//! * AND: ones = `v₁ & v₂`, zeros = `k₁ | k₂`, rest `x`;
+//! * OR: ones = `v₁ | v₂`, zeros = `k₁ & k₂`, rest `x`;
+//! * XOR/XNOR: known exactly where both operands are known;
+//! * add/sub/compare: all-`x` when any unknown bit exists, otherwise
+//!   multiword ripple-carry / most-significant-word-first compare on
+//!   the `a` plane alone (so they work at any width);
+//! * shifts: whole-word moves of both planes.
+//!
+//! Every operator is differentially tested against the per-bit
+//! algorithms in [`crate::reference`], and can be globally switched to
+//! them via [`crate::set_backend`].
 
+use crate::backend::use_reference;
 use crate::bit::{Logic, Truth};
-use crate::vec::LogicVec;
+use crate::reference;
+use crate::vec::{top_mask, words_for, LogicVec};
 
 impl LogicVec {
     // ---- arithmetic -----------------------------------------------------
@@ -14,22 +33,61 @@ impl LogicVec {
     /// Addition; the result width is `max(self, rhs)` (wrapping), the usual
     /// context width of `a + b` before assignment truncation.
     pub fn add(&self, rhs: &LogicVec) -> LogicVec {
-        self.arith2(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_add(b), w))
+        if use_reference() {
+            return reference::add(self, rhs);
+        }
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::unknown(w);
+        }
+        let mut carry = false;
+        LogicVec::build(w, |i| {
+            let (a, _) = self.word(i);
+            let (b, _) = rhs.word(i);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
+            carry = c1 | c2;
+            (s2, 0)
+        })
     }
 
     /// Subtraction (wrapping, unsigned two's complement).
     pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
-        self.arith2(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_sub(b), w))
+        if use_reference() {
+            return reference::sub(self, rhs);
+        }
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::unknown(w);
+        }
+        let mut carry = true;
+        LogicVec::build(w, |i| {
+            let (a, _) = self.word(i);
+            let (b, _) = rhs.word(i);
+            let (s1, c1) = a.overflowing_add(!b);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
+            carry = c1 | c2;
+            (s2, 0)
+        })
     }
 
-    /// Multiplication (wrapping at the result width).
+    /// Multiplication (wrapping at the result width). Fully-known
+    /// operands wider than 128 bits yield all-`x` — the documented
+    /// limit of the `u128`-based product, shared with the reference
+    /// backend.
     pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
-        self.arith2(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_mul(b), w))
+        if use_reference() {
+            return reference::mul(self, rhs);
+        }
+        self.arith_u128(rhs, |a, b, w| LogicVec::from_u128(a.wrapping_mul(b), w))
     }
 
     /// Division; division by zero yields all-`x`, as in Verilog.
     pub fn div(&self, rhs: &LogicVec) -> LogicVec {
-        self.arith2(rhs, |a, b, w| match a.checked_div(b) {
+        if use_reference() {
+            return reference::div(self, rhs);
+        }
+        self.arith_u128(rhs, |a, b, w| match a.checked_div(b) {
             Some(q) => LogicVec::from_u128(q, w),
             None => LogicVec::unknown(w),
         })
@@ -37,7 +95,10 @@ impl LogicVec {
 
     /// Remainder; modulo zero yields all-`x`.
     pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
-        self.arith2(rhs, |a, b, w| {
+        if use_reference() {
+            return reference::rem(self, rhs);
+        }
+        self.arith_u128(rhs, |a, b, w| {
             if b == 0 {
                 LogicVec::unknown(w)
             } else {
@@ -48,14 +109,27 @@ impl LogicVec {
 
     /// Unary minus (two's complement at own width).
     pub fn neg(&self) -> LogicVec {
-        let w = self.width();
-        match self.to_u128() {
-            Some(v) => LogicVec::from_u128(v.wrapping_neg(), w),
-            None => LogicVec::unknown(w),
+        if use_reference() {
+            return reference::neg(self);
         }
+        let w = self.width();
+        if self.has_unknown() {
+            return LogicVec::unknown(w);
+        }
+        let mut carry = true;
+        LogicVec::build(w, |i| {
+            let (a, _) = self.word(i);
+            let (s, c) = (!a).overflowing_add(u64::from(carry));
+            carry = c;
+            (s, 0)
+        })
     }
 
-    fn arith2(&self, rhs: &LogicVec, f: impl FnOnce(u128, u128, usize) -> LogicVec) -> LogicVec {
+    fn arith_u128(
+        &self,
+        rhs: &LogicVec,
+        f: impl FnOnce(u128, u128, usize) -> LogicVec,
+    ) -> LogicVec {
         let w = self.width().max(rhs.width());
         match (self.to_u128(), rhs.to_u128()) {
             (Some(a), Some(b)) => f(a, b, w),
@@ -67,54 +141,134 @@ impl LogicVec {
 
     /// Bitwise AND at `max` width (operands zero-extended).
     pub fn bit_and(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::and)
+        if use_reference() {
+            return reference::bit_and(self, rhs);
+        }
+        LogicVec::build(self.width().max(rhs.width()), |i| {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = rhs.word(i);
+            let ones = (a1 & !b1) & (a2 & !b2);
+            let zeros = (!a1 & !b1) | (!a2 & !b2);
+            let x = !(ones | zeros);
+            (ones | x, x)
+        })
     }
 
     /// Bitwise OR.
     pub fn bit_or(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::or)
+        if use_reference() {
+            return reference::bit_or(self, rhs);
+        }
+        LogicVec::build(self.width().max(rhs.width()), |i| {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = rhs.word(i);
+            let ones = (a1 & !b1) | (a2 & !b2);
+            let zeros = (!a1 & !b1) & (!a2 & !b2);
+            let x = !(ones | zeros);
+            (ones | x, x)
+        })
     }
 
     /// Bitwise XOR.
     pub fn bit_xor(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::xor)
+        if use_reference() {
+            return reference::bit_xor(self, rhs);
+        }
+        LogicVec::build(self.width().max(rhs.width()), |i| {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = rhs.word(i);
+            let known = !b1 & !b2;
+            let x = !known;
+            (((a1 ^ a2) & known) | x, x)
+        })
     }
 
     /// Bitwise XNOR (`~^` / `^~`).
     pub fn bit_xnor(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::xnor)
+        if use_reference() {
+            return reference::bit_xnor(self, rhs);
+        }
+        LogicVec::build(self.width().max(rhs.width()), |i| {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = rhs.word(i);
+            let known = !b1 & !b2;
+            let x = !known;
+            ((!(a1 ^ a2) & known) | x, x)
+        })
     }
 
     /// Bitwise NOT.
     pub fn bit_not(&self) -> LogicVec {
-        LogicVec::from_bits_lsb(self.bits_lsb().iter().map(|b| b.not()).collect())
-    }
-
-    fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(Logic, Logic) -> Logic) -> LogicVec {
-        let w = self.width().max(rhs.width());
-        let a = self.resized(w);
-        let b = rhs.resized(w);
-        LogicVec::from_bits_lsb((0..w).map(|i| f(a.bit(i), b.bit(i))).collect())
+        if use_reference() {
+            return reference::bit_not(self);
+        }
+        LogicVec::build(self.width(), |i| {
+            let (a, b) = self.word(i);
+            ((!a & !b) | b, b)
+        })
     }
 
     // ---- reductions -----------------------------------------------------
 
     /// Reduction AND (`&v`).
     pub fn reduce_and(&self) -> Logic {
-        self.bits_lsb().iter().copied().fold(Logic::One, Logic::and)
+        if use_reference() {
+            return reference::reduce_and(self);
+        }
+        let (aw, bw) = self.planes();
+        let mut unknown = false;
+        let last = aw.len() - 1;
+        for (i, (a, b)) in aw.iter().zip(bw).enumerate() {
+            // Padding above the width is (0,0), which would read as a
+            // definite zero bit — mask it out of the top word.
+            let m = if i == last {
+                top_mask(self.width())
+            } else {
+                u64::MAX
+            };
+            if !a & !b & m != 0 {
+                return Logic::Zero;
+            }
+            unknown |= *b != 0;
+        }
+        if unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
     }
 
     /// Reduction OR (`|v`).
     pub fn reduce_or(&self) -> Logic {
-        self.bits_lsb().iter().copied().fold(Logic::Zero, Logic::or)
+        if use_reference() {
+            return reference::reduce_or(self);
+        }
+        let (aw, bw) = self.planes();
+        let mut unknown = false;
+        for (a, b) in aw.iter().zip(bw) {
+            if a & !b != 0 {
+                return Logic::One;
+            }
+            unknown |= *b != 0;
+        }
+        if unknown {
+            Logic::X
+        } else {
+            Logic::Zero
+        }
     }
 
     /// Reduction XOR (`^v`).
     pub fn reduce_xor(&self) -> Logic {
-        self.bits_lsb()
-            .iter()
-            .copied()
-            .fold(Logic::Zero, Logic::xor)
+        if use_reference() {
+            return reference::reduce_xor(self);
+        }
+        let (aw, bw) = self.planes();
+        if bw.iter().any(|b| *b != 0) {
+            return Logic::X;
+        }
+        let parity = aw.iter().map(|a| a.count_ones()).sum::<u32>() % 2;
+        Logic::from_bool(parity == 1)
     }
 
     /// Reduction NAND (`~&v`).
@@ -137,19 +291,25 @@ impl LogicVec {
     /// Logical equality `==`: `x` when either side has unknown bits that
     /// could change the answer.
     pub fn logic_eq(&self, rhs: &LogicVec) -> Logic {
-        let w = self.width().max(rhs.width());
-        let a = self.resized(w);
-        let b = rhs.resized(w);
-        let mut result = Logic::One;
-        for i in 0..w {
-            let (x, y) = (a.bit(i), b.bit(i));
-            if x.is_unknown() || y.is_unknown() {
-                result = Logic::X;
-            } else if x != y {
+        if use_reference() {
+            return reference::logic_eq(self, rhs);
+        }
+        let n = words_for(self.width().max(rhs.width()));
+        let mut unknown = false;
+        for i in 0..n {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = rhs.word(i);
+            // A definite bit difference decides, even with x elsewhere.
+            if (a1 ^ a2) & !b1 & !b2 != 0 {
                 return Logic::Zero;
             }
+            unknown |= (b1 | b2) != 0;
         }
-        result
+        if unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
     }
 
     /// Logical inequality `!=`.
@@ -159,10 +319,11 @@ impl LogicVec {
 
     /// Case equality `===`: exact four-state match, always `0` or `1`.
     pub fn case_eq(&self, rhs: &LogicVec) -> Logic {
-        let w = self.width().max(rhs.width());
-        let a = self.resized(w);
-        let b = rhs.resized(w);
-        Logic::from_bool((0..w).all(|i| a.bit(i) == b.bit(i)))
+        if use_reference() {
+            return reference::case_eq(self, rhs);
+        }
+        let n = words_for(self.width().max(rhs.width()));
+        Logic::from_bool((0..n).all(|i| self.word(i) == rhs.word(i)))
     }
 
     /// Case inequality `!==`.
@@ -172,17 +333,23 @@ impl LogicVec {
 
     /// Unsigned `<`; `x` if either operand has unknown bits.
     pub fn lt(&self, rhs: &LogicVec) -> Logic {
-        match (self.to_u128(), rhs.to_u128()) {
-            (Some(a), Some(b)) => Logic::from_bool(a < b),
-            _ => Logic::X,
+        if use_reference() {
+            return reference::lt(self, rhs);
+        }
+        match self.cmp_known(rhs) {
+            None => Logic::X,
+            Some(ord) => Logic::from_bool(ord == std::cmp::Ordering::Less),
         }
     }
 
     /// Unsigned `<=`.
     pub fn le(&self, rhs: &LogicVec) -> Logic {
-        match (self.to_u128(), rhs.to_u128()) {
-            (Some(a), Some(b)) => Logic::from_bool(a <= b),
-            _ => Logic::X,
+        if use_reference() {
+            return reference::le(self, rhs);
+        }
+        match self.cmp_known(rhs) {
+            None => Logic::X,
+            Some(ord) => Logic::from_bool(ord != std::cmp::Ordering::Greater),
         }
     }
 
@@ -196,61 +363,123 @@ impl LogicVec {
         rhs.le(self)
     }
 
+    /// Multiword unsigned compare of the `a` planes; `None` on any
+    /// unknown bit.
+    fn cmp_known(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
+        if self.has_unknown() || rhs.has_unknown() {
+            return None;
+        }
+        let n = words_for(self.width().max(rhs.width()));
+        for i in (0..n).rev() {
+            let (a, _) = self.word(i);
+            let (b, _) = rhs.word(i);
+            if a != b {
+                return Some(a.cmp(&b));
+            }
+        }
+        Some(std::cmp::Ordering::Equal)
+    }
+
     // ---- logical --------------------------------------------------------
 
     /// Logical AND `&&` over truthiness.
     pub fn logical_and(&self, rhs: &LogicVec) -> Logic {
+        if use_reference() {
+            return reference::logical_and(self, rhs);
+        }
         self.truth().and(rhs.truth()).to_logic()
     }
 
     /// Logical OR `||`.
     pub fn logical_or(&self, rhs: &LogicVec) -> Logic {
+        if use_reference() {
+            return reference::logical_or(self, rhs);
+        }
         self.truth().or(rhs.truth()).to_logic()
     }
 
     /// Logical NOT `!`.
     pub fn logical_not(&self) -> Logic {
+        if use_reference() {
+            return reference::logical_not(self);
+        }
         self.truth().not().to_logic()
     }
 
     // ---- shifts ---------------------------------------------------------
 
     /// Logical left shift; the result keeps the left operand's width.
-    /// An unknown shift amount yields all-`x`.
+    /// An unknown shift amount yields all-`x`; a known amount of the
+    /// width or more yields all-`0` (every bit shifted out).
     pub fn shl(&self, amount: &LogicVec) -> LogicVec {
+        if use_reference() {
+            return reference::shl(self, amount);
+        }
         let w = self.width();
-        match amount.to_u64() {
-            Some(n) => {
-                let n = n as usize;
-                LogicVec::from_bits_lsb(
-                    (0..w)
-                        .map(|i| if i >= n { self.bit(i - n) } else { Logic::Zero })
-                        .collect(),
-                )
+        match self.shift_amount(amount, w) {
+            ShiftAmount::Unknown => LogicVec::unknown(w),
+            ShiftAmount::Overflow => LogicVec::zero(w),
+            ShiftAmount::Bits(n) => {
+                let (ws, bs) = (n / 64, n % 64);
+                LogicVec::build(w, |i| {
+                    if i < ws {
+                        return (0, 0);
+                    }
+                    let (a0, b0) = self.word(i - ws);
+                    if bs == 0 {
+                        (a0, b0)
+                    } else if i - ws == 0 {
+                        (a0 << bs, b0 << bs)
+                    } else {
+                        let (a1, b1) = self.word(i - ws - 1);
+                        (
+                            (a0 << bs) | (a1 >> (64 - bs)),
+                            (b0 << bs) | (b1 >> (64 - bs)),
+                        )
+                    }
+                })
             }
-            None => LogicVec::unknown(w),
         }
     }
 
     /// Logical right shift.
     pub fn shr(&self, amount: &LogicVec) -> LogicVec {
+        if use_reference() {
+            return reference::shr(self, amount);
+        }
         let w = self.width();
-        match amount.to_u64() {
-            Some(n) => {
-                let n = n as usize;
-                LogicVec::from_bits_lsb(
-                    (0..w)
-                        .map(|i| {
-                            if i + n < w {
-                                self.bit(i + n)
-                            } else {
-                                Logic::Zero
-                            }
-                        })
-                        .collect(),
-                )
+        match self.shift_amount(amount, w) {
+            ShiftAmount::Unknown => LogicVec::unknown(w),
+            ShiftAmount::Overflow => LogicVec::zero(w),
+            ShiftAmount::Bits(n) => {
+                let (ws, bs) = (n / 64, n % 64);
+                LogicVec::build(w, |i| {
+                    let (a0, b0) = self.word(i + ws);
+                    if bs == 0 {
+                        (a0, b0)
+                    } else {
+                        let (a1, b1) = self.word(i + ws + 1);
+                        (
+                            (a0 >> bs) | (a1 << (64 - bs)),
+                            (b0 >> bs) | (b1 << (64 - bs)),
+                        )
+                    }
+                })
             }
-            None => LogicVec::unknown(w),
+        }
+    }
+
+    /// Classifies a shift amount: unknown bits, a known amount `>=
+    /// width` (including amounts too wide for `u64`), or in-range bits.
+    fn shift_amount(&self, amount: &LogicVec, width: usize) -> ShiftAmount {
+        if amount.has_unknown() {
+            return ShiftAmount::Unknown;
+        }
+        match amount.to_u64() {
+            // Fully known but with a 1 above bit 63: shifts everything out.
+            None => ShiftAmount::Overflow,
+            Some(n) if n >= width as u64 => ShiftAmount::Overflow,
+            Some(n) => ShiftAmount::Bits(n as usize),
         }
     }
 
@@ -259,6 +488,9 @@ impl LogicVec {
     /// Ternary `cond ? a : b` where `self` is the (already evaluated)
     /// condition: an unknown condition merges the branches bitwise.
     pub fn select(&self, then_v: &LogicVec, else_v: &LogicVec) -> LogicVec {
+        if use_reference() {
+            return reference::select(self, then_v, else_v);
+        }
         match self.truth() {
             Truth::True => then_v.clone(),
             Truth::False => else_v.clone(),
@@ -275,25 +507,39 @@ impl LogicVec {
 
     /// `casez` label match: `z` (or `?`) in either operand is a wildcard.
     pub fn casez_match(&self, label: &LogicVec) -> bool {
-        let w = self.width().max(label.width());
-        let a = self.resized(w);
-        let b = label.resized(w);
-        (0..w).all(|i| {
-            let (x, y) = (a.bit(i), b.bit(i));
-            x == Logic::Z || y == Logic::Z || x == y
+        if use_reference() {
+            return reference::casez_match(self, label);
+        }
+        let n = words_for(self.width().max(label.width()));
+        (0..n).all(|i| {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = label.word(i);
+            let wild = (!a1 & b1) | (!a2 & b2);
+            let eq = !((a1 ^ a2) | (b1 ^ b2));
+            eq | wild == u64::MAX
         })
     }
 
     /// `casex` label match: `x` and `z` in either operand are wildcards.
     pub fn casex_match(&self, label: &LogicVec) -> bool {
-        let w = self.width().max(label.width());
-        let a = self.resized(w);
-        let b = label.resized(w);
-        (0..w).all(|i| {
-            let (x, y) = (a.bit(i), b.bit(i));
-            x.is_unknown() || y.is_unknown() || x == y
+        if use_reference() {
+            return reference::casex_match(self, label);
+        }
+        let n = words_for(self.width().max(label.width()));
+        (0..n).all(|i| {
+            let (a1, b1) = self.word(i);
+            let (a2, b2) = label.word(i);
+            let eq = !((a1 ^ a2) | (b1 ^ b2));
+            eq | b1 | b2 == u64::MAX
         })
     }
+}
+
+/// Outcome of resolving a shift amount.
+enum ShiftAmount {
+    Unknown,
+    Overflow,
+    Bits(usize),
 }
 
 #[cfg(test)]
@@ -445,5 +691,50 @@ mod tests {
         patx.set_bit(0, Logic::X);
         assert!(!subject.casez_match(&patx) || subject.bit(0) == Logic::Zero);
         assert!(subject.casex_match(&patx));
+    }
+
+    // -- regressions for 4-state bugs flushed out by the differential
+    //    sweep (satellite: the old per-bit backend got these wrong) ---
+
+    #[test]
+    fn known_shift_amount_wider_than_u64_shifts_everything_out() {
+        // The old backend routed the amount through `to_u64()` and
+        // treated `None` (a fully-known 1 above bit 63) as unknown,
+        // yielding all-x; a known huge amount must yield all-0.
+        let mut amount = LogicVec::zero(70);
+        amount.set_bit(69, Logic::One);
+        assert!(amount.is_fully_known());
+        assert_eq!(v(0b1011, 4).shl(&amount).to_u64(), Some(0));
+        assert_eq!(v(0b1011, 4).shr(&amount).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn arithmetic_works_beyond_128_bits() {
+        // The old backend computed add/sub/neg via `to_u128()` and
+        // yielded all-x for any fully-known operand with a 1 above bit
+        // 127. Multiword ripple-carry has no such limit.
+        let mut a = LogicVec::zero(200);
+        a.set_bit(199, Logic::One); // 2^199
+        let one = LogicVec::from_u64(1, 200);
+        let sum = a.add(&one);
+        assert_eq!(sum.bit(199), Logic::One);
+        assert_eq!(sum.bit(0), Logic::One);
+        assert!(sum.is_fully_known());
+        assert_eq!(sum.sub(&one), a);
+        // -(2^199) at width 200 is 2^199 (two's complement fixpoint).
+        assert_eq!(a.neg(), a);
+    }
+
+    #[test]
+    fn comparison_works_beyond_128_bits() {
+        // Same `to_u128()` failure: fully-known >128-bit compares
+        // returned x instead of deciding.
+        let mut big = LogicVec::zero(200);
+        big.set_bit(199, Logic::One);
+        let small = LogicVec::from_u64(7, 200);
+        assert_eq!(small.lt(&big), Logic::One);
+        assert_eq!(big.lt(&small), Logic::Zero);
+        assert_eq!(big.ge(&small), Logic::One);
+        assert_eq!(big.le(&big), Logic::One);
     }
 }

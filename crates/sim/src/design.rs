@@ -2,12 +2,44 @@
 //! processes and continuous assignments.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 use cirfix_ast::Expr;
 use cirfix_logic::LogicVec;
 
 use crate::compile::Program;
+
+/// FNV-1a, the hasher for the design's name tables. These are small
+/// maps of short identifier keys, queried on hot paths (scope lookups
+/// during evaluation and compilation); SipHash's per-lookup setup cost
+/// dominates there, FNV's does not.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// A string-keyed map hashed with [`FnvHasher`].
+pub type NameMap<V> = HashMap<String, V, BuildHasherDefault<FnvHasher>>;
 
 /// Index of a scalar/vector signal in the elaborated design.
 pub type SignalId = usize;
@@ -72,7 +104,7 @@ pub struct Scope {
     /// Instance path, e.g. `dut.u_mul` (empty for the top instance).
     pub path: String,
     /// Local name → binding.
-    pub entries: HashMap<String, ScopeEntry>,
+    pub entries: NameMap<ScopeEntry>,
 }
 
 impl Scope {
@@ -170,7 +202,7 @@ pub struct Design {
     /// All continuous assignments (including port connections).
     pub cassigns: Vec<ContAssign>,
     /// Hierarchical signal name → id.
-    pub by_name: HashMap<String, SignalId>,
+    pub by_name: NameMap<SignalId>,
 }
 
 impl Design {

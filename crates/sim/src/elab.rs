@@ -14,7 +14,7 @@ use cirfix_logic::LogicVec;
 
 use crate::compile::compile_process;
 use crate::design::{
-    ContAssign, Design, Memory, Process, ProcessKind, Scope, ScopeEntry, Signal, SignalId,
+    ContAssign, Design, Memory, NameMap, Process, ProcessKind, Scope, ScopeEntry, Signal, SignalId,
     SignalKind, Target,
 };
 use crate::error::SimError;
@@ -44,7 +44,7 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, SimError> {
         modules,
         design: Design::default(),
     };
-    elab.instantiate(top_module, String::new(), HashMap::new(), 0)?;
+    elab.instantiate(top_module, String::new(), NameMap::default(), 0)?;
     Ok(elab.design)
 }
 
@@ -74,7 +74,7 @@ impl<'a> Elaborator<'a> {
         &mut self,
         module: &'a Module,
         path: String,
-        param_overrides: HashMap<String, LogicVec>,
+        param_overrides: NameMap<LogicVec>,
         depth: usize,
     ) -> Result<Rc<Scope>, SimError> {
         if depth > MAX_DEPTH {
@@ -90,7 +90,7 @@ impl<'a> Elaborator<'a> {
         };
 
         // Pass 1a: parameters, in source order.
-        let mut params: HashMap<String, LogicVec> = HashMap::new();
+        let mut params: NameMap<LogicVec> = NameMap::default();
         for item in &module.items {
             if let Item::Param(p) = item {
                 let value = if !p.local {
@@ -126,7 +126,7 @@ impl<'a> Elaborator<'a> {
 
         // Pass 1b: merge declarations per name.
         let mut order: Vec<String> = Vec::new();
-        let mut infos: HashMap<String, NameInfo> = HashMap::new();
+        let mut infos: NameMap<NameInfo> = NameMap::default();
         for item in &module.items {
             if let Item::Decl(d) = item {
                 self.merge_decl(module, d, &params, &mut order, &mut infos)?;
@@ -293,9 +293,9 @@ impl<'a> Elaborator<'a> {
         &self,
         module: &Module,
         d: &Decl,
-        params: &HashMap<String, LogicVec>,
+        params: &NameMap<LogicVec>,
         order: &mut Vec<String>,
-        infos: &mut HashMap<String, NameInfo>,
+        infos: &mut NameMap<NameInfo>,
     ) -> Result<(), SimError> {
         if d.kind == DeclKind::Inout {
             return Err(SimError::elab(format!(
@@ -381,7 +381,7 @@ impl<'a> Elaborator<'a> {
         &self,
         lv: &LValue,
         scope: &Scope,
-        params: &HashMap<String, LogicVec>,
+        params: &NameMap<LogicVec>,
         module_name: &str,
     ) -> Result<Target, SimError> {
         match lv {
@@ -472,7 +472,7 @@ impl<'a> Elaborator<'a> {
         inst: &cirfix_ast::Instance,
         parent: &'a Module,
         parent_scope: &Rc<Scope>,
-        parent_params: &HashMap<String, LogicVec>,
+        parent_params: &NameMap<LogicVec>,
         prefix: &str,
         depth: usize,
     ) -> Result<(), SimError> {
@@ -496,7 +496,7 @@ impl<'a> Elaborator<'a> {
                 _ => None,
             })
             .collect();
-        let mut overrides = HashMap::new();
+        let mut overrides = NameMap::default();
         for (i, c) in inst.params.iter().enumerate() {
             let Some(expr) = &c.expr else { continue };
             let value = eval_const(expr, parent_params).map_err(|e| {

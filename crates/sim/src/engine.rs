@@ -6,13 +6,16 @@
 //! then *non-blocking assignment* updates; when all three are empty the
 //! *postponed* region samples probes and `$monitor`, and time advances.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use cirfix_ast::{Expr, SourceFile};
 use cirfix_logic::{EdgeKind, Logic, LogicVec};
 
 use crate::cancel::CancelToken;
+use crate::code::{
+    compile_expr, compiled_program, exec_code, exec_mode, ExecMode, ExprCode, ProcCode,
+};
 use crate::compile::{Op, Program};
 use crate::design::{Design, Scope, SignalId, Store, Target};
 use crate::elab::elaborate;
@@ -162,7 +165,6 @@ struct NbaUpdate {
 struct FutureSlot {
     active: Vec<Ev>,
     nba: Vec<NbaUpdate>,
-    marks: Vec<usize>,
 }
 
 #[derive(Debug)]
@@ -171,6 +173,11 @@ struct ProbeState {
     trace: Trace,
     pending: bool,
     schedule: ProbeSchedule,
+    /// Next periodic sample time (`None` for edge probes and once the
+    /// schedule has run past `max_time`). Periodic sampling is tracked
+    /// here instead of through calendar slots so a fine-grained probe
+    /// (period 1) does not allocate a slot per time step.
+    next_sample: Option<u64>,
 }
 
 struct MonitorState {
@@ -204,6 +211,12 @@ pub struct Simulator {
     config: SimConfig,
     progs: Vec<Rc<Program>>,
     scopes: Vec<Rc<Scope>>,
+    codes: Vec<Rc<ProcCode>>,
+    cassign_codes: Vec<Option<Rc<ExprCode>>>,
+    scratch: Vec<LogicVec>,
+    count_scratch: Vec<u64>,
+    wake_scratch: Vec<usize>,
+    target_scratch: Vec<ConcreteTarget>,
     procs: Vec<ProcState>,
     watchers: Vec<Vec<Watcher>>,
     probe_edges: Vec<Vec<(usize, EdgeKind)>>,
@@ -216,7 +229,12 @@ pub struct Simulator {
     active: VecDeque<Ev>,
     inactive: Vec<Ev>,
     nba: Vec<NbaUpdate>,
-    future: BTreeMap<u64, FutureSlot>,
+    /// The event calendar, sorted by time *descending* so the next time
+    /// step pops from the back. It is only a few entries deep (pending
+    /// `#d` delays), so a sorted Vec with recycled slot buffers beats a
+    /// tree: no node allocation per time step.
+    calendar: Vec<(u64, FutureSlot)>,
+    free_slots: Vec<FutureSlot>,
     finished: bool,
     total_ops: u64,
     deltas_this_step: u64,
@@ -288,7 +306,20 @@ impl Simulator {
                 cassign_deps[sig].push(ci);
             }
         }
-        let sig_lsb = design.signals.iter().map(|s| s.lsb).collect();
+        let sig_lsb: Vec<usize> = design.signals.iter().map(|s| s.lsb).collect();
+        // Compile every process to bytecode up front; the thread-local
+        // cache makes this free for the (unmutated) majority of
+        // processes across candidate evaluations.
+        let codes = design
+            .processes
+            .iter()
+            .map(|p| compiled_program(&p.program, &p.scope, &sig_lsb))
+            .collect();
+        let cassign_codes = design
+            .cassigns
+            .iter()
+            .map(|ca| compile_expr(&ca.rhs, &ca.scope, &sig_lsb).map(Rc::new))
+            .collect();
         let mem_offset = design.memories.iter().map(|m| m.offset).collect();
         let mem_widths = design.memories.iter().map(|m| m.width).collect();
         let seed = config.seed;
@@ -299,6 +330,12 @@ impl Simulator {
             config,
             progs,
             scopes,
+            codes,
+            cassign_codes,
+            scratch: Vec::new(),
+            count_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            target_scratch: Vec::new(),
             procs,
             watchers: vec![Vec::new(); n_sigs],
             probe_edges: vec![Vec::new(); n_sigs],
@@ -311,7 +348,8 @@ impl Simulator {
             active: VecDeque::new(),
             inactive: Vec::new(),
             nba: Vec::new(),
-            future: BTreeMap::new(),
+            calendar: Vec::new(),
+            free_slots: Vec::new(),
             finished: false,
             total_ops: 0,
             deltas_this_step: 0,
@@ -367,6 +405,7 @@ impl Simulator {
             trace: Trace::new(spec.signals.clone()),
             pending: false,
             schedule: spec.schedule.clone(),
+            next_sample: None,
         });
         Ok(self.probes.len() - 1)
     }
@@ -383,6 +422,13 @@ impl Simulator {
         &self.log
     }
 
+    /// Takes the `$display` output, leaving the simulator's log empty.
+    /// For callers that discard the simulator afterwards — skips the
+    /// copy [`Simulator::log`] + `to_vec` would make.
+    pub fn take_log(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.log)
+    }
+
     /// The recorded trace of probe `idx` (as returned by `add_probe`).
     ///
     /// # Panics
@@ -390,6 +436,17 @@ impl Simulator {
     /// Panics if `idx` is out of range.
     pub fn probe_trace(&self, idx: usize) -> &Trace {
         &self.probes[idx].trace
+    }
+
+    /// Takes the recorded trace of probe `idx`, leaving an empty
+    /// (variable-less) trace behind. For callers that discard the
+    /// simulator afterwards — skips the clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn take_probe_trace(&mut self, idx: usize) -> Trace {
+        std::mem::take(&mut self.probes[idx].trace)
     }
 
     /// Current simulation time.
@@ -419,25 +476,42 @@ impl Simulator {
                 break;
             }
             self.run_postponed()?;
-            let Some((&t, _)) = self.future.iter().next() else {
-                break;
+            // Advance to the earlier of the next scheduled event and the
+            // next periodic probe sample (samples create a time step even
+            // when no event is due — the probe still records a row).
+            let t_event = self.calendar.last().map(|&(t, _)| t);
+            let t_probe = self.probes.iter().filter_map(|p| p.next_sample).min();
+            let t = match (t_event, t_probe) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
             };
             if t > self.config.max_time {
                 break;
             }
-            let slot = self.future.remove(&t).expect("slot exists");
             self.now = t;
             self.metrics.timesteps += 1;
             self.deltas_this_step = 0;
-            self.active.extend(slot.active);
-            self.nba = slot.nba;
-            for pi in slot.marks {
-                self.probes[pi].pending = true;
-                if let ProbeSchedule::Periodic { period, .. } = self.probes[pi].schedule {
-                    let next = t.saturating_add(period);
-                    if next <= self.config.max_time {
-                        self.future.entry(next).or_default().marks.push(pi);
+            if t_event == Some(t) {
+                let (_, mut slot) = self.calendar.pop().expect("slot exists");
+                self.active.extend(slot.active.drain(..));
+                // `self.nba` is empty between steps; swap to reuse the
+                // drained slot's buffer next time around.
+                std::mem::swap(&mut self.nba, &mut slot.nba);
+                self.free_slots.push(slot);
+            }
+            if t_probe == Some(t) {
+                for probe in &mut self.probes {
+                    if probe.next_sample != Some(t) {
+                        continue;
                     }
+                    probe.pending = true;
+                    let ProbeSchedule::Periodic { period, .. } = probe.schedule else {
+                        continue;
+                    };
+                    let next = t.saturating_add(period);
+                    probe.next_sample = (next <= self.config.max_time).then_some(next);
                 }
             }
         }
@@ -488,28 +562,33 @@ impl Simulator {
             self.cassign_queued[ci] = true;
             self.active.push_back(Ev::EvalCassign(ci));
         }
-        // Seed periodic probe marks.
-        for (pi, probe) in self.probes.iter().enumerate() {
-            if let ProbeSchedule::Periodic { start, .. } = probe.schedule {
+        // Seed periodic probe schedules. A start of 0 samples at the end
+        // of time step 0, so it is pending immediately and the schedule
+        // advances one period.
+        for probe in &mut self.probes {
+            if let ProbeSchedule::Periodic { start, period } = probe.schedule {
                 if start == 0 {
-                    // Sampled at the end of time step 0.
-                    self.future.entry(0).or_default().marks.push(pi);
-                } else if start <= self.config.max_time {
-                    self.future.entry(start).or_default().marks.push(pi);
+                    probe.pending = true;
+                    probe.next_sample = (period <= self.config.max_time).then_some(period);
+                } else {
+                    probe.next_sample = (start <= self.config.max_time).then_some(start);
                 }
             }
         }
-        // Time 0 probe marks load immediately.
-        if let Some(slot) = self.future.remove(&0) {
-            self.active.extend(slot.active);
-            self.nba.extend(slot.nba);
-            for pi in slot.marks {
-                self.probes[pi].pending = true;
-                if let ProbeSchedule::Periodic { period, .. } = self.probes[pi].schedule {
-                    if period <= self.config.max_time {
-                        self.future.entry(period).or_default().marks.push(pi);
-                    }
-                }
+    }
+
+    /// The calendar slot for time `t`, created (from the freelist) if
+    /// absent. The calendar is sorted by time descending.
+    fn future_slot(&mut self, t: u64) -> &mut FutureSlot {
+        match self
+            .calendar
+            .binary_search_by(|&(time, _)| time.cmp(&t).reverse())
+        {
+            Ok(i) => &mut self.calendar[i].1,
+            Err(i) => {
+                let slot = self.free_slots.pop().unwrap_or_default();
+                self.calendar.insert(i, (t, slot));
+                &mut self.calendar[i].1
             }
         }
     }
@@ -521,7 +600,7 @@ impl Simulator {
             if depth > self.metrics.peak_queue_depth {
                 self.metrics.peak_queue_depth = depth;
             }
-            if depth + self.future.len() as u64 > self.config.max_queue_events {
+            if depth + self.calendar.len() as u64 > self.config.max_queue_events {
                 return Err(SimError::ResourceExhausted {
                     what: "event queue",
                     time: self.now,
@@ -542,16 +621,23 @@ impl Simulator {
             if !self.inactive.is_empty() {
                 self.bump_delta()?;
                 self.metrics.inactive_events += self.inactive.len() as u64;
-                let moved: Vec<Ev> = self.inactive.drain(..).collect();
-                self.active.extend(moved);
+                let mut moved = std::mem::take(&mut self.inactive);
+                self.active.extend(moved.drain(..));
+                self.inactive = moved;
                 continue;
             }
             if !self.nba.is_empty() {
                 self.bump_delta()?;
                 self.metrics.nba_flushes += 1;
-                let updates = std::mem::take(&mut self.nba);
-                for up in updates {
+                let mut updates = std::mem::take(&mut self.nba);
+                for up in updates.drain(..) {
                     self.apply_write(&up.parts, up.value);
+                }
+                // Writes only wake processes (they run later from the
+                // active queue), so nothing re-queued into `nba` here;
+                // restore the drained buffer to recycle its capacity.
+                if self.nba.is_empty() {
+                    self.nba = updates;
                 }
                 continue;
             }
@@ -629,6 +715,38 @@ impl Simulator {
         eval_expr(expr, &mut ctx)
     }
 
+    /// Runs compiled bytecode when available (and bytecode execution is
+    /// selected), else tree-walks `expr`. Both paths are semantically
+    /// identical, including fault messages and `$random` LCG draws.
+    fn eval_either(
+        &mut self,
+        expr: &Expr,
+        code: Option<&ExprCode>,
+        scope: &Scope,
+    ) -> Result<LogicVec, EvalFault> {
+        match code {
+            Some(code) if exec_mode() == ExecMode::Bytecode => self.exec_compiled(code, scope),
+            _ => self.eval_in(expr, scope),
+        }
+    }
+
+    fn exec_compiled(&mut self, code: &ExprCode, scope: &Scope) -> Result<LogicVec, EvalFault> {
+        let mut stack = std::mem::take(&mut self.scratch);
+        let mut counts = std::mem::take(&mut self.count_scratch);
+        let mut ctx = EvalCtx {
+            scope,
+            store: &self.store,
+            sig_lsb: &self.sig_lsb,
+            mem_offset: &self.mem_offset,
+            time: self.now,
+            rng: &mut self.rng,
+        };
+        let r = exec_code(code, &mut ctx, &mut stack, &mut counts);
+        self.scratch = stack;
+        self.count_scratch = counts;
+        r
+    }
+
     fn resolve_target(
         &mut self,
         target: &Target,
@@ -697,7 +815,36 @@ impl Simulator {
         Ok(())
     }
 
+    /// Resolves `target` into the reusable scratch buffer and writes
+    /// `value` — the allocation-free path for targets that are consumed
+    /// immediately (blocking assigns, continuous assigns). Non-blocking
+    /// assigns keep an owned part list because updates are queued.
+    fn write_target(
+        &mut self,
+        target: &Target,
+        scope: &Scope,
+        value: LogicVec,
+    ) -> Result<(), EvalFault> {
+        let mut parts = std::mem::take(&mut self.target_scratch);
+        parts.clear();
+        let resolved = self.resolve_target_into(target, scope, &mut parts);
+        if resolved.is_ok() {
+            self.apply_write(&parts, value);
+        }
+        parts.clear();
+        self.target_scratch = parts;
+        resolved
+    }
+
     fn apply_write(&mut self, parts: &[ConcreteTarget], value: LogicVec) {
+        // Whole-signal writes — the overwhelmingly common case — skip
+        // the resize/slice round trip (set_signal resizes as needed).
+        if let [ConcreteTarget::SigRange { sig, msb, lsb }] = parts {
+            if *lsb == 0 && *msb + 1 == self.design.signals[*sig].width {
+                self.set_signal(*sig, value);
+                return;
+            }
+        }
         let total: usize = parts.iter().map(|p| p.width(&self.mem_widths)).sum();
         if total == 0 {
             return;
@@ -735,39 +882,48 @@ impl Simulator {
             return;
         }
         let old = std::mem::replace(&mut self.store.signals[sig], new);
-        let new_ref = self.store.signals[sig].clone();
 
         // Wake matching process watchers; drop stale and fired entries.
-        let watchers = std::mem::take(&mut self.watchers[sig]);
-        let mut kept = Vec::with_capacity(watchers.len());
-        let mut to_wake = Vec::new();
-        for w in watchers {
-            let p = &self.procs[w.proc];
-            if p.status != ProcStatus::Waiting || p.wait_epoch != w.epoch {
-                continue; // stale
+        // (Scratch buffer + in-place retain: no allocation per write.)
+        let mut watchers = std::mem::take(&mut self.watchers[sig]);
+        if !watchers.is_empty() {
+            let mut to_wake = std::mem::take(&mut self.wake_scratch);
+            {
+                let new_ref = &self.store.signals[sig];
+                let procs = &self.procs;
+                watchers.retain(|w| {
+                    let p = &procs[w.proc];
+                    if p.status != ProcStatus::Waiting || p.wait_epoch != w.epoch {
+                        return false; // stale
+                    }
+                    if w.edge.matches_vec(&old, new_ref) {
+                        to_wake.push(w.proc);
+                        false
+                    } else {
+                        true
+                    }
+                });
             }
-            if w.edge.matches_vec(&old, &new_ref) {
-                to_wake.push(w.proc);
-            } else {
-                kept.push(w);
+            self.watchers[sig] = watchers;
+            for i in to_wake.drain(..) {
+                self.wake(i);
             }
-        }
-        self.watchers[sig] = kept;
-        for p in to_wake {
-            self.wake(p);
+            self.wake_scratch = to_wake;
+        } else {
+            self.watchers[sig] = watchers;
         }
 
         // Edge-triggered probes.
         for k in 0..self.probe_edges[sig].len() {
             let (pi, edge) = self.probe_edges[sig][k];
-            if edge.matches_vec(&old, &new_ref) {
+            if edge.matches_vec(&old, &self.store.signals[sig]) {
                 self.probes[pi].pending = true;
             }
         }
 
         // Re-evaluate dependent continuous assignments.
-        let deps = self.cassign_deps[sig].clone();
-        for ci in deps {
+        for k in 0..self.cassign_deps[sig].len() {
+            let ci = self.cassign_deps[sig][k];
             if !self.cassign_queued[ci] {
                 self.cassign_queued[ci] = true;
                 self.active.push_back(Ev::EvalCassign(ci));
@@ -784,13 +940,23 @@ impl Simulator {
     fn eval_cassign(&mut self, ci: usize) -> Result<(), SimError> {
         self.cassign_queued[ci] = false;
         let scope = Rc::clone(&self.design.cassigns[ci].scope);
-        let rhs = self.design.cassigns[ci].rhs.clone();
-        let target = self.design.cassigns[ci].target.clone();
-        let value = self.eval_in(&rhs, &scope).map_err(|e| self.runtime(e))?;
-        let parts = self
-            .resolve_target(&target, &scope)
-            .map_err(|e| self.runtime(e))?;
-        self.apply_write(&parts, value);
+        let code = self.cassign_codes[ci].clone();
+        let value = match code.filter(|_| exec_mode() == ExecMode::Bytecode) {
+            Some(code) => self.exec_compiled(&code, &scope),
+            None => {
+                let rhs = self.design.cassigns[ci].rhs.clone();
+                self.eval_in(&rhs, &scope)
+            }
+        }
+        .map_err(|e| self.runtime(e))?;
+        match self.design.cassigns[ci].target {
+            Target::Sig(sig) => self.set_signal(sig, value),
+            ref target => {
+                let target = target.clone();
+                self.write_target(&target, &scope, value)
+                    .map_err(|e| self.runtime(e))?;
+            }
+        }
         Ok(())
     }
 
@@ -804,6 +970,7 @@ impl Simulator {
         self.procs[p].status = ProcStatus::Ready;
         let prog = Rc::clone(&self.progs[p]);
         let scope = Rc::clone(&self.scopes[p]);
+        let code = Rc::clone(&self.codes[p]);
         let mut ops_this_resume: u64 = 0;
         loop {
             ops_this_resume += 1;
@@ -822,17 +989,21 @@ impl Simulator {
                 self.procs[p].status = ProcStatus::Done;
                 return Ok(());
             };
+            // Compiled code is parallel to the program ops.
+            let oc = &code.ops[pc];
             match op {
                 Op::Assign { target, rhs } => {
-                    let value = self.eval_in(rhs, &scope).map_err(|e| self.runtime(e))?;
-                    let parts = self
-                        .resolve_target(target, &scope)
+                    let value = self
+                        .eval_either(rhs, oc.a.as_ref(), &scope)
                         .map_err(|e| self.runtime(e))?;
-                    self.apply_write(&parts, value);
+                    self.write_target(target, &scope, value)
+                        .map_err(|e| self.runtime(e))?;
                     self.procs[p].pc += 1;
                 }
                 Op::EvalPending { rhs } => {
-                    let value = self.eval_in(rhs, &scope).map_err(|e| self.runtime(e))?;
+                    let value = self
+                        .eval_either(rhs, oc.a.as_ref(), &scope)
+                        .map_err(|e| self.runtime(e))?;
                     self.procs[p].pending = Some(value);
                     self.procs[p].pc += 1;
                 }
@@ -841,20 +1012,20 @@ impl Simulator {
                         .pending
                         .take()
                         .unwrap_or_else(|| LogicVec::unknown(1));
-                    let parts = self
-                        .resolve_target(target, &scope)
+                    self.write_target(target, &scope, value)
                         .map_err(|e| self.runtime(e))?;
-                    self.apply_write(&parts, value);
                     self.procs[p].pc += 1;
                 }
                 Op::NonBlocking { target, rhs, delay } => {
-                    let value = self.eval_in(rhs, &scope).map_err(|e| self.runtime(e))?;
+                    let value = self
+                        .eval_either(rhs, oc.a.as_ref(), &scope)
+                        .map_err(|e| self.runtime(e))?;
                     let parts = self
                         .resolve_target(target, &scope)
                         .map_err(|e| self.runtime(e))?;
                     let d = match delay {
                         Some(d) => self
-                            .eval_in(d, &scope)
+                            .eval_either(d, oc.b.as_ref(), &scope)
                             .map_err(|e| self.runtime(e))?
                             .to_u64()
                             .unwrap_or(0),
@@ -864,17 +1035,14 @@ impl Simulator {
                     if d == 0 {
                         self.nba.push(update);
                     } else {
-                        self.future
-                            .entry(self.now + d)
-                            .or_default()
-                            .nba
-                            .push(update);
+                        let t = self.now + d;
+                        self.future_slot(t).nba.push(update);
                     }
                     self.procs[p].pc += 1;
                 }
                 Op::WaitDelay { amount } => {
                     let d = self
-                        .eval_in(amount, &scope)
+                        .eval_either(amount, oc.a.as_ref(), &scope)
                         .map_err(|e| self.runtime(e))?
                         .to_u64()
                         .unwrap_or(0);
@@ -884,11 +1052,8 @@ impl Simulator {
                     if d == 0 {
                         self.inactive.push(Ev::Resume(p));
                     } else {
-                        self.future
-                            .entry(self.now + d)
-                            .or_default()
-                            .active
-                            .push(Ev::Resume(p));
+                        let t = self.now + d;
+                        self.future_slot(t).active.push(Ev::Resume(p));
                     }
                     return Ok(());
                 }
@@ -906,7 +1071,9 @@ impl Simulator {
                     return Ok(());
                 }
                 Op::WaitCond { cond, watch } => {
-                    let v = self.eval_in(cond, &scope).map_err(|e| self.runtime(e))?;
+                    let v = self
+                        .eval_either(cond, oc.a.as_ref(), &scope)
+                        .map_err(|e| self.runtime(e))?;
                     if v.truth().as_bool() {
                         self.procs[p].pc += 1;
                     } else {
@@ -940,7 +1107,9 @@ impl Simulator {
                     }
                 }
                 Op::JumpIfFalse { cond, target } => {
-                    let v = self.eval_in(cond, &scope).map_err(|e| self.runtime(e))?;
+                    let v = self
+                        .eval_either(cond, oc.a.as_ref(), &scope)
+                        .map_err(|e| self.runtime(e))?;
                     if v.truth().as_bool() {
                         self.procs[p].pc += 1;
                     } else {
@@ -956,11 +1125,16 @@ impl Simulator {
                     arms,
                     default_target,
                 } => {
-                    let sv = self.eval_in(subject, &scope).map_err(|e| self.runtime(e))?;
+                    let sv = self
+                        .eval_either(subject, oc.a.as_ref(), &scope)
+                        .map_err(|e| self.runtime(e))?;
                     let mut jumped = false;
-                    'arms: for (labels, target) in arms {
-                        for label in labels {
-                            let lv = self.eval_in(label, &scope).map_err(|e| self.runtime(e))?;
+                    'arms: for (ai, (labels, target)) in arms.iter().enumerate() {
+                        for (li, label) in labels.iter().enumerate() {
+                            let lc = oc.labels.get(ai).and_then(|ls| ls.get(li));
+                            let lv = self
+                                .eval_either(label, lc.and_then(Option::as_ref), &scope)
+                                .map_err(|e| self.runtime(e))?;
                             let hit = match kind {
                                 cirfix_ast::CaseKind::Case => sv.case_match(&lv),
                                 cirfix_ast::CaseKind::Casez => sv.casez_match(&lv),
@@ -979,7 +1153,7 @@ impl Simulator {
                 }
                 Op::RepeatInit { count } => {
                     let n = self
-                        .eval_in(count, &scope)
+                        .eval_either(count, oc.a.as_ref(), &scope)
                         .map_err(|e| self.runtime(e))?
                         .to_u64()
                         .unwrap_or(0);

@@ -43,7 +43,7 @@ impl Lcg {
 pub struct EvalFault(pub String);
 
 impl EvalFault {
-    fn new(message: impl Into<String>) -> EvalFault {
+    pub(crate) fn new(message: impl Into<String>) -> EvalFault {
         EvalFault(message.into())
     }
 }
@@ -84,45 +84,12 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
         },
         Expr::Unary { op, arg, .. } => {
             let v = eval_expr(arg, ctx)?;
-            Ok(match op {
-                UnaryOp::LogicNot => LogicVec::scalar(v.logical_not()),
-                UnaryOp::BitNot => v.bit_not(),
-                UnaryOp::Minus => v.neg(),
-                UnaryOp::Plus => v,
-                UnaryOp::RedAnd => LogicVec::scalar(v.reduce_and()),
-                UnaryOp::RedOr => LogicVec::scalar(v.reduce_or()),
-                UnaryOp::RedXor => LogicVec::scalar(v.reduce_xor()),
-                UnaryOp::RedNand => LogicVec::scalar(v.reduce_nand()),
-                UnaryOp::RedNor => LogicVec::scalar(v.reduce_nor()),
-                UnaryOp::RedXnor => LogicVec::scalar(v.reduce_xnor()),
-            })
+            Ok(apply_unary(*op, v))
         }
         Expr::Binary { op, lhs, rhs, .. } => {
             let a = eval_expr(lhs, ctx)?;
             let b = eval_expr(rhs, ctx)?;
-            Ok(match op {
-                BinaryOp::Add => a.add(&b),
-                BinaryOp::Sub => a.sub(&b),
-                BinaryOp::Mul => a.mul(&b),
-                BinaryOp::Div => a.div(&b),
-                BinaryOp::Rem => a.rem(&b),
-                BinaryOp::Eq => LogicVec::scalar(a.logic_eq(&b)),
-                BinaryOp::Neq => LogicVec::scalar(a.logic_neq(&b)),
-                BinaryOp::CaseEq => LogicVec::scalar(a.case_eq(&b)),
-                BinaryOp::CaseNeq => LogicVec::scalar(a.case_neq(&b)),
-                BinaryOp::Lt => LogicVec::scalar(a.lt(&b)),
-                BinaryOp::Le => LogicVec::scalar(a.le(&b)),
-                BinaryOp::Gt => LogicVec::scalar(a.gt(&b)),
-                BinaryOp::Ge => LogicVec::scalar(a.ge(&b)),
-                BinaryOp::LogicAnd => LogicVec::scalar(a.logical_and(&b)),
-                BinaryOp::LogicOr => LogicVec::scalar(a.logical_or(&b)),
-                BinaryOp::BitAnd => a.bit_and(&b),
-                BinaryOp::BitOr => a.bit_or(&b),
-                BinaryOp::BitXor => a.bit_xor(&b),
-                BinaryOp::BitXnor => a.bit_xnor(&b),
-                BinaryOp::Shl => a.shl(&b),
-                BinaryOp::Shr => a.shr(&b),
-            })
+            Ok(apply_binary(*op, &a, &b))
         }
         Expr::Cond {
             cond,
@@ -244,6 +211,50 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
     }
 }
 
+/// Applies a unary operator — the single semantics shared by the
+/// tree-walking evaluator and the bytecode dispatch loop.
+pub(crate) fn apply_unary(op: UnaryOp, v: LogicVec) -> LogicVec {
+    match op {
+        UnaryOp::LogicNot => LogicVec::scalar(v.logical_not()),
+        UnaryOp::BitNot => v.bit_not(),
+        UnaryOp::Minus => v.neg(),
+        UnaryOp::Plus => v,
+        UnaryOp::RedAnd => LogicVec::scalar(v.reduce_and()),
+        UnaryOp::RedOr => LogicVec::scalar(v.reduce_or()),
+        UnaryOp::RedXor => LogicVec::scalar(v.reduce_xor()),
+        UnaryOp::RedNand => LogicVec::scalar(v.reduce_nand()),
+        UnaryOp::RedNor => LogicVec::scalar(v.reduce_nor()),
+        UnaryOp::RedXnor => LogicVec::scalar(v.reduce_xnor()),
+    }
+}
+
+/// Applies a binary operator — shared with the bytecode dispatch loop.
+pub(crate) fn apply_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
+    match op {
+        BinaryOp::Add => a.add(b),
+        BinaryOp::Sub => a.sub(b),
+        BinaryOp::Mul => a.mul(b),
+        BinaryOp::Div => a.div(b),
+        BinaryOp::Rem => a.rem(b),
+        BinaryOp::Eq => LogicVec::scalar(a.logic_eq(b)),
+        BinaryOp::Neq => LogicVec::scalar(a.logic_neq(b)),
+        BinaryOp::CaseEq => LogicVec::scalar(a.case_eq(b)),
+        BinaryOp::CaseNeq => LogicVec::scalar(a.case_neq(b)),
+        BinaryOp::Lt => LogicVec::scalar(a.lt(b)),
+        BinaryOp::Le => LogicVec::scalar(a.le(b)),
+        BinaryOp::Gt => LogicVec::scalar(a.gt(b)),
+        BinaryOp::Ge => LogicVec::scalar(a.ge(b)),
+        BinaryOp::LogicAnd => LogicVec::scalar(a.logical_and(b)),
+        BinaryOp::LogicOr => LogicVec::scalar(a.logical_or(b)),
+        BinaryOp::BitAnd => a.bit_and(b),
+        BinaryOp::BitOr => a.bit_or(b),
+        BinaryOp::BitXor => a.bit_xor(b),
+        BinaryOp::BitXnor => a.bit_xnor(b),
+        BinaryOp::Shl => a.shl(b),
+        BinaryOp::Shr => a.shr(b),
+    }
+}
+
 /// Evaluates a constant expression using only parameter bindings — used
 /// during elaboration for ranges, parameter values and replication counts.
 ///
@@ -251,7 +262,10 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalCtx<'_>) -> Result<LogicVec, EvalFau
 ///
 /// Returns an [`EvalFault`] if the expression references anything other
 /// than literals and parameters.
-pub fn eval_const(expr: &Expr, params: &HashMap<String, LogicVec>) -> Result<LogicVec, EvalFault> {
+pub fn eval_const<S: std::hash::BuildHasher>(
+    expr: &Expr,
+    params: &HashMap<String, LogicVec, S>,
+) -> Result<LogicVec, EvalFault> {
     let scope = Scope {
         path: String::new(),
         entries: params
@@ -280,7 +294,10 @@ pub fn eval_const(expr: &Expr, params: &HashMap<String, LogicVec>) -> Result<Log
 /// # Errors
 ///
 /// As [`eval_const`], plus unknown (`x`/`z`) results.
-pub fn eval_const_u64(expr: &Expr, params: &HashMap<String, LogicVec>) -> Result<u64, EvalFault> {
+pub fn eval_const_u64<S: std::hash::BuildHasher>(
+    expr: &Expr,
+    params: &HashMap<String, LogicVec, S>,
+) -> Result<u64, EvalFault> {
     eval_const(expr, params)?
         .to_u64()
         .ok_or_else(|| EvalFault::new("constant expression is unknown"))

@@ -38,6 +38,7 @@
 //! ```
 
 mod cancel;
+pub mod code;
 mod compile;
 mod design;
 mod elab;
@@ -49,10 +50,11 @@ pub mod vcd;
 pub mod width;
 
 pub use cancel::CancelToken;
+pub use code::{exec_mode, set_exec_mode, ExecMode};
 pub use compile::{CompileError, Op, Program, WaitSpec};
 pub use design::{
-    ContAssign, Design, Memory, Process, ProcessKind, Scope, ScopeEntry, Signal, SignalId,
-    SignalKind, Store, Target,
+    ContAssign, Design, FnvHasher, Memory, NameMap, Process, ProcessKind, Scope, ScopeEntry,
+    Signal, SignalId, SignalKind, Store, Target,
 };
 pub use elab::elaborate;
 pub use engine::{SimConfig, SimMetrics, SimOutcome, Simulator, CANCEL_CHECK_MASK};

@@ -7,8 +7,6 @@
 //! region of a time step — after all non-blocking updates have settled —
 //! like Verilog's `$strobe`.
 
-use std::collections::BTreeMap;
-
 use cirfix_logic::{EdgeKind, LogicVec};
 
 /// When a probe samples.
@@ -67,7 +65,11 @@ impl ProbeSpec {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     vars: Vec<String>,
-    rows: BTreeMap<u64, Vec<LogicVec>>,
+    /// Rows sorted by time, unique per time. A sorted `Vec` rather than
+    /// a `BTreeMap`: the engine records in ascending time order, so
+    /// recording is an append and lookups are a binary search, with no
+    /// per-row node allocations.
+    rows: Vec<(u64, Vec<LogicVec>)>,
 }
 
 impl Trace {
@@ -75,7 +77,7 @@ impl Trace {
     pub fn new(vars: Vec<String>) -> Trace {
         Trace {
             vars,
-            rows: BTreeMap::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -86,7 +88,7 @@ impl Trace {
 
     /// The recorded sample times, ascending.
     pub fn times(&self) -> impl Iterator<Item = u64> + '_ {
-        self.rows.keys().copied()
+        self.rows.iter().map(|&(t, _)| t)
     }
 
     /// Number of recorded rows.
@@ -110,27 +112,35 @@ impl Trace {
             self.vars.len(),
             "row width must match variable count"
         );
-        self.rows.insert(time, values);
+        match self.rows.last() {
+            Some(&(last, _)) if last < time => self.rows.push((time, values)),
+            None => self.rows.push((time, values)),
+            _ => match self.rows.binary_search_by_key(&time, |&(t, _)| t) {
+                Ok(i) => self.rows[i].1 = values,
+                Err(i) => self.rows.insert(i, (time, values)),
+            },
+        }
     }
 
     /// The value of `var` at `time`, if recorded.
     pub fn get(&self, time: u64, var: &str) -> Option<&LogicVec> {
         let col = self.vars.iter().position(|v| v == var)?;
-        self.rows.get(&time).map(|row| &row[col])
+        Some(&self.row(time)?[col])
     }
 
     /// The whole row at `time`, if recorded.
     pub fn row(&self, time: u64) -> Option<&[LogicVec]> {
-        self.rows.get(&time).map(Vec::as_slice)
+        let i = self.rows.binary_search_by_key(&time, |&(t, _)| t).ok()?;
+        Some(&self.rows[i].1)
     }
 
     /// Iterates `(time, var, value)` over every recorded cell.
     pub fn cells(&self) -> impl Iterator<Item = (u64, &str, &LogicVec)> + '_ {
-        self.rows.iter().flat_map(move |(t, row)| {
+        self.rows.iter().flat_map(move |&(t, ref row)| {
             self.vars
                 .iter()
                 .zip(row.iter())
-                .map(move |(v, val)| (*t, v.as_str(), val))
+                .map(move |(v, val)| (t, v.as_str(), val))
         })
     }
 
@@ -140,7 +150,7 @@ impl Trace {
     /// recording per-row presence; for simplicity, dropping removes the
     /// whole row when every cell of the row is dropped.
     pub fn retain_rows(&mut self, mut keep: impl FnMut(u64) -> bool) {
-        self.rows.retain(|t, _| keep(*t));
+        self.rows.retain(|&(t, _)| keep(t));
     }
 
     /// Renders the trace as CSV (`time,var1,var2,…`), the format of the
@@ -152,7 +162,7 @@ impl Trace {
             out.push_str(v);
         }
         out.push('\n');
-        for (t, row) in &self.rows {
+        for &(t, ref row) in &self.rows {
             out.push_str(&t.to_string());
             for val in row {
                 out.push(',');
