@@ -126,6 +126,8 @@ pub fn brute_force_repair(problem: &RepairProblem, config: BruteConfig) -> Repai
         timeouts: 0,
         panics: 0,
         exhausted: 0,
+        pattern_hits: 0,
+        corpus_skipped: 0,
     };
 
     // Evaluates one batch across the worker pool and merges the

@@ -72,6 +72,7 @@ pub mod explain;
 mod faultloc;
 mod faults;
 mod fitness;
+mod mined;
 mod minimize;
 mod mutation;
 mod oracle;
@@ -94,6 +95,9 @@ pub use engine::{evaluate_many, resolve_jobs};
 pub use faultloc::{fault_loc_event, fault_localization, FaultLoc};
 pub use faults::{FaultInjector, FaultKind, FaultPlan};
 pub use fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
+pub use mined::{
+    compose_priors, load_mined_patterns, mined_prior, mined_template_candidates, MINED_BOOST_CAP,
+};
 pub use minimize::{minimize, minimize_observed};
 pub use mutation::{all_stmt_ids, mutate, mutate_with_prior, MutationParams};
 pub use oracle::{

@@ -131,6 +131,18 @@ pub fn session_digest(scenario: Digest, config: &RepairConfig, trials: u32) -> D
     h.write_u64(u64::from(config.relocalize));
     h.write_u64(config.max_patch_len as u64);
     h.write_u64(u64::from(config.lint_prior));
+    // Mined patterns reshape the template draw and the mutation prior,
+    // so sessions with different pattern sets must not resume each
+    // other. The no-patterns case hashes nothing, keeping pre-mining
+    // session digests (and their resumable logs) valid.
+    if !config.mined_patterns.is_empty() {
+        h.write_str("mined-patterns");
+        h.write_u64(config.mined_patterns.len() as u64);
+        for p in &config.mined_patterns {
+            h.write_str(&p.shape);
+            h.write_u64(p.support);
+        }
+    }
     h.write_u64(config.batch_size as u64);
     h.write_u64(u64::from(trials));
     h.finish()
@@ -507,6 +519,8 @@ pub fn result_to_canonical_json(r: &RepairResult) -> JsonValue {
         ("timeouts", JsonValue::Uint(r.totals.timeouts)),
         ("panics", JsonValue::Uint(r.totals.panics)),
         ("exhausted", JsonValue::Uint(r.totals.exhausted)),
+        ("pattern_hits", JsonValue::Uint(r.totals.pattern_hits)),
+        ("corpus_skipped", JsonValue::Uint(r.totals.corpus_skipped)),
     ])
 }
 
@@ -531,6 +545,8 @@ pub(crate) fn totals_to_json(t: &RunTotals) -> JsonValue {
         ("timeouts", JsonValue::Uint(t.timeouts)),
         ("panics", JsonValue::Uint(t.panics)),
         ("exhausted", JsonValue::Uint(t.exhausted)),
+        ("pattern_hits", JsonValue::Uint(t.pattern_hits)),
+        ("corpus_skipped", JsonValue::Uint(t.corpus_skipped)),
     ])
 }
 
@@ -550,6 +566,9 @@ pub(crate) fn totals_from_json(v: &JsonValue) -> Result<RunTotals, String> {
         timeouts: field_u64(v, "timeouts").unwrap_or(0),
         panics: field_u64(v, "panics").unwrap_or(0),
         exhausted: field_u64(v, "exhausted").unwrap_or(0),
+        // Absent in checkpoints from before pattern mining.
+        pattern_hits: field_u64(v, "pattern_hits").unwrap_or(0),
+        corpus_skipped: field_u64(v, "corpus_skipped").unwrap_or(0),
     })
 }
 

@@ -28,6 +28,7 @@ use crate::engine::panic_message;
 use crate::faultloc::{fault_loc_event, fault_localization, FaultLoc};
 use crate::faults::{FaultInjector, FaultKind};
 use crate::fitness::{failure_report, fitness, population_stats, FitnessParams, FitnessReport};
+use crate::mined::{compose_priors, mined_prior, mined_random_template};
 use crate::minimize::minimize;
 use crate::mutation::{mutate_with_prior, MutationParams};
 use crate::oracle::{simulate_with_probe_profiled, RepairProblem};
@@ -85,6 +86,14 @@ pub struct RepairConfig {
     /// Weight mutation targets by lint findings on the original
     /// design: implicated nodes are sampled more often.
     pub lint_prior: bool,
+    /// Fix patterns mined from the repair corpus (`cirfix mine`,
+    /// loaded via `--mined-patterns`). When non-empty, the template
+    /// operator draws support-weighted instances of the endorsed
+    /// Table 1 classes, and a learned mutation prior composes
+    /// multiplicatively with [`RepairConfig::lint_prior`]. Empty (the
+    /// default) leaves the search byte-identical to the unmined
+    /// engine.
+    pub mined_patterns: Vec<cirfix_mine::FixPattern>,
     /// Worker threads for fitness evaluation. `0` means auto: the
     /// `CIRFIX_JOBS` environment variable when set, otherwise
     /// [`std::thread::available_parallelism`]. The search result is
@@ -146,6 +155,7 @@ impl RepairConfig {
             max_patch_len: 32,
             static_filter: false,
             lint_prior: false,
+            mined_patterns: Vec::new(),
             jobs: 0,
             batch_size: 32,
             halt_after: None,
@@ -242,6 +252,12 @@ pub struct RunTotals {
     /// Candidates that hit a hard resource cap
     /// ([`EvalOutcome::ResourceExhausted`]).
     pub exhausted: u64,
+    /// Template draws that landed on a mined-pattern-endorsed instance
+    /// (zero unless [`RepairConfig::mined_patterns`] is non-empty).
+    pub pattern_hits: u64,
+    /// Corpus appends skipped because an identical (scenario, patch)
+    /// pair was already recorded.
+    pub corpus_skipped: u64,
 }
 
 /// The outcome of one repair trial.
@@ -534,6 +550,8 @@ pub struct Repairer<'a> {
     exhausted: u64,
     filter: Option<StaticFilter>,
     prior: BTreeMap<NodeId, u32>,
+    // Template draws that landed on a mined-pattern-endorsed instance.
+    pattern_hits: u64,
     started: Instant,
     node_budget: usize,
     // AST node count of the original source (growth denominator).
@@ -615,10 +633,23 @@ impl<'a> Repairer<'a> {
         let filter = config
             .static_filter
             .then(|| StaticFilter::new(&problem.source, &problem.design_modules));
-        let prior = if config.lint_prior {
+        let lint = if config.lint_prior {
             lint_prior(&problem.source, &problem.design_modules)
         } else {
             BTreeMap::new()
+        };
+        // The learned prior composes multiplicatively with the lint
+        // prior; with no mined patterns the lint prior passes through
+        // untouched (including the all-empty case).
+        let prior = if config.mined_patterns.is_empty() {
+            lint
+        } else {
+            let mined = mined_prior(
+                &problem.source,
+                &problem.design_modules,
+                &config.mined_patterns,
+            );
+            compose_priors(&lint, &mined)
         };
         let jobs = crate::engine::resolve_jobs(config.jobs);
         let config_enabled = config.observer.enabled();
@@ -636,6 +667,7 @@ impl<'a> Repairer<'a> {
             exhausted: 0,
             filter,
             prior,
+            pattern_hits: 0,
             started: Instant::now(),
             node_budget,
             original_nodes,
@@ -1238,11 +1270,39 @@ impl<'a> Repairer<'a> {
 
         let roll: f64 = self.rng.gen();
         if roll <= self.config.rt_threshold {
-            // Repair templates.
+            // Repair templates. Without mined patterns this is the
+            // paper's uniform draw; with them, endorsed Table 1
+            // instances are over-weighted by support.
             self.mix.template += 1;
-            match random_template(&variant, &self.problem.design_modules, &fl, &mut self.rng) {
-                Some(edit) => vec![(parent.with(edit), "template")],
-                None => vec![(parent.clone(), "template")],
+            if self.config.mined_patterns.is_empty() {
+                match random_template(&variant, &self.problem.design_modules, &fl, &mut self.rng) {
+                    Some(edit) => vec![(parent.with(edit), "template")],
+                    None => vec![(parent.clone(), "template")],
+                }
+            } else {
+                match mined_random_template(
+                    &variant,
+                    &self.problem.design_modules,
+                    &fl,
+                    &self.config.mined_patterns,
+                    &mut self.rng,
+                ) {
+                    Some((edit, weight)) => {
+                        if weight > 1 {
+                            self.pattern_hits += 1;
+                            self.config.observer.emit(|| {
+                                Event::Mine(cirfix_telemetry::MineEvent {
+                                    op: "pattern_hit".to_string(),
+                                    pattern: String::new(),
+                                    support: weight - 1,
+                                    count: 1,
+                                })
+                            });
+                        }
+                        vec![(parent.with(edit), "template")]
+                    }
+                    None => vec![(parent.clone(), "template")],
+                }
             }
         } else if self.rng.gen::<f64>() <= self.config.mut_threshold {
             self.mix.mutation += 1;
@@ -1318,6 +1378,7 @@ impl<'a> Repairer<'a> {
             timeouts: self.timeouts,
             panics: self.panics,
             exhausted: self.exhausted,
+            pattern_hits: self.pattern_hits,
             patch_applies: self.patch_applies,
             elapsed: self.started.elapsed(),
             busy: self.busy,
@@ -1381,6 +1442,8 @@ impl<'a> Repairer<'a> {
                 timeouts: self.timeouts,
                 panics: self.panics,
                 exhausted: self.exhausted,
+                pattern_hits: self.pattern_hits,
+                corpus_skipped: 0,
             },
         }
     }
@@ -1416,6 +1479,7 @@ impl<'a> Repairer<'a> {
             self.timeouts = state.timeouts;
             self.panics = state.panics;
             self.exhausted = state.exhausted;
+            self.pattern_hits = state.pattern_hits;
             self.patch_applies = state.patch_applies;
             self.busy = state.busy;
             self.started = Instant::now()
@@ -1642,6 +1706,8 @@ impl<'a> Repairer<'a> {
                 timeouts: self.timeouts,
                 panics: self.panics,
                 exhausted: self.exhausted,
+                pattern_hits: self.pattern_hits,
+                corpus_skipped: 0,
             },
         }
     }
@@ -1823,6 +1889,8 @@ pub fn repair_with_trials(
         totals.timeouts += result.totals.timeouts;
         totals.panics += result.totals.panics;
         totals.exhausted += result.totals.exhausted;
+        totals.pattern_hits += result.totals.pattern_hits;
+        totals.corpus_skipped += result.totals.corpus_skipped;
         result.totals = totals.clone();
         if result.is_plausible() {
             return result;

@@ -296,6 +296,8 @@ pub struct Checkpoint {
     pub panics: u64,
     /// Resource-cap stops so far.
     pub exhausted: u64,
+    /// Mined-pattern template hits so far.
+    pub pattern_hits: u64,
     /// Patch applications so far.
     pub patch_applies: u64,
     /// Wall clock consumed so far.
@@ -449,6 +451,7 @@ impl SessionRecorder {
             ("timeouts", JsonValue::Uint(cp.timeouts)),
             ("panics", JsonValue::Uint(cp.panics)),
             ("exhausted", JsonValue::Uint(cp.exhausted)),
+            ("pattern_hits", JsonValue::Uint(cp.pattern_hits)),
             ("patch_applies", JsonValue::Uint(cp.patch_applies)),
             (
                 "elapsed_nanos",
@@ -531,6 +534,8 @@ pub struct ResumeState {
     pub panics: u64,
     /// Resource-cap stops at the boundary.
     pub exhausted: u64,
+    /// Mined-pattern template hits at the boundary.
+    pub pattern_hits: u64,
     /// Patch applications at the boundary.
     pub patch_applies: u64,
     /// Wall clock consumed before the interruption.
@@ -700,6 +705,7 @@ fn fold_session(
         timeouts: field_u64(&cp, "timeouts").unwrap_or(0),
         panics: field_u64(&cp, "panics").unwrap_or(0),
         exhausted: field_u64(&cp, "exhausted").unwrap_or(0),
+        pattern_hits: field_u64(&cp, "pattern_hits").unwrap_or(0),
         patch_applies: need_u64(&cp, "patch_applies")?,
         elapsed: Duration::from_nanos(need_u64(&cp, "elapsed_nanos")?),
         busy: Duration::from_nanos(need_u64(&cp, "busy_nanos")?),
@@ -823,6 +829,8 @@ pub fn repair_session(
             totals.timeouts += result.totals.timeouts;
             totals.panics += result.totals.panics;
             totals.exhausted += result.totals.exhausted;
+            totals.pattern_hits += result.totals.pattern_hits;
+            totals.corpus_skipped += result.totals.corpus_skipped;
             result.totals = totals;
             return Ok(result);
         }
@@ -839,39 +847,75 @@ pub fn repair_session(
         totals.timeouts += result.totals.timeouts;
         totals.panics += result.totals.panics;
         totals.exhausted += result.totals.exhausted;
+        totals.pattern_hits += result.totals.pattern_hits;
+        totals.corpus_skipped += result.totals.corpus_skipped;
         result.totals = totals.clone();
 
         if result.is_plausible() {
-            let corpus = JsonValue::obj(vec![
-                ("scenario", JsonValue::Str(scenario.to_hex())),
-                ("session", JsonValue::Str(session.to_hex())),
-                ("trial", JsonValue::Uint(u64::from(t))),
-                (
-                    "seed",
-                    JsonValue::Uint(base.seed.wrapping_add(u64::from(t))),
-                ),
-                ("patch", patch_to_json(&result.patch)),
-                (
-                    "fitness_bits",
-                    JsonValue::Uint(result.best_fitness.to_bits()),
-                ),
-                (
-                    "unminimized_len",
-                    JsonValue::Uint(result.unminimized_len as u64),
-                ),
-                (
-                    "generations",
-                    JsonValue::Uint(u64::from(result.generations)),
-                ),
-                (
-                    "repaired_source",
-                    match &result.repaired_source {
-                        Some(s) => JsonValue::Str(s.clone()),
-                        None => JsonValue::Null,
-                    },
-                ),
-            ]);
-            store.append_corpus(&corpus)?;
+            // Corpus hygiene: an identical (scenario, patch) pair —
+            // e.g. the same session re-run without `--resume` — is
+            // recorded once, not once per run.
+            let patch_json = patch_to_json(&result.patch);
+            let patch_text = patch_json.to_json();
+            let scenario_hex = scenario.to_hex();
+            let (existing, _) = store.load_corpus()?;
+            let duplicate = existing.iter().any(|r| {
+                field_str(r, "scenario") == Some(scenario_hex.as_str())
+                    && field(r, "patch").is_some_and(|p| p.to_json() == patch_text)
+            });
+            if duplicate {
+                totals.corpus_skipped += 1;
+                result.totals.corpus_skipped = totals.corpus_skipped;
+                base.observer.emit(|| {
+                    Event::Store(StoreEvent {
+                        op: "corpus_skip".into(),
+                        key: scenario_hex.clone(),
+                        records: 1,
+                    })
+                });
+            } else {
+                // The faulty design, printed with the same
+                // design-modules-only convention as `repaired_source`,
+                // so `cirfix mine` can replay the pair.
+                let faulty_source: Vec<String> = problem
+                    .source
+                    .modules
+                    .iter()
+                    .filter(|m| problem.design_modules.contains(&m.name))
+                    .map(cirfix_ast::print::module_to_string)
+                    .collect();
+                let corpus = JsonValue::obj(vec![
+                    ("scenario", JsonValue::Str(scenario_hex)),
+                    ("session", JsonValue::Str(session.to_hex())),
+                    ("trial", JsonValue::Uint(u64::from(t))),
+                    (
+                        "seed",
+                        JsonValue::Uint(base.seed.wrapping_add(u64::from(t))),
+                    ),
+                    ("patch", patch_json),
+                    (
+                        "fitness_bits",
+                        JsonValue::Uint(result.best_fitness.to_bits()),
+                    ),
+                    (
+                        "unminimized_len",
+                        JsonValue::Uint(result.unminimized_len as u64),
+                    ),
+                    (
+                        "generations",
+                        JsonValue::Uint(u64::from(result.generations)),
+                    ),
+                    ("faulty_source", JsonValue::Str(faulty_source.join("\n"))),
+                    (
+                        "repaired_source",
+                        match &result.repaired_source {
+                            Some(s) => JsonValue::Str(s.clone()),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                ]);
+                store.append_corpus(&corpus)?;
+            }
             recorder.complete(RepairStatus::Plausible);
             recorder.sync();
             return Ok(result);

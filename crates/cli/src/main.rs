@@ -14,6 +14,8 @@
 //!                                                 the golden one on a held-out bench
 //! cirfix lint <design.v|repair.conf> [--json]     run the static-analysis passes
 //! cirfix store <ls|verify|gc> <store-dir>         inspect or maintain a store
+//! cirfix mine <store-dir|corpus.jsonl> [--out FILE] [--jobs N] [--json]
+//!                                                 learn fix patterns from the repair corpus
 //! cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]
 //!                                                 fold a trace or session into a run report
 //! cirfix watch <trace.jsonl> [--interval-ms N] [--once]
@@ -51,6 +53,10 @@
 //! ```text
 //! --static-filter      lint-gate mutants before simulation
 //! --lint-prior         bias mutation targets toward lint findings
+//! --mined-patterns F   load a `cirfix mine` patterns file: mined
+//!                      templates join the repair catalog with
+//!                      support-proportional weight, and the learned
+//!                      mutation prior composes with --lint-prior
 //! ```
 //!
 //! Parallel evaluation (for `repair`):
@@ -121,6 +127,7 @@ fn usage() -> String {
     "usage: cirfix <repair|simulate|fitness|localize|verify> <config-file> [--key value ...]\n\
      \u{20}      cirfix lint <design.v|repair.conf> [--json]\n\
      \u{20}      cirfix store <ls|verify|gc> <store-dir>\n\
+     \u{20}      cirfix mine <store-dir|corpus.jsonl> [--out FILE] [--jobs N] [--json]\n\
      \u{20}      cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]\n\
      \u{20}      cirfix watch <trace.jsonl|JOB --socket ADDR> [--interval-ms N] [--once]\n\
      \u{20}      cirfix serve <store-dir> [--socket PATH|tcp:ADDR] [--max-active N] [--max-queue N]\n\
@@ -141,6 +148,11 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // `store` operates on a store directory, not a repair config.
     if command == "store" {
         return cmd_store(rest);
+    }
+    // `mine` consumes a repair corpus (a store directory or a raw
+    // corpus segment), not a repair config.
+    if command == "mine" {
+        return cmd_mine(rest);
     }
     // `report` and `watch` consume run artifacts (a trace file or a
     // store directory), not a repair config.
@@ -264,6 +276,8 @@ fn cmd_repair(config: &Config) -> Result<(), Box<dyn std::error::Error>> {
     println!("  timeouts         {:>12}", t.timeouts);
     println!("  panics           {:>12}", t.panics);
     println!("  exhausted        {:>12}", t.exhausted);
+    println!("  pattern hits     {:>12}", t.pattern_hits);
+    println!("  corpus skips     {:>12}", t.corpus_skipped);
     println!("  minimize evals   {:>12}", result.minimize_evals);
     println!("  wall clock       {:>12.1?}", t.wall_time);
     println!("  eval workers     {:>12}", t.jobs);
@@ -503,6 +517,8 @@ fn cmd_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             let (corpus, _) = store.load_corpus()?;
             println!("  corpus repairs   {:>12}", corpus.len());
+            let (patterns, _) = store.load_patterns()?;
+            println!("  mined patterns   {:>12}", patterns.len());
             if !health.is_clean() {
                 println!(
                     "  damage: {} corrupt record(s), {} torn tail(s) — run `cirfix store verify`",
@@ -558,6 +574,117 @@ fn cmd_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         other => Err(format!("unknown store action `{other}`\n{store_usage}").into()),
     }
+}
+
+/// `cirfix mine`: replay the repair corpus into faulty/repaired edit
+/// scripts, cluster them into ranked fix patterns, and persist them as
+/// a checksummed patterns file.
+///
+/// ```text
+/// cirfix mine <store-dir>        mine corpus/corpus.jsonl, write patterns/patterns.jsonl
+/// cirfix mine <corpus.jsonl>     mine a raw corpus segment (requires --out)
+/// cirfix mine ... --out FILE     write the patterns file elsewhere
+/// cirfix mine ... --jobs N       replay records on N threads (0 = auto)
+/// cirfix mine ... --json         machine-readable summary line
+/// ```
+///
+/// Mining is deterministic: the same corpus bytes produce the same
+/// patterns file bytes for every `--jobs` value. The output feeds back
+/// into the search via `cirfix repair ... --mined-patterns FILE`.
+fn cmd_mine(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mine_usage = "usage: cirfix mine <store-dir|corpus.jsonl> [--out FILE] [--jobs N] [--json]";
+    let (input, flags) = args.split_first().ok_or(mine_usage)?;
+    let mut out: Option<PathBuf> = None;
+    let mut jobs = 0usize;
+    let mut json = false;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--out" => {
+                let value = flags.get(i + 1).ok_or("--out needs a value")?;
+                out = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--jobs" => {
+                let value = flags.get(i + 1).ok_or("--jobs needs a value")?;
+                jobs = value
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got `{value}`"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{mine_usage}").into()),
+        }
+    }
+    let path = Path::new(input);
+    let (records, health, out_path) = if path.is_dir() {
+        let store = cirfix_store::Store::open(path)?;
+        let (records, health) = store.load_corpus()?;
+        (
+            records,
+            health,
+            out.unwrap_or_else(|| store.patterns_path()),
+        )
+    } else {
+        let (records, health) = cirfix_store::read_segment(path)?;
+        let out = out.ok_or("mining a raw corpus file requires --out FILE")?;
+        (records, health, out)
+    };
+    if !health.is_clean() {
+        eprintln!(
+            "warning: corpus damage: {} corrupt record(s){} — damaged records skipped",
+            health.corrupt.len(),
+            if health.torn_tail.is_some() {
+                ", torn tail"
+            } else {
+                ""
+            }
+        );
+    }
+    let report = cirfix_mine::mine_corpus(&records, cirfix::resolve_jobs(jobs));
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    cirfix_mine::write_patterns_file(&out_path, &report.patterns)
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    if json {
+        println!("{}", cirfix_mine::report_to_json(&report).to_json());
+        return Ok(());
+    }
+    println!(
+        "mined {} pattern(s) from {} corpus record(s): {} script(s), skipped {} missing-source, {} unparseable, {} empty-diff",
+        report.patterns.len(),
+        report.records,
+        report.scripts,
+        report.skipped_missing,
+        report.skipped_parse,
+        report.skipped_empty
+    );
+    for p in &report.patterns {
+        let step = &p.steps[0];
+        let more = if p.steps.len() > 1 {
+            format!(" (+{} more step(s))", p.steps.len() - 1)
+        } else {
+            String::new()
+        };
+        println!(
+            "  support {:>4}  {} {}@{}: {} -> {}{more}",
+            p.support,
+            step.action.as_str(),
+            step.node_kind,
+            step.parent_kind,
+            step.before,
+            step.after
+        );
+    }
+    println!("patterns written to {}", out_path.display());
+    Ok(())
 }
 
 /// `cirfix report`: fold a JSON-lines telemetry trace, or a persisted

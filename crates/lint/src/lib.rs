@@ -75,6 +75,21 @@ pub fn lint_modules(file: &SourceFile, names: &[String]) -> Vec<(String, Diagnos
     out
 }
 
+/// Groups a module's diagnostic codes by the node they point at —
+/// the anchor-context shape the fix-pattern miner attaches to edit
+/// sites. Codes at each node are sorted and deduplicated.
+pub fn diagnostics_by_node(module: &Module) -> BTreeMap<cirfix_ast::NodeId, Vec<String>> {
+    let mut out: BTreeMap<cirfix_ast::NodeId, Vec<String>> = BTreeMap::new();
+    for d in lint_module(module) {
+        out.entry(d.node_id).or_default().push(d.code.to_string());
+    }
+    for codes in out.values_mut() {
+        codes.sort();
+        codes.dedup();
+    }
+    out
+}
+
 /// Counts error-severity diagnostics per code — the shape the repair
 /// loop's static filter compares against its baseline.
 pub fn error_code_counts(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {

@@ -1,0 +1,224 @@
+#![warn(missing_docs)]
+
+//! Fix-pattern mining for the CirFix reproduction.
+//!
+//! Every plausible repair the engine finds is appended to the store's
+//! `corpus/corpus.jsonl` with both the faulty and the repaired design
+//! source. This crate closes the loop (FixMiner-style):
+//!
+//! 1. [`script`] re-parses each pair into numbered ASTs and computes a
+//!    structural diff as a typed edit script — `UPD`/`INS`/`DEL`/`MOV`
+//!    steps anchored with parent kind, sibling kinds, operator class,
+//!    and the `cirfix-lint` diagnostics implicated at the site, with
+//!    identifiers and literals abstracted into holes.
+//! 2. [`pattern`] clusters the scripts by a context-sensitive shape
+//!    hash into ranked [`FixPattern`]s with support counts and writes
+//!    them as a checksummed `patterns.jsonl` segment.
+//!
+//! [`mine_corpus`] is the entry point; `cirfix mine` wraps it, and
+//! `cirfix repair --mined-patterns` feeds the result back into the
+//! search as extra repair templates and a learned mutation prior.
+//!
+//! Determinism: the per-record diff work is farmed out to `jobs`
+//! threads but results are merged back in corpus order and clustering
+//! is serial, so the mined output is byte-identical for a given corpus
+//! regardless of the worker count.
+
+pub mod pattern;
+pub mod script;
+
+pub use pattern::{
+    cluster, load_patterns_file, pattern_from_json, pattern_to_json, shape_hash,
+    write_patterns_file, FixPattern,
+};
+pub use script::{
+    diff_modules, expr_kind, expr_op_class, skeleton_expr, skeleton_stmt, stmt_kind, Action,
+    EditStep, Holes,
+};
+
+use cirfix_store::field_str;
+use cirfix_telemetry::JsonValue;
+
+/// What mining a corpus produced, with honest skip accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MineReport {
+    /// Ranked patterns (support descending, shape ascending).
+    pub patterns: Vec<FixPattern>,
+    /// Corpus records examined.
+    pub records: u64,
+    /// Records that yielded a non-empty edit script.
+    pub scripts: u64,
+    /// Records lacking `faulty_source`/`repaired_source` (legacy
+    /// corpus entries predate the field).
+    pub skipped_missing: u64,
+    /// Records whose stored source no longer parses.
+    pub skipped_parse: u64,
+    /// Records whose pair diffed to an empty script.
+    pub skipped_empty: u64,
+}
+
+/// The outcome of replaying one corpus record.
+enum Replay {
+    Script(String, Vec<EditStep>),
+    Missing,
+    ParseError,
+    Empty,
+}
+
+/// Re-parses one corpus record and diffs the faulty/repaired pair.
+fn replay_record(record: &JsonValue) -> Replay {
+    let scenario = field_str(record, "scenario").unwrap_or("unknown");
+    let (Some(faulty_src), Some(repaired_src)) = (
+        field_str(record, "faulty_source"),
+        field_str(record, "repaired_source"),
+    ) else {
+        return Replay::Missing;
+    };
+    let (Ok(faulty), Ok(repaired)) = (
+        cirfix_parser::parse(faulty_src),
+        cirfix_parser::parse(repaired_src),
+    ) else {
+        return Replay::ParseError;
+    };
+    let mut steps = Vec::new();
+    for fm in &faulty.modules {
+        let Some(rm) = repaired.module(&fm.name) else {
+            continue;
+        };
+        let diags = cirfix_lint::diagnostics_by_node(fm);
+        steps.extend(diff_modules(fm, rm, &diags));
+    }
+    if steps.is_empty() {
+        Replay::Empty
+    } else {
+        Replay::Script(scenario.to_string(), steps)
+    }
+}
+
+/// Mines a corpus: replays every record into an edit script on up to
+/// `jobs` threads (merged back in corpus order), then clusters the
+/// scripts serially into ranked patterns. Output is a pure function of
+/// the corpus contents — `jobs` only affects wall-clock time.
+pub fn mine_corpus(records: &[JsonValue], jobs: usize) -> MineReport {
+    let jobs = jobs.max(1).min(records.len().max(1));
+    let replays: Vec<Replay> = if jobs == 1 {
+        records.iter().map(replay_record).collect()
+    } else {
+        let mut slots: Vec<Option<Replay>> = Vec::new();
+        slots.resize_with(records.len(), || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mx = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= records.len() {
+                        break;
+                    }
+                    let r = replay_record(&records[i]);
+                    slots_mx.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    };
+    let mut report = MineReport {
+        records: records.len() as u64,
+        ..MineReport::default()
+    };
+    let mut scripts = Vec::new();
+    for r in replays {
+        match r {
+            Replay::Script(scenario, steps) => {
+                report.scripts += 1;
+                scripts.push((scenario, steps));
+            }
+            Replay::Missing => report.skipped_missing += 1,
+            Replay::ParseError => report.skipped_parse += 1,
+            Replay::Empty => report.skipped_empty += 1,
+        }
+    }
+    report.patterns = cluster(&scripts);
+    report
+}
+
+/// Serializes a mine report (without the patterns themselves) for the
+/// CLI's `--json` summary line.
+pub fn report_to_json(r: &MineReport) -> JsonValue {
+    JsonValue::obj(vec![
+        ("type", JsonValue::Str("mine_report".to_string())),
+        ("records", JsonValue::Uint(r.records)),
+        ("scripts", JsonValue::Uint(r.scripts)),
+        ("patterns", JsonValue::Uint(r.patterns.len() as u64)),
+        ("skipped_missing", JsonValue::Uint(r.skipped_missing)),
+        ("skipped_parse", JsonValue::Uint(r.skipped_parse)),
+        ("skipped_empty", JsonValue::Uint(r.skipped_empty)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: &str, faulty: &str, repaired: &str) -> JsonValue {
+        JsonValue::obj(vec![
+            ("scenario", JsonValue::Str(scenario.to_string())),
+            ("faulty_source", JsonValue::Str(faulty.to_string())),
+            ("repaired_source", JsonValue::Str(repaired.to_string())),
+        ])
+    }
+
+    fn sample_records() -> Vec<JsonValue> {
+        vec![
+            record(
+                "and_to_or",
+                "module m(input a, input b, output q); assign q = a & b; endmodule",
+                "module m(input a, input b, output q); assign q = a | b; endmodule",
+            ),
+            record(
+                "and_to_or_renamed",
+                "module m(input x, input y, output z); assign z = x & y; endmodule",
+                "module m(input x, input y, output z); assign z = x | y; endmodule",
+            ),
+            record(
+                "sens_fix",
+                "module m(input c, input d, output reg q); always @(c) q <= d; endmodule",
+                "module m(input c, input d, output reg q); always @(posedge c) q <= d; endmodule",
+            ),
+            // Legacy record without sources: skipped, counted.
+            JsonValue::obj(vec![("scenario", JsonValue::Str("legacy".to_string()))]),
+            // No-op repair: empty script, counted.
+            record(
+                "noop",
+                "module m(input a, output q); assign q = a; endmodule",
+                "module m(input a, output q); assign q = a; endmodule",
+            ),
+        ]
+    }
+
+    #[test]
+    fn mine_clusters_renamed_variants_and_counts_skips() {
+        let report = mine_corpus(&sample_records(), 1);
+        assert_eq!(report.records, 5);
+        assert_eq!(report.scripts, 3);
+        assert_eq!(report.skipped_missing, 1);
+        assert_eq!(report.skipped_empty, 1);
+        assert_eq!(report.skipped_parse, 0);
+        // The two renamed and/or repairs share a shape; the sensitivity
+        // fix is its own pattern.
+        assert_eq!(report.patterns.len(), 2);
+        assert_eq!(report.patterns[0].support, 2);
+        assert_eq!(
+            report.patterns[0].scenarios,
+            vec!["and_to_or".to_string(), "and_to_or_renamed".to_string()]
+        );
+    }
+
+    #[test]
+    fn mining_is_identical_across_job_counts() {
+        let records = sample_records();
+        let a = mine_corpus(&records, 1);
+        let b = mine_corpus(&records, 4);
+        assert_eq!(a, b);
+    }
+}

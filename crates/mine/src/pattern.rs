@@ -1,0 +1,308 @@
+//! Clustering edit scripts into ranked fix patterns and persisting
+//! them as a checksummed `patterns.jsonl` store artifact.
+//!
+//! Two scripts land in the same cluster when their context-sensitive
+//! *shape hash* agrees: a 128-bit FNV-1a digest over every step's
+//! action, node kind, parent kind, sibling kinds, operator class, lint
+//! codes, and hole-abstracted before/after skeletons — everything
+//! except the concrete node ids and identifier names. Each cluster
+//! becomes one [`FixPattern`] whose support is the number of distinct
+//! corpus entries that exhibited it; patterns are ranked by support
+//! (descending), ties broken by shape hash, so the file is a stable
+//! function of the corpus contents alone.
+
+use std::path::Path;
+
+use cirfix_store::{
+    field, field_str, field_u64, read_segment, Digest, Fnv128, SegmentHealth, SegmentWriter,
+};
+use cirfix_telemetry::JsonValue;
+
+use crate::script::{Action, EditStep};
+
+/// A clustered, abstracted fix pattern with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixPattern {
+    /// Context-sensitive shape digest (32 hex digits).
+    pub shape: String,
+    /// Number of corpus entries exhibiting this shape.
+    pub support: u64,
+    /// Sorted, deduplicated scenario names contributing support.
+    pub scenarios: Vec<String>,
+    /// The abstracted edit steps (identical across cluster members by
+    /// construction; node ids come from the first witness).
+    pub steps: Vec<EditStep>,
+}
+
+/// The context-sensitive shape digest of one edit script.
+pub fn shape_hash(steps: &[EditStep]) -> Digest {
+    let mut h = Fnv128::new();
+    h.write_str("cirfix-mine-shape-v1");
+    h.write_u64(steps.len() as u64);
+    for s in steps {
+        h.write_str(s.action.as_str());
+        h.write_str(&s.node_kind);
+        h.write_str(&s.parent_kind);
+        h.write_u64(s.siblings.len() as u64);
+        for sib in &s.siblings {
+            h.write_str(sib);
+        }
+        h.write_str(&s.op_class);
+        h.write_u64(s.lint.len() as u64);
+        for code in &s.lint {
+            h.write_str(code);
+        }
+        h.write_str(&s.before);
+        h.write_str(&s.after);
+    }
+    h.finish()
+}
+
+/// Groups per-entry edit scripts into ranked patterns. Each element of
+/// `scripts` is one corpus entry's `(scenario, steps)`. Clustering is
+/// serial and order-independent: the output depends only on the
+/// multiset of scripts.
+pub fn cluster(scripts: &[(String, Vec<EditStep>)]) -> Vec<FixPattern> {
+    let mut by_shape: Vec<FixPattern> = Vec::new();
+    for (scenario, steps) in scripts {
+        if steps.is_empty() {
+            continue;
+        }
+        let shape = shape_hash(steps).to_hex();
+        match by_shape.iter_mut().find(|p| p.shape == shape) {
+            Some(p) => {
+                p.support += 1;
+                p.scenarios.push(scenario.clone());
+            }
+            None => by_shape.push(FixPattern {
+                shape,
+                support: 1,
+                scenarios: vec![scenario.clone()],
+                steps: steps.clone(),
+            }),
+        }
+    }
+    for p in &mut by_shape {
+        p.scenarios.sort();
+        p.scenarios.dedup();
+    }
+    by_shape.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.shape.cmp(&b.shape))
+    });
+    by_shape
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec
+
+fn step_to_json(s: &EditStep) -> JsonValue {
+    JsonValue::obj(vec![
+        ("action", JsonValue::Str(s.action.as_str().to_string())),
+        ("node_kind", JsonValue::Str(s.node_kind.clone())),
+        ("parent_kind", JsonValue::Str(s.parent_kind.clone())),
+        (
+            "siblings",
+            JsonValue::Array(
+                s.siblings
+                    .iter()
+                    .map(|x| JsonValue::Str(x.clone()))
+                    .collect(),
+            ),
+        ),
+        ("op_class", JsonValue::Str(s.op_class.clone())),
+        (
+            "lint",
+            JsonValue::Array(s.lint.iter().map(|x| JsonValue::Str(x.clone())).collect()),
+        ),
+        ("before", JsonValue::Str(s.before.clone())),
+        ("after", JsonValue::Str(s.after.clone())),
+        ("node", JsonValue::Uint(u64::from(s.node))),
+    ])
+}
+
+fn string_array(v: &JsonValue, key: &str) -> Vec<String> {
+    match field(v, key) {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .filter_map(|x| match x {
+                JsonValue::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn step_from_json(v: &JsonValue) -> Option<EditStep> {
+    Some(EditStep {
+        action: Action::parse(field_str(v, "action")?)?,
+        node_kind: field_str(v, "node_kind")?.to_string(),
+        parent_kind: field_str(v, "parent_kind")?.to_string(),
+        siblings: string_array(v, "siblings"),
+        op_class: field_str(v, "op_class").unwrap_or_default().to_string(),
+        lint: string_array(v, "lint"),
+        before: field_str(v, "before").unwrap_or_default().to_string(),
+        after: field_str(v, "after").unwrap_or_default().to_string(),
+        node: field_u64(v, "node").unwrap_or(0) as cirfix_ast::NodeId,
+    })
+}
+
+/// Serializes one pattern to the `patterns.jsonl` record form.
+pub fn pattern_to_json(p: &FixPattern) -> JsonValue {
+    JsonValue::obj(vec![
+        ("shape", JsonValue::Str(p.shape.clone())),
+        ("support", JsonValue::Uint(p.support)),
+        (
+            "scenarios",
+            JsonValue::Array(
+                p.scenarios
+                    .iter()
+                    .map(|s| JsonValue::Str(s.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "steps",
+            JsonValue::Array(p.steps.iter().map(step_to_json).collect()),
+        ),
+    ])
+}
+
+/// Parses a record written by [`pattern_to_json`]; `None` on any
+/// malformed or foreign record (readers skip, never fail).
+pub fn pattern_from_json(v: &JsonValue) -> Option<FixPattern> {
+    let steps = match field(v, "steps") {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(step_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    if steps.is_empty() {
+        return None;
+    }
+    Some(FixPattern {
+        shape: field_str(v, "shape")?.to_string(),
+        support: field_u64(v, "support")?,
+        scenarios: string_array(v, "scenarios"),
+        steps,
+    })
+}
+
+/// Writes the full ranked pattern set as a checksummed segment file,
+/// atomically (write to `<path>.tmp`, then rename). Byte-identical for
+/// a given pattern list.
+pub fn write_patterns_file(path: &Path, patterns: &[FixPattern]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    if tmp.exists() {
+        std::fs::remove_file(&tmp)?;
+    }
+    let mut w = SegmentWriter::append(&tmp)?;
+    for p in patterns {
+        w.write_record(&pattern_to_json(p))?;
+    }
+    w.sync()?;
+    drop(w);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a pattern file written by [`write_patterns_file`], skipping
+/// malformed records. Missing file reads as empty.
+pub fn load_patterns_file(path: &Path) -> std::io::Result<(Vec<FixPattern>, SegmentHealth)> {
+    if !path.exists() {
+        return Ok((Vec::new(), SegmentHealth::default()));
+    }
+    let (records, health) = read_segment(path)?;
+    let patterns = records.iter().filter_map(pattern_from_json).collect();
+    Ok((patterns, health))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(kind: &str, before: &str, after: &str) -> EditStep {
+        EditStep {
+            action: Action::Upd,
+            node_kind: kind.to_string(),
+            parent_kind: "block".to_string(),
+            siblings: vec!["nonblocking".to_string()],
+            op_class: "arith".to_string(),
+            lint: vec!["L003".to_string()],
+            before: before.to_string(),
+            after: after.to_string(),
+            node: 7,
+        }
+    }
+
+    #[test]
+    fn shape_hash_ignores_node_ids() {
+        let a = vec![step("binary", "($v0+$c0)", "($v0-$c0)")];
+        let mut b = a.clone();
+        b[0].node = 99;
+        assert_eq!(shape_hash(&a), shape_hash(&b));
+    }
+
+    #[test]
+    fn shape_hash_separates_contexts() {
+        let a = vec![step("binary", "($v0+$c0)", "($v0-$c0)")];
+        let mut b = a.clone();
+        b[0].parent_kind = "if".to_string();
+        assert_ne!(shape_hash(&a), shape_hash(&b));
+    }
+
+    #[test]
+    fn cluster_ranks_by_support_then_shape() {
+        let common = vec![step("binary", "($v0+$c0)", "($v0-$c0)")];
+        let rare = vec![step("if", "if($v0) $v1=$c0", "if(!($v0)) $v1=$c0")];
+        let scripts = vec![
+            ("s1".to_string(), common.clone()),
+            ("s2".to_string(), rare),
+            ("s3".to_string(), common.clone()),
+            ("s3".to_string(), common),
+        ];
+        let ranked = cluster(&scripts);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].support, 3);
+        assert_eq!(
+            ranked[0].scenarios,
+            vec!["s1".to_string(), "s3".to_string()]
+        );
+        assert_eq!(ranked[1].support, 1);
+    }
+
+    #[test]
+    fn pattern_json_round_trips() {
+        let p = FixPattern {
+            shape: shape_hash(&[step("binary", "a", "b")]).to_hex(),
+            support: 4,
+            scenarios: vec!["x".to_string(), "y".to_string()],
+            steps: vec![step("binary", "($v0+$c0)", "($v0-$c0)")],
+        };
+        let back = pattern_from_json(&pattern_to_json(&p)).expect("round-trips");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn patterns_file_round_trips_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("cirfix-mine-pat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("patterns.jsonl");
+        let ps = cluster(&[
+            ("a".to_string(), vec![step("binary", "x", "y")]),
+            ("b".to_string(), vec![step("binary", "x", "y")]),
+        ]);
+        write_patterns_file(&path, &ps).unwrap();
+        let bytes1 = std::fs::read(&path).unwrap();
+        let (loaded, health) = load_patterns_file(&path).unwrap();
+        assert!(health.is_clean());
+        assert_eq!(loaded, ps);
+        write_patterns_file(&path, &ps).unwrap();
+        let bytes2 = std::fs::read(&path).unwrap();
+        assert_eq!(bytes1, bytes2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

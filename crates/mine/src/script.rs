@@ -1,0 +1,1012 @@
+//! Structural diffing of faulty/repaired AST pairs into typed edit
+//! scripts.
+//!
+//! The differ walks both numbered ASTs top-down (FixMiner-style): nodes
+//! that print identically are matched and skipped, block children are
+//! aligned by a longest-common-subsequence over their printed forms,
+//! and every residual difference becomes one [`EditStep`] — an `UPD`,
+//! `INS`, `DEL`, or `MOV` anchored at a faulty-side node. Each step
+//! carries its anchor context: the parent node kind, the kinds of the
+//! neighbouring siblings, the operator class at the site, and the
+//! `cirfix-lint` diagnostic codes implicated there. Identifiers and
+//! literals are abstracted into numbered holes (`$v0`, `$c1`, …)
+//! assigned in first-occurrence order across the whole script, so two
+//! repairs that differ only in naming produce identical scripts.
+
+use std::collections::BTreeMap;
+
+use cirfix_ast::{print, BinaryOp, Expr, Item, LValue, Module, NodeId, Sensitivity, Stmt, UnaryOp};
+use cirfix_logic::EdgeKind;
+
+/// The four FixMiner edit actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    /// A node's value changed in place.
+    Upd,
+    /// A node exists only on the repaired side.
+    Ins,
+    /// A node exists only on the faulty side.
+    Del,
+    /// A node moved to a different sibling position.
+    Mov,
+}
+
+impl Action {
+    /// Stable lowercase tag, as written to `patterns.jsonl`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Action::Upd => "upd",
+            Action::Ins => "ins",
+            Action::Del => "del",
+            Action::Mov => "mov",
+        }
+    }
+
+    /// Parses [`Action::as_str`] output.
+    pub fn parse(s: &str) -> Option<Action> {
+        match s {
+            "upd" => Some(Action::Upd),
+            "ins" => Some(Action::Ins),
+            "del" => Some(Action::Del),
+            "mov" => Some(Action::Mov),
+            _ => None,
+        }
+    }
+}
+
+/// One typed edit anchored at a faulty-AST node, with the context that
+/// makes the pattern transferable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EditStep {
+    /// What happened at the site.
+    pub action: Action,
+    /// Kind of the edited node (`"if"`, `"nonblocking"`, `"binary"`, …).
+    pub node_kind: String,
+    /// Kind of the enclosing node (`"module"` at the top).
+    pub parent_kind: String,
+    /// Kinds of the immediate siblings around the site (up to one on
+    /// each side), in order.
+    pub siblings: Vec<String>,
+    /// Operator class at the site (`"arith"`, `"relational"`, …; empty
+    /// when the node has no operator).
+    pub op_class: String,
+    /// Sorted, deduplicated lint diagnostic codes implicated at the
+    /// site on the faulty design.
+    pub lint: Vec<String>,
+    /// Abstracted skeleton of the faulty node (empty for `INS`).
+    pub before: String,
+    /// Abstracted skeleton of the repaired node (empty for `DEL`).
+    pub after: String,
+    /// Faulty-side anchor node id (the enclosing block for `INS`).
+    pub node: NodeId,
+}
+
+// ---------------------------------------------------------------------------
+// Node kinds and operator classes
+
+/// Stable kind tag of a statement.
+pub fn stmt_kind(s: &Stmt) -> &'static str {
+    match s {
+        Stmt::Block { .. } => "block",
+        Stmt::If { .. } => "if",
+        Stmt::Case { .. } => "case",
+        Stmt::For { .. } => "for",
+        Stmt::While { .. } => "while",
+        Stmt::Repeat { .. } => "repeat",
+        Stmt::Forever { .. } => "forever",
+        Stmt::Blocking { .. } => "blocking",
+        Stmt::NonBlocking { .. } => "nonblocking",
+        Stmt::Delay { .. } => "delay",
+        Stmt::EventControl { .. } => "event_control",
+        Stmt::EventTrigger { .. } => "event_trigger",
+        Stmt::Wait { .. } => "wait",
+        Stmt::SysCall { .. } => "syscall",
+        Stmt::Null { .. } => "null",
+    }
+}
+
+/// Stable kind tag of an expression.
+pub fn expr_kind(e: &Expr) -> &'static str {
+    match e {
+        Expr::Literal { .. } => "literal",
+        Expr::Ident { .. } => "ident",
+        Expr::Str { .. } => "str",
+        Expr::Unary { .. } => "unary",
+        Expr::Binary { .. } => "binary",
+        Expr::Cond { .. } => "cond",
+        Expr::Index { .. } => "index",
+        Expr::Range { .. } => "range",
+        Expr::Concat { .. } => "concat",
+        Expr::Repeat { .. } => "repeat",
+        Expr::SysCall { .. } => "syscall",
+    }
+}
+
+/// The operator family of a binary operator.
+pub fn binary_class(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem => "arith",
+        BinaryOp::Eq | BinaryOp::Neq | BinaryOp::CaseEq | BinaryOp::CaseNeq => "equality",
+        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => "relational",
+        BinaryOp::LogicAnd | BinaryOp::LogicOr => "logic",
+        BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor | BinaryOp::BitXnor => "bitwise",
+        BinaryOp::Shl | BinaryOp::Shr => "shift",
+    }
+}
+
+/// The operator family of a unary operator.
+pub fn unary_class(op: UnaryOp) -> &'static str {
+    match op {
+        UnaryOp::LogicNot => "logic",
+        UnaryOp::Minus | UnaryOp::Plus => "arith",
+        _ => "bitwise",
+    }
+}
+
+/// Operator class at an expression node (empty for operator-free kinds).
+pub fn expr_op_class(e: &Expr) -> &'static str {
+    match e {
+        Expr::Binary { op, .. } => binary_class(*op),
+        Expr::Unary { op, .. } => unary_class(*op),
+        _ => "",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hole abstraction
+
+/// Hole numbering shared across one edit script: identifiers and
+/// literals map to `$vN` / `$cN` in first-occurrence order.
+#[derive(Debug, Default)]
+pub struct Holes {
+    vars: BTreeMap<String, usize>,
+    lits: BTreeMap<String, usize>,
+}
+
+impl Holes {
+    /// A fresh, empty hole table.
+    pub fn new() -> Holes {
+        Holes::default()
+    }
+
+    fn var(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.vars.get(name) {
+            return i;
+        }
+        let i = self.vars.len();
+        self.vars.insert(name.to_string(), i);
+        i
+    }
+
+    fn lit(&mut self, printed: &str) -> usize {
+        if let Some(&i) = self.lits.get(printed) {
+            return i;
+        }
+        let i = self.lits.len();
+        self.lits.insert(printed.to_string(), i);
+        i
+    }
+}
+
+/// Abstracted skeleton of an expression: identifiers and literals
+/// replaced by numbered holes, operators kept concrete.
+pub fn skeleton_expr(e: &Expr, holes: &mut Holes) -> String {
+    match e {
+        Expr::Literal { .. } => format!("$c{}", holes.lit(&print::expr_to_string(e))),
+        Expr::Ident { name, .. } => format!("$v{}", holes.var(name)),
+        Expr::Str { .. } => "$s".into(),
+        Expr::Unary { op, arg, .. } => format!("{}({})", op.symbol(), skeleton_expr(arg, holes)),
+        Expr::Binary { op, lhs, rhs, .. } => format!(
+            "({}{}{})",
+            skeleton_expr(lhs, holes),
+            op.symbol(),
+            skeleton_expr(rhs, holes)
+        ),
+        Expr::Cond {
+            cond,
+            then_e,
+            else_e,
+            ..
+        } => format!(
+            "({}?{}:{})",
+            skeleton_expr(cond, holes),
+            skeleton_expr(then_e, holes),
+            skeleton_expr(else_e, holes)
+        ),
+        Expr::Index { base, index, .. } => {
+            format!("$v{}[{}]", holes.var(base), skeleton_expr(index, holes))
+        }
+        Expr::Range { base, msb, lsb, .. } => format!(
+            "$v{}[{}:{}]",
+            holes.var(base),
+            skeleton_expr(msb, holes),
+            skeleton_expr(lsb, holes)
+        ),
+        Expr::Concat { parts, .. } => {
+            let inner: Vec<String> = parts.iter().map(|p| skeleton_expr(p, holes)).collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        Expr::Repeat { count, parts, .. } => {
+            let inner: Vec<String> = parts.iter().map(|p| skeleton_expr(p, holes)).collect();
+            format!("{{{}{{{}}}}}", skeleton_expr(count, holes), inner.join(","))
+        }
+        Expr::SysCall { name, args, .. } => {
+            let inner: Vec<String> = args.iter().map(|a| skeleton_expr(a, holes)).collect();
+            format!("${}({})", name, inner.join(","))
+        }
+    }
+}
+
+fn skeleton_lvalue(lv: &LValue, holes: &mut Holes) -> String {
+    match lv {
+        LValue::Ident { name, .. } => format!("$v{}", holes.var(name)),
+        LValue::Index { base, index, .. } => {
+            format!("$v{}[{}]", holes.var(base), skeleton_expr(index, holes))
+        }
+        LValue::Range { base, msb, lsb, .. } => format!(
+            "$v{}[{}:{}]",
+            holes.var(base),
+            skeleton_expr(msb, holes),
+            skeleton_expr(lsb, holes)
+        ),
+        LValue::Concat { parts, .. } => {
+            let inner: Vec<String> = parts.iter().map(|p| skeleton_lvalue(p, holes)).collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn skeleton_sensitivity(s: &Sensitivity, holes: &mut Holes) -> String {
+    match s {
+        Sensitivity::Star => "@*".into(),
+        Sensitivity::List(terms) => {
+            let inner: Vec<String> = terms
+                .iter()
+                .map(|t| {
+                    let edge = match t.edge {
+                        EdgeKind::Pos => "posedge ",
+                        EdgeKind::Neg => "negedge ",
+                        EdgeKind::Any => "",
+                    };
+                    format!("{edge}{}", skeleton_expr(&t.expr, holes))
+                })
+                .collect();
+            format!("@({})", inner.join(" or "))
+        }
+    }
+}
+
+/// Id-insensitive concrete rendering of a sensitivity list, used only
+/// for change detection (the AST's `PartialEq` compares node ids,
+/// which never match across two independent parses).
+fn sens_to_string(s: &Sensitivity) -> String {
+    match s {
+        Sensitivity::Star => "@*".into(),
+        Sensitivity::List(terms) => {
+            let inner: Vec<String> = terms
+                .iter()
+                .map(|t| {
+                    let edge = match t.edge {
+                        EdgeKind::Pos => "posedge ",
+                        EdgeKind::Neg => "negedge ",
+                        EdgeKind::Any => "",
+                    };
+                    format!("{edge}{}", print::expr_to_string(&t.expr))
+                })
+                .collect();
+            format!("@({})", inner.join(" or "))
+        }
+    }
+}
+
+/// Abstracted skeleton of a statement.
+pub fn skeleton_stmt(s: &Stmt, holes: &mut Holes) -> String {
+    match s {
+        Stmt::Block { stmts, .. } => {
+            let inner: Vec<String> = stmts.iter().map(|c| skeleton_stmt(c, holes)).collect();
+            format!("begin {} end", inner.join(" "))
+        }
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            ..
+        } => {
+            let mut out = format!(
+                "if({}) {}",
+                skeleton_expr(cond, holes),
+                skeleton_stmt(then_s, holes)
+            );
+            if let Some(e) = else_s {
+                out.push_str(&format!(" else {}", skeleton_stmt(e, holes)));
+            }
+            out
+        }
+        Stmt::Case {
+            kind,
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            let mut out = format!("{}({})", kind.keyword(), skeleton_expr(subject, holes));
+            for arm in arms {
+                let labels: Vec<String> =
+                    arm.labels.iter().map(|l| skeleton_expr(l, holes)).collect();
+                out.push_str(&format!(
+                    " {}:{}",
+                    labels.join(","),
+                    skeleton_stmt(&arm.body, holes)
+                ));
+            }
+            if let Some(d) = default {
+                out.push_str(&format!(" default:{}", skeleton_stmt(d, holes)));
+            }
+            out
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => format!(
+            "for({};{};{}) {}",
+            skeleton_stmt(init, holes),
+            skeleton_expr(cond, holes),
+            skeleton_stmt(step, holes),
+            skeleton_stmt(body, holes)
+        ),
+        Stmt::While { cond, body, .. } => format!(
+            "while({}) {}",
+            skeleton_expr(cond, holes),
+            skeleton_stmt(body, holes)
+        ),
+        Stmt::Repeat { count, body, .. } => format!(
+            "repeat({}) {}",
+            skeleton_expr(count, holes),
+            skeleton_stmt(body, holes)
+        ),
+        Stmt::Forever { body, .. } => format!("forever {}", skeleton_stmt(body, holes)),
+        Stmt::Blocking { lhs, rhs, .. } => format!(
+            "{}={}",
+            skeleton_lvalue(lhs, holes),
+            skeleton_expr(rhs, holes)
+        ),
+        Stmt::NonBlocking { lhs, rhs, .. } => format!(
+            "{}<={}",
+            skeleton_lvalue(lhs, holes),
+            skeleton_expr(rhs, holes)
+        ),
+        Stmt::Delay { amount, body, .. } => {
+            let mut out = format!("#{}", skeleton_expr(amount, holes));
+            if let Some(b) = body {
+                out.push_str(&format!(" {}", skeleton_stmt(b, holes)));
+            }
+            out
+        }
+        Stmt::EventControl {
+            sensitivity, body, ..
+        } => {
+            let mut out = skeleton_sensitivity(sensitivity, holes);
+            if let Some(b) = body {
+                out.push_str(&format!(" {}", skeleton_stmt(b, holes)));
+            }
+            out
+        }
+        Stmt::EventTrigger { name, .. } => format!("->$v{}", holes.var(name)),
+        Stmt::Wait { cond, body, .. } => {
+            let mut out = format!("wait({})", skeleton_expr(cond, holes));
+            if let Some(b) = body {
+                out.push_str(&format!(" {}", skeleton_stmt(b, holes)));
+            }
+            out
+        }
+        Stmt::SysCall { name, args, .. } => {
+            let inner: Vec<String> = args.iter().map(|a| skeleton_expr(a, holes)).collect();
+            format!("${}({})", name, inner.join(","))
+        }
+        Stmt::Null { .. } => ";".into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differ
+
+/// Where a diff site sits in the faulty AST.
+struct SiteContext {
+    parent_kind: &'static str,
+    siblings: Vec<String>,
+    /// Nearest statement-level node enclosing the site, used for lint
+    /// lookups alongside the node itself.
+    enclosing_stmt: NodeId,
+}
+
+/// Per-diff state threaded through the recursion.
+struct Differ<'a> {
+    holes: Holes,
+    /// Lint codes on the faulty design, keyed by node id.
+    diags: &'a BTreeMap<NodeId, Vec<String>>,
+    steps: Vec<EditStep>,
+}
+
+impl Differ<'_> {
+    fn lint_at(&self, ids: &[NodeId]) -> Vec<String> {
+        let mut out: Vec<String> = ids
+            .iter()
+            .filter_map(|id| self.diags.get(id))
+            .flatten()
+            .cloned()
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        action: Action,
+        node_kind: &str,
+        node: NodeId,
+        ctx: &SiteContext,
+        before: String,
+        after: String,
+        op_class: &str,
+    ) {
+        let lint = self.lint_at(&[node, ctx.enclosing_stmt]);
+        self.steps.push(EditStep {
+            action,
+            node_kind: node_kind.to_string(),
+            parent_kind: ctx.parent_kind.to_string(),
+            siblings: ctx.siblings.clone(),
+            op_class: op_class.to_string(),
+            lint,
+            before,
+            after,
+            node,
+        });
+    }
+
+    fn diff_expr(&mut self, a: &Expr, b: &Expr, ctx: &SiteContext) {
+        if print::expr_to_string(a) == print::expr_to_string(b) {
+            return;
+        }
+        // Same operator, same shape: descend to localize the change.
+        let descend = match (a, b) {
+            (Expr::Unary { op: oa, .. }, Expr::Unary { op: ob, .. }) => oa == ob,
+            (Expr::Binary { op: oa, .. }, Expr::Binary { op: ob, .. }) => oa == ob,
+            (Expr::Cond { .. }, Expr::Cond { .. }) => true,
+            (Expr::Index { base: ba, .. }, Expr::Index { base: bb, .. }) => ba == bb,
+            (
+                Expr::SysCall {
+                    name: na, args: aa, ..
+                },
+                Expr::SysCall {
+                    name: nb, args: ab, ..
+                },
+            ) => na == nb && aa.len() == ab.len(),
+            _ => false,
+        };
+        if descend {
+            let child_ctx = SiteContext {
+                parent_kind: expr_kind(a),
+                siblings: Vec::new(),
+                enclosing_stmt: ctx.enclosing_stmt,
+            };
+            match (a, b) {
+                (Expr::Unary { arg: xa, .. }, Expr::Unary { arg: xb, .. }) => {
+                    self.diff_expr(xa, xb, &child_ctx);
+                }
+                (
+                    Expr::Binary {
+                        lhs: la, rhs: ra, ..
+                    },
+                    Expr::Binary {
+                        lhs: lb, rhs: rb, ..
+                    },
+                ) => {
+                    self.diff_expr(la, lb, &child_ctx);
+                    self.diff_expr(ra, rb, &child_ctx);
+                }
+                (
+                    Expr::Cond {
+                        cond: ca,
+                        then_e: ta,
+                        else_e: ea,
+                        ..
+                    },
+                    Expr::Cond {
+                        cond: cb,
+                        then_e: tb,
+                        else_e: eb,
+                        ..
+                    },
+                ) => {
+                    self.diff_expr(ca, cb, &child_ctx);
+                    self.diff_expr(ta, tb, &child_ctx);
+                    self.diff_expr(ea, eb, &child_ctx);
+                }
+                (Expr::Index { index: ia, .. }, Expr::Index { index: ib, .. }) => {
+                    self.diff_expr(ia, ib, &child_ctx);
+                }
+                (Expr::SysCall { args: aa, .. }, Expr::SysCall { args: ab, .. }) => {
+                    for (xa, xb) in aa.iter().zip(ab) {
+                        self.diff_expr(xa, xb, &child_ctx);
+                    }
+                }
+                _ => unreachable!("descend implies matching shapes"),
+            }
+            return;
+        }
+        let before = skeleton_expr(a, &mut self.holes);
+        let after = skeleton_expr(b, &mut self.holes);
+        self.push(
+            Action::Upd,
+            expr_kind(a),
+            a.id(),
+            ctx,
+            before,
+            after,
+            expr_op_class(a),
+        );
+    }
+
+    fn whole_stmt_upd(&mut self, a: &Stmt, b: &Stmt, ctx: &SiteContext) {
+        let before = skeleton_stmt(a, &mut self.holes);
+        let after = skeleton_stmt(b, &mut self.holes);
+        self.push(Action::Upd, stmt_kind(a), a.id(), ctx, before, after, "");
+    }
+
+    fn diff_stmt(&mut self, a: &Stmt, b: &Stmt, ctx: &SiteContext) {
+        if print::stmt_to_string(a) == print::stmt_to_string(b) {
+            return;
+        }
+        let child_ctx = |enclosing: NodeId| SiteContext {
+            parent_kind: stmt_kind(a),
+            siblings: Vec::new(),
+            enclosing_stmt: enclosing,
+        };
+        match (a, b) {
+            (Stmt::Block { stmts: sa, .. }, Stmt::Block { stmts: sb, .. }) => {
+                self.diff_block(a.id(), sa, sb);
+            }
+            (
+                Stmt::If {
+                    cond: ca,
+                    then_s: ta,
+                    else_s: ea,
+                    ..
+                },
+                Stmt::If {
+                    cond: cb,
+                    then_s: tb,
+                    else_s: eb,
+                    ..
+                },
+            ) => {
+                let cx = child_ctx(a.id());
+                self.diff_expr(ca, cb, &cx);
+                self.diff_stmt(ta, tb, &cx);
+                match (ea, eb) {
+                    (Some(xa), Some(xb)) => self.diff_stmt(xa, xb, &cx),
+                    (None, None) => {}
+                    _ => self.whole_stmt_upd(a, b, ctx),
+                }
+            }
+            (
+                Stmt::Blocking {
+                    lhs: la,
+                    delay: da,
+                    rhs: ra,
+                    ..
+                },
+                Stmt::Blocking {
+                    lhs: lb,
+                    delay: db,
+                    rhs: rb,
+                    ..
+                },
+            )
+            | (
+                Stmt::NonBlocking {
+                    lhs: la,
+                    delay: da,
+                    rhs: ra,
+                    ..
+                },
+                Stmt::NonBlocking {
+                    lhs: lb,
+                    delay: db,
+                    rhs: rb,
+                    ..
+                },
+            ) => {
+                let lhs_same = print::lvalue_to_string(la) == print::lvalue_to_string(lb);
+                let delay_same = match (da, db) {
+                    (Some(xa), Some(xb)) => print::expr_to_string(xa) == print::expr_to_string(xb),
+                    (None, None) => true,
+                    _ => false,
+                };
+                if lhs_same && delay_same {
+                    self.diff_expr(ra, rb, &child_ctx(a.id()));
+                } else {
+                    self.whole_stmt_upd(a, b, ctx);
+                }
+            }
+            (
+                Stmt::EventControl {
+                    sensitivity: sa,
+                    body: ba,
+                    ..
+                },
+                Stmt::EventControl {
+                    sensitivity: sb,
+                    body: bb,
+                    ..
+                },
+            ) => {
+                if sens_to_string(sa) != sens_to_string(sb) {
+                    let before = skeleton_sensitivity(sa, &mut self.holes);
+                    let after = skeleton_sensitivity(sb, &mut self.holes);
+                    self.push(Action::Upd, "event_control", a.id(), ctx, before, after, "");
+                }
+                match (ba, bb) {
+                    (Some(xa), Some(xb)) => self.diff_stmt(xa, xb, &child_ctx(a.id())),
+                    (None, None) => {}
+                    _ => self.whole_stmt_upd(a, b, ctx),
+                }
+            }
+            (
+                Stmt::While {
+                    cond: ca, body: xa, ..
+                },
+                Stmt::While {
+                    cond: cb, body: xb, ..
+                },
+            ) => {
+                let cx = child_ctx(a.id());
+                self.diff_expr(ca, cb, &cx);
+                self.diff_stmt(xa, xb, &cx);
+            }
+            (
+                Stmt::Wait {
+                    cond: ca, body: xa, ..
+                },
+                Stmt::Wait {
+                    cond: cb, body: xb, ..
+                },
+            ) => {
+                let cx = child_ctx(a.id());
+                self.diff_expr(ca, cb, &cx);
+                match (xa, xb) {
+                    (Some(ya), Some(yb)) => self.diff_stmt(ya, yb, &cx),
+                    (None, None) => {}
+                    _ => self.whole_stmt_upd(a, b, ctx),
+                }
+            }
+            _ => self.whole_stmt_upd(a, b, ctx),
+        }
+    }
+
+    /// Aligns two block child lists: an LCS over printed forms matches
+    /// unchanged statements; identical strings outside the LCS become
+    /// `MOV`s; same-kind leftovers pair into recursive diffs; the rest
+    /// are `DEL`s and `INS`es.
+    fn diff_block(&mut self, block_id: NodeId, sa: &[Stmt], sb: &[Stmt]) {
+        let pa: Vec<String> = sa.iter().map(print::stmt_to_string).collect();
+        let pb: Vec<String> = sb.iter().map(print::stmt_to_string).collect();
+        let mut used_a = vec![false; sa.len()];
+        let mut used_b = vec![false; sb.len()];
+        for (i, j) in lcs_pairs(&pa, &pb) {
+            used_a[i] = true;
+            used_b[j] = true;
+        }
+        // MOV: identical statements on both sides that the LCS could
+        // not keep in order.
+        for i in 0..sa.len() {
+            if used_a[i] {
+                continue;
+            }
+            if let Some(j) = (0..sb.len()).find(|&j| !used_b[j] && pa[i] == pb[j]) {
+                used_a[i] = true;
+                used_b[j] = true;
+                let ctx = block_site(sa, i);
+                let skel = skeleton_stmt(&sa[i], &mut self.holes);
+                self.push(
+                    Action::Mov,
+                    stmt_kind(&sa[i]),
+                    sa[i].id(),
+                    &ctx,
+                    skel.clone(),
+                    skel,
+                    "",
+                );
+            }
+        }
+        // UPD: pair same-kind leftovers in order and recurse.
+        for i in 0..sa.len() {
+            if used_a[i] {
+                continue;
+            }
+            let pair =
+                (0..sb.len()).find(|&j| !used_b[j] && stmt_kind(&sb[j]) == stmt_kind(&sa[i]));
+            if let Some(j) = pair {
+                used_a[i] = true;
+                used_b[j] = true;
+                let ctx = block_site(sa, i);
+                self.diff_stmt(&sa[i], &sb[j], &ctx);
+            }
+        }
+        // DEL: remaining faulty-only children.
+        for i in 0..sa.len() {
+            if used_a[i] {
+                continue;
+            }
+            let ctx = block_site(sa, i);
+            let before = skeleton_stmt(&sa[i], &mut self.holes);
+            self.push(
+                Action::Del,
+                stmt_kind(&sa[i]),
+                sa[i].id(),
+                &ctx,
+                before,
+                String::new(),
+                "",
+            );
+        }
+        // INS: remaining repaired-only children, anchored at the block.
+        for j in 0..sb.len() {
+            if used_b[j] {
+                continue;
+            }
+            let ctx = SiteContext {
+                parent_kind: "block",
+                siblings: neighbours(sb, j),
+                enclosing_stmt: block_id,
+            };
+            let after = skeleton_stmt(&sb[j], &mut self.holes);
+            self.push(
+                Action::Ins,
+                stmt_kind(&sb[j]),
+                block_id,
+                &ctx,
+                String::new(),
+                after,
+                "",
+            );
+        }
+    }
+}
+
+/// Kinds of the statements adjacent to index `i`.
+fn neighbours(stmts: &[Stmt], i: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    if i > 0 {
+        out.push(stmt_kind(&stmts[i - 1]).to_string());
+    }
+    if i + 1 < stmts.len() {
+        out.push(stmt_kind(&stmts[i + 1]).to_string());
+    }
+    out
+}
+
+/// The anchor context of the `i`-th child of a block.
+fn block_site(sa: &[Stmt], i: usize) -> SiteContext {
+    SiteContext {
+        parent_kind: "block",
+        siblings: neighbours(sa, i),
+        enclosing_stmt: sa[i].id(),
+    }
+}
+
+/// Classic O(n·m) longest common subsequence over printed statements;
+/// returns matched `(i, j)` index pairs in order.
+fn lcs_pairs(a: &[String], b: &[String]) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Diffs one faulty/repaired module pair into edit steps, appended in
+/// deterministic traversal order. `diags` carries the faulty design's
+/// lint findings keyed by node id.
+pub fn diff_modules(
+    faulty: &Module,
+    repaired: &Module,
+    diags: &BTreeMap<NodeId, Vec<String>>,
+) -> Vec<EditStep> {
+    let mut d = Differ {
+        holes: Holes::new(),
+        diags,
+        steps: Vec::new(),
+    };
+    // Pair items positionally within each kind: the repair operators
+    // never reorder module items, so the k-th always block on the
+    // faulty side corresponds to the k-th on the repaired side.
+    let pick = |kind: &str, m: &Module| -> Vec<usize> {
+        m.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| item_kind(it) == kind)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for kind in ["assign", "always", "initial"] {
+        let ia = pick(kind, faulty);
+        let ib = pick(kind, repaired);
+        for (&i, &j) in ia.iter().zip(&ib) {
+            match (&faulty.items[i], &repaired.items[j]) {
+                (
+                    Item::Assign {
+                        lhs: la,
+                        rhs: ra,
+                        id,
+                    },
+                    Item::Assign {
+                        lhs: lb, rhs: rb, ..
+                    },
+                ) => {
+                    let ctx = SiteContext {
+                        parent_kind: "module",
+                        siblings: Vec::new(),
+                        enclosing_stmt: *id,
+                    };
+                    if print::lvalue_to_string(la) != print::lvalue_to_string(lb) {
+                        let before = skeleton_lvalue(la, &mut d.holes);
+                        let after = skeleton_lvalue(lb, &mut d.holes);
+                        d.push(Action::Upd, "assign", *id, &ctx, before, after, "");
+                    }
+                    d.diff_expr(ra, rb, &ctx);
+                }
+                (Item::Always { body: ba, id }, Item::Always { body: bb, .. })
+                | (Item::Initial { body: ba, id }, Item::Initial { body: bb, .. }) => {
+                    let ctx = SiteContext {
+                        parent_kind: "module",
+                        siblings: Vec::new(),
+                        enclosing_stmt: *id,
+                    };
+                    d.diff_stmt(ba, bb, &ctx);
+                }
+                _ => {}
+            }
+        }
+    }
+    d.steps
+}
+
+fn item_kind(item: &Item) -> &'static str {
+    match item {
+        Item::Decl(_) => "decl",
+        Item::Param(_) => "param",
+        Item::Assign { .. } => "assign",
+        Item::Always { .. } => "always",
+        Item::Initial { .. } => "initial",
+        Item::Instance(_) => "instance",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirfix_parser::parse;
+
+    fn diff_sources(faulty: &str, repaired: &str) -> Vec<EditStep> {
+        let fa = parse(faulty).expect("faulty parses");
+        let re = parse(repaired).expect("repaired parses");
+        diff_modules(&fa.modules[0], &re.modules[0], &BTreeMap::new())
+    }
+
+    #[test]
+    fn identical_modules_diff_empty() {
+        let src = "module m(input a, output reg q); always @(posedge a) q <= a; endmodule";
+        assert!(diff_sources(src, src).is_empty());
+    }
+
+    #[test]
+    fn operator_change_is_localized_upd() {
+        let steps = diff_sources(
+            "module m(input a, input b, output q); assign q = a & b; endmodule",
+            "module m(input a, input b, output q); assign q = a | b; endmodule",
+        );
+        assert_eq!(steps.len(), 1);
+        let s = &steps[0];
+        assert_eq!(s.action, Action::Upd);
+        assert_eq!(s.node_kind, "binary");
+        assert_eq!(s.op_class, "bitwise");
+        assert_eq!(s.before, "($v0&$v1)");
+        assert_eq!(s.after, "($v0|$v1)");
+    }
+
+    #[test]
+    fn sensitivity_change_is_event_control_upd() {
+        let steps = diff_sources(
+            "module m(input c, input d, output reg q); always @(c) q <= d; endmodule",
+            "module m(input c, input d, output reg q); always @(posedge c) q <= d; endmodule",
+        );
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].node_kind, "event_control");
+        assert_eq!(steps[0].before, "@($v0)");
+        assert_eq!(steps[0].after, "@(posedge $v0)");
+    }
+
+    #[test]
+    fn inserted_statement_is_ins_with_block_anchor() {
+        let steps = diff_sources(
+            "module m(input c, output reg q, output reg r); \
+             always @(posedge c) begin q <= 1'b0; end endmodule",
+            "module m(input c, output reg q, output reg r); \
+             always @(posedge c) begin q <= 1'b0; r <= 1'b1; end endmodule",
+        );
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].action, Action::Ins);
+        assert_eq!(steps[0].node_kind, "nonblocking");
+        assert_eq!(steps[0].parent_kind, "block");
+        assert_eq!(steps[0].siblings, vec!["nonblocking".to_string()]);
+    }
+
+    #[test]
+    fn deleted_statement_is_del() {
+        let steps = diff_sources(
+            "module m(input c, output reg q, output reg r); \
+             always @(posedge c) begin q <= 1'b0; r <= 1'b1; end endmodule",
+            "module m(input c, output reg q, output reg r); \
+             always @(posedge c) begin q <= 1'b0; end endmodule",
+        );
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].action, Action::Del);
+    }
+
+    #[test]
+    fn reordered_statements_are_movs() {
+        let steps = diff_sources(
+            "module m(input c, output reg q, output reg r); \
+             always @(posedge c) begin q <= 1'b0; r <= 1'b1; end endmodule",
+            "module m(input c, output reg q, output reg r); \
+             always @(posedge c) begin r <= 1'b1; q <= 1'b0; end endmodule",
+        );
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].action, Action::Mov);
+    }
+
+    #[test]
+    fn renamed_variant_yields_identical_abstraction() {
+        let strip = |steps: Vec<EditStep>| -> Vec<(String, String, String)> {
+            steps
+                .into_iter()
+                .map(|s| (s.node_kind, s.before, s.after))
+                .collect()
+        };
+        let a = strip(diff_sources(
+            "module m(input a, input b, output q); assign q = a & b; endmodule",
+            "module m(input a, input b, output q); assign q = a | b; endmodule",
+        ));
+        let b = strip(diff_sources(
+            "module m(input x, input y, output z); assign z = x & y; endmodule",
+            "module m(input x, input y, output z); assign z = x | y; endmodule",
+        ));
+        assert_eq!(a, b);
+    }
+}

@@ -48,6 +48,7 @@ use cirfix_sim::{ProbeSpec, SimConfig};
 /// | `eval_timeout` | per-candidate wall-clock budget in seconds (fractions allowed); `0` = unbudgeted | `0` |
 /// | `sim_step_limit` | cap on total simulator operations per candidate | simulator default |
 /// | `chaos` | deterministic fault-injection spec, e.g. `panic@5,storefail@2,transient` | off |
+/// | `mined_patterns` | patterns file from `cirfix mine`; enables learned templates + mutation prior | off |
 /// | `output` | where to write the repaired design | `repaired.v` |
 /// | `trace_out` | stream telemetry events as JSON lines to this path | off |
 /// | `trace_timing` | `wall` records real durations; `off` scrubs them for byte-reproducible traces | `wall` |
@@ -320,6 +321,11 @@ pub fn repair_config(config: &Config) -> Result<RepairConfig, ConfigError> {
         if !plan.is_empty() {
             rc.faults = Some(FaultInjector::new(plan));
         }
+    }
+    if config.required("mined_patterns").is_ok() {
+        let path = config.path("mined_patterns")?;
+        rc.mined_patterns = cirfix::load_mined_patterns(&path)
+            .map_err(|e| ConfigError(format!("cannot load {}: {e}", path.display())))?;
     }
     Ok(rc)
 }

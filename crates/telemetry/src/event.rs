@@ -189,6 +189,21 @@ pub struct HistogramEvent {
     pub buckets: Vec<(u32, u64)>,
 }
 
+/// One fix-pattern mining operation or pattern usage in the search.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MineEvent {
+    /// What happened: `"mined"` (patterns written), `"loaded"`
+    /// (patterns fed into a repair run), or `"pattern_hit"` (a mined
+    /// template produced the candidate being reported).
+    pub op: String,
+    /// Shape digest of the pattern involved (empty for aggregates).
+    pub pattern: String,
+    /// The pattern's corpus support (0 for aggregates).
+    pub support: u64,
+    /// Operation-specific count: patterns written/loaded, or 1 per hit.
+    pub count: u64,
+}
+
 /// Any telemetry event the pipeline can emit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -214,6 +229,8 @@ pub enum Event {
     Heartbeat(HeartbeatEvent),
     /// A log-bucketed latency histogram.
     Histogram(HistogramEvent),
+    /// A fix-pattern mining operation or mined-pattern usage.
+    Mine(MineEvent),
 }
 
 impl Event {
@@ -231,6 +248,7 @@ impl Event {
             Event::Phase(_) => "phase",
             Event::Heartbeat(_) => "heartbeat",
             Event::Histogram(_) => "histogram",
+            Event::Mine(_) => "mine",
         }
     }
 
@@ -338,6 +356,12 @@ impl Event {
                     ),
                 ));
             }
+            Event::Mine(m) => {
+                pairs.push(("op", JsonValue::Str(m.op.clone())));
+                pairs.push(("pattern", JsonValue::Str(m.pattern.clone())));
+                pairs.push(("support", JsonValue::Uint(m.support)));
+                pairs.push(("count", JsonValue::Uint(m.count)));
+            }
         }
         for &(key, value) in tags {
             pairs.push((key, JsonValue::Str(value.into())));
@@ -406,6 +430,12 @@ mod tests {
                 name: "eval_latency".into(),
                 total: 5,
                 buckets: vec![(14, 3), (17, 2)],
+            }),
+            Event::Mine(MineEvent {
+                op: "pattern_hit".into(),
+                pattern: "6c62272e07bb014262b821756295c58d".into(),
+                support: 3,
+                count: 1,
             }),
         ];
         for e in &events {

@@ -37,7 +37,7 @@ mod sink;
 
 pub use event::{
     CandidateEvent, EvalOutcomeEvent, Event, FaultLocEvent, GenerationStats, HeartbeatEvent,
-    HistogramEvent, LintEvent, PhaseEvent, SimStats, SpanEvent, StoreEvent,
+    HistogramEvent, LintEvent, MineEvent, PhaseEvent, SimStats, SpanEvent, StoreEvent,
 };
 pub use json::{validate_json_line, JsonValue};
 pub use metrics::{Counter, Gauge, MetricsRegistry, Span};
