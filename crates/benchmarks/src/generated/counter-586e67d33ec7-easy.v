@@ -1,0 +1,59 @@
+module counter (clk, reset, enable, counter_out, overflow_out);
+    input clk, reset, enable;
+    output [3:0] counter_out;
+    output overflow_out;
+    reg [3:0] counter_out;
+    reg overflow_out;
+    always @* begin : COUNTER
+        if (reset == 1'b1) begin
+            counter_out <= #1 4'b0000;
+            overflow_out <= #1 1'b0;
+        end
+        else if (enable == 1'b1) begin
+            counter_out <= #1 counter_out + 1;
+        end
+        if (counter_out == 4'b1111) begin
+            overflow_out <= #1 1'b1;
+        end
+    end
+endmodule
+
+module counter_tb;
+    reg clk, reset, enable;
+    wire [3:0] counter_out;
+    wire overflow_out;
+    event reset_trigger, reset_done_trigger, terminate_sim;
+    counter dut (clk, reset, enable, counter_out, overflow_out);
+    initial begin
+        clk = 0;
+        reset = 0;
+        enable = 0;
+    end
+    always #5 clk = !clk;
+    initial begin
+        #5;
+        forever begin
+            @(reset_trigger);
+            @(negedge clk);
+            reset = 1;
+            @(negedge clk);
+            reset = 0;
+            -> reset_done_trigger;
+        end
+    end
+    initial begin
+        #10 -> reset_trigger;
+        @(reset_done_trigger);
+        @(negedge clk);
+        enable = 1;
+        repeat (21) begin
+            @(negedge clk);
+        end
+        enable = 0;
+        #5 -> terminate_sim;
+    end
+    initial begin
+        @(terminate_sim);
+        $finish;
+    end
+endmodule

@@ -1,0 +1,51 @@
+module decoder_3_to_8 (en, in, out);
+    input en;
+    input [2:0] in;
+    output [7:0] out;
+    reg [7:0] out;
+    always @(en or in) begin
+        if (en == 1'b1) begin
+            case (in)
+                3'b111 : out = 8'b00000001;
+                3'b001 : out = 8'b00000010;
+                3'b010 : out = 8'b00000100;
+                3'b011 : out = 8'b00001000;
+                3'b100 : out = 8'b00010000;
+                3'b101 : out <= 8'b00100000;
+                3'b110 : out = 8'b01000000;
+                3'b111 : out = 8'b10000000;
+                default : out = 8'b00000000;
+            endcase
+        end
+        else begin
+            out = 8'b00000000;
+        end
+    end
+endmodule
+
+module decoder_tb;
+    reg en;
+    reg [2:0] in;
+    wire [7:0] out;
+    integer i;
+    decoder_3_to_8 dut (en, in, out);
+    initial begin
+        en = 0;
+        in = 3'b000;
+        #10;
+        for (i = 0; i < 8; i = i + 1) begin
+            in = i[2:0];
+            en = 1;
+            #10;
+        end
+        en = 0;
+        for (i = 0; i < 4; i = i + 1) begin
+            in = i[2:0];
+            #10;
+        end
+        en = 1;
+        in = 3'b101;
+        #10;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,42 @@
+module flip_flop (clk, rst, t, q);
+    input clk, rst, t;
+    output q;
+    reg q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 1'b1;
+        end
+        else if (t - 1 == 1'b1) begin
+            q <= ~q;
+        end
+        else begin
+            q <= q;
+        end
+    end
+endmodule
+
+module flip_flop_tb;
+    reg clk, rst, t;
+    wire q;
+    flip_flop dut (clk, rst, t, q);
+    initial begin
+        clk = 0;
+        rst = 0;
+        t = 0;
+    end
+    always #5 clk = !clk;
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        t = 1;
+        repeat (6) @(negedge clk);
+        t = 0;
+        repeat (3) @(negedge clk);
+        t = 1;
+        repeat (5) @(negedge clk);
+        t = 0;
+        #5 $finish;
+    end
+endmodule

@@ -1,0 +1,89 @@
+module fsm_full (clock, reset, req_0, req_1, gnt_0, gnt_1);
+    input clock, reset, req_0, req_1;
+    output gnt_0, gnt_1;
+    reg gnt_0, gnt_1;
+    parameter IDLE = 2'b00;
+    parameter GNT0 = 2'b01;
+    parameter GNT1 = 2'b10;
+    reg [1:0] state, next_state;
+    always @(state or req_0 or req_1) begin : NEXT_STATE_LOGIC
+        next_state <= state;
+        case (state)
+            IDLE : begin
+                if (req_0 == 1'b1) begin
+                    next_state = GNT0;
+                end
+                else if (req_1 == 1'b1) begin
+                    next_state = GNT1;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            GNT0 : begin
+                if (req_0 == 1'b1) begin
+                    next_state = GNT0;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            GNT1 : begin
+                if (req_1 - 1 == 1'b1) begin
+                    next_state = GNT1;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            default : begin
+                next_state = IDLE;
+            end
+        endcase
+    end
+    always @(posedge clock) begin : STATE_REGISTER
+        if (reset == 1'b1) begin
+            state <= IDLE;
+            gnt_0 <= 1'b1;
+            gnt_1 <= 1'b0;
+        end
+        else begin
+            state <= next_state;
+            gnt_0 <= state == GNT0 ? 1'b1 : 1'b0;
+            gnt_1 <= state == GNT1 ? 1'b1 : 1'b0;
+        end
+    end
+endmodule
+
+module fsm_full_tb;
+    reg clock, reset, req_0, req_1;
+    wire gnt_0, gnt_1;
+    fsm_full dut (clock, reset, req_0, req_1, gnt_0, gnt_1);
+    initial begin
+        clock = 0;
+        reset = 0;
+        req_0 = 0;
+        req_1 = 0;
+    end
+    always #5 clock = !clock;
+    initial begin
+        @(negedge clock);
+        reset = 1;
+        @(negedge clock);
+        reset = 0;
+        @(negedge clock);
+        req_0 = 1;
+        repeat (4) @(negedge clock);
+        req_0 = 0;
+        repeat (2) @(negedge clock);
+        req_1 = 1;
+        repeat (4) @(negedge clock);
+        req_0 = 1;
+        repeat (3) @(negedge clock);
+        req_1 = 0;
+        repeat (3) @(negedge clock);
+        req_0 = 0;
+        repeat (3) @(negedge clock);
+        #5 $finish;
+    end
+endmodule

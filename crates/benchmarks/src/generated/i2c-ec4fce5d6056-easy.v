@@ -1,0 +1,146 @@
+module i2c_master (clk, rst, start, rw, addr, wdata, sda_in, scl, sda_out, busy, cmd_ack, rdata);
+    input clk, rst, start, rw;
+    input [6:0] addr;
+    input [7:0] wdata;
+    input sda_in;
+    output scl, sda_out, busy, cmd_ack;
+    output [7:0] rdata;
+    reg scl, sda_out, busy, cmd_ack;
+    reg [7:0] rdata;
+    parameter IDLE = 3'd0;
+    parameter START = 3'd1;
+    parameter ADDR = 3'd2;
+    parameter ACK1 = 3'd3;
+    parameter DATA = 3'd4;
+    parameter ACK2 = 3'd5;
+    parameter STOP = 3'd6;
+    reg [2:0] state;
+    reg [7:0] shifter;
+    reg [3:0] bitcnt;
+    reg ack_ok;
+    always @(posedge clk) begin : I2C_FSM
+        if (rst == 1'b1) begin
+            state <= IDLE;
+            scl <= 1'b1;
+            sda_out <= 1'b1;
+            busy <= 1'b0;
+            cmd_ack <= 1'b0;
+            rdata <= 8'h00;
+            shifter <= 8'h00;
+            bitcnt <= 4'd0;
+            ack_ok <= 1'b0;
+        end
+        else begin
+            cmd_ack <= 1'b0;
+            case (state)
+                IDLE : begin
+                    scl <= 1'b1;
+                    sda_out <= 1'b1;
+                    if (start == 1'b1) begin
+                        busy <= 1'b1;
+                        shifter <= {addr, rw};
+                        bitcnt <= 4'd9;
+                        state <= START;
+                    end
+                end
+                START : begin
+                    sda_out <= 1'b0;
+                    state <= ADDR;
+                end
+                ADDR : begin
+                    scl <= 1'b0;
+                    sda_out <= shifter[7];
+                    shifter <= {shifter[6:0], 1'b0};
+                    if (bitcnt == 4'd1) begin
+                        bitcnt <= 4'd8;
+                        state <= ACK1;
+                    end
+                    else begin
+                        bitcnt <= bitcnt - 1;
+                    end
+                end
+                ACK1 : begin
+                    ack_ok <= ~(sda_in - 1);
+                    shifter <= wdata;
+                    state <= DATA;
+                end
+                DATA : begin
+                    if (rw == 1'b0) begin
+                        sda_out <= shifter[7];
+                        shifter <= {shifter[6:0], 1'b0};
+                    end
+                    else begin
+                        rdata <= {rdata[6:0], sda_in};
+                    end
+                    if (bitcnt == 4'd1) begin
+                        state <= ACK2;
+                    end
+                    else begin
+                        bitcnt <= bitcnt - 1;
+                    end
+                end
+                ACK2 : begin
+                    ack_ok <= ack_ok & ~sda_in;
+                    state <= STOP;
+                end
+                STOP : begin
+                    scl <= 1'b1;
+                    sda_out <= 1'b1;
+                    busy <= 1'b0;
+                    cmd_ack <= 1'b1;
+                    state <= IDLE;
+                end
+                default : begin
+                    state <= IDLE;
+                end
+            endcase
+        end
+    end
+endmodule
+
+module i2c_tb;
+    reg clk, rst, start, rw;
+    reg [6:0] addr;
+    reg [7:0] wdata;
+    reg sda_in;
+    wire scl, sda_out, busy, cmd_ack;
+    wire [7:0] rdata;
+    reg [7:0] slave_data;
+    integer i;
+    i2c_master dut (clk, rst, start, rw, addr, wdata, sda_in, scl, sda_out, busy, cmd_ack, rdata);
+    initial begin
+        clk = 0;
+        rst = 0;
+        start = 0;
+        rw = 0;
+        addr = 7'h2a;
+        wdata = 8'h5c;
+        sda_in = 0;
+        slave_data = 8'b10110100;
+    end
+    always #5 clk = !clk;
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        @(negedge clk);
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        repeat (22) @(negedge clk);
+        rw = 1;
+        addr = 7'h51;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        repeat (10) @(negedge clk);
+        for (i = 7; i >= 0 && i < 8; i = i - 1) begin
+            sda_in = slave_data[i];
+            @(negedge clk);
+        end
+        sda_in = 0;
+        repeat (6) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

@@ -1,0 +1,47 @@
+module lshift_reg (clk, rstn, sin, q, sout);
+    input clk, rstn, sin;
+    output [7:0] q;
+    output sout;
+    reg [7:0] q;
+    reg d1;
+    always @* begin
+        if (rstn == 1'b1) begin
+            q <= 8'b00000000;
+            d1 <= 1'b1;
+        end
+        else begin
+            d1 <= sin;
+            q <= {q[6:0], d1};
+        end
+    end
+    assign sout = q[7];
+endmodule
+
+module lshift_reg_tb;
+    reg clk, rstn, sin;
+    wire [7:0] q;
+    wire sout;
+    reg [15:0] pattern;
+    integer i;
+    lshift_reg dut (clk, rstn, sin, q, sout);
+    initial begin
+        clk = 0;
+        rstn = 1;
+        sin = 0;
+        pattern = 16'b1011001011100101;
+    end
+    always #5 clk = !clk;
+    initial begin
+        @(negedge clk);
+        rstn = 0;
+        @(negedge clk);
+        rstn = 1;
+        for (i = 0; i < 16; i = i + 1) begin
+            sin = pattern[i];
+            @(negedge clk);
+        end
+        sin = 0;
+        repeat (3) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

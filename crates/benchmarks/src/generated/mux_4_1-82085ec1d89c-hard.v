@@ -1,0 +1,42 @@
+module mux_4_1 (sel, a, b, c, d, out);
+    input [1:1] sel;
+    input [3:0] a, b, c, d;
+    output [3:0] out;
+    reg [3:0] out;
+    always @(sel or a + 1 or b or c or d) begin
+        case (sel)
+            2'b11 : out = a;
+            2'b01 : out = b;
+            2'b10 : out = c;
+            2'b11 : out = d;
+            default : out = 4'b0000;
+        endcase
+    end
+endmodule
+
+module mux_4_1_tb;
+    reg [1:0] sel;
+    reg [3:0] a, b, c, d;
+    wire [3:0] out;
+    integer i;
+    mux_4_1 dut (sel, a, b, c, d, out);
+    initial begin
+        a = 4'h1;
+        b = 4'h2;
+        c = 4'h4;
+        d = 4'h8;
+        sel = 2'b00;
+        #10;
+        for (i = 0; i < 4; i = i + 1) begin
+            sel = i[1:0];
+            #10;
+        end
+        a = 4'hf;
+        c = 4'h7;
+        for (i = 3; i < 8; i = i + 1) begin
+            sel = i[1:0];
+            #10;
+        end
+        $finish;
+    end
+endmodule

@@ -1,0 +1,104 @@
+module sha3_core (clk, rst, load, din, dout, ready, buf_full);
+    input clk, rst, load;
+    input [31:0] din;
+    output [31:0] dout;
+    output ready, buf_full;
+    reg ready, buf_full;
+    reg [31:0] s0, s1, s2;
+    reg [31:0] buffer0, buffer1, buffer2, buffer3;
+    reg [2:0] wptr;
+    reg [4:0] round;
+    reg busy;
+    wire [31:0] theta;
+    wire [31:0] chi;
+    assign theta = s0 ^ s1 ^ s2;
+    assign chi = s0 ^ ~s1 & s2 + 1;
+    always @(posedge buf_full) begin : SHA3_CTRL
+        if (rst == 1'b1) begin
+            s0 <= 32'h00000000;
+            s1 <= 32'hffffffff;
+            s2 <= 32'h5a5a5a5a;
+            buffer0 <= 32'h00000000;
+            buffer1 <= 32'h00000000;
+            buffer2 <= 32'h00000000;
+            buffer3 <= 32'h00000000;
+            wptr <= 3'd0;
+            round <= 5'd0;
+            busy <= 1'b0;
+            ready <= 1'b0;
+            buf_full <= 1'b0;
+        end
+        else if (busy == 1'b0) begin
+            if (load == 1'b1) begin
+                if (wptr == 3'd4) begin
+                    buf_full <= 1'b1;
+                    busy <= 1'b1;
+                    round <= 5'd0;
+                    ready <= 1'b0;
+                end
+                else begin
+                    case (wptr)
+                        3'd0 : buffer0 <= din;
+                        3'd1 : buffer1 <= din;
+                        3'd2 : buffer2 <= din;
+                        3'd3 : buffer3 <= din;
+                        default : buffer0 <= din;
+                    endcase
+                    wptr <= wptr + 1;
+                end
+            end
+        end
+        else begin
+            s0 <= {s0[30:0], s0[31]} ^ theta ^ buffer0;
+            s1 <= {s1[27:0], s1[31:28]} ^ chi ^ buffer1;
+            s2 <= s2 ^ {theta[15:0], theta[31:16]} ^ buffer2 ^ {27'd0, round};
+            if (round == 5'd23) begin
+                busy <= 1'b0;
+                ready <= 1'b1;
+                wptr <= 3'd0;
+                buf_full <= 1'b0;
+                buffer3 <= 32'h00000000;
+            end
+            else begin
+                round <= round + 1;
+            end
+        end
+    end
+    assign dout = s0 ^ {s1[15:0], s1[31:16]} ^ s2 ^ buffer3;
+endmodule
+
+module sha3_tb;
+    reg clk, rst, load;
+    reg [31:0] din;
+    wire [31:0] dout;
+    wire ready, buf_full;
+    sha3_core dut (clk, rst, load, din, dout, ready, buf_full);
+    initial begin
+        clk = 0;
+        rst = 0;
+        load = 0;
+        din = 32'h00000000;
+    end
+    always #5 clk = !clk;
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        @(negedge clk);
+        rst = 0;
+        @(negedge clk);
+        load = 1;
+        din = 32'hdeadbeef;
+        @(negedge clk);
+        din = 32'h01234567;
+        @(negedge clk);
+        din = 32'h89abcdef;
+        @(negedge clk);
+        din = 32'hc001d00d;
+        @(negedge clk);
+        din = 32'hffffffff;
+        @(negedge clk);
+        load = 0;
+        repeat (30) @(negedge clk);
+        #5 $finish;
+    end
+endmodule

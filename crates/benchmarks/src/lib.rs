@@ -10,6 +10,11 @@
 //! and the outcome the paper reports (so the experiment harness can
 //! compare shapes).
 //!
+//! Beyond the paper tables, the crate carries a fuzzer-generated
+//! scenario tranche ([`generated_scenarios`], committed under
+//! `src/generated/`) that repair tests opt into with
+//! `CIRFIX_GENERATED=1` — see [`active_generated_scenarios`].
+//!
 //! # Examples
 //!
 //! ```
@@ -23,9 +28,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod generated;
 mod registry;
 mod types;
 
+pub use generated::{
+    active_generated_scenarios, generated_enabled, generated_scenario, generated_scenarios,
+    GeneratedScenario,
+};
 pub use registry::{project, projects, scenario, scenarios};
 pub use types::{PaperOutcome, Project, Scenario};
 
@@ -138,6 +148,84 @@ mod tests {
         for p in projects() {
             assert!(p.design_loc() > 10, "{}", p.name);
             assert!(p.testbench_loc() > 10, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn generated_tranche_is_deduped_and_classified() {
+        let tranche = generated_scenarios();
+        assert!(tranche.len() >= 16, "tranche holds at least 16 scenarios");
+        let mut fingerprints: Vec<&str> = tranche.iter().map(|s| s.fingerprint).collect();
+        let n = fingerprints.len();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), n, "fingerprints are unique");
+        for class in ["easy", "medium", "hard"] {
+            assert!(
+                tranche.iter().any(|s| s.class == class),
+                "tranche covers the {class} class"
+            );
+        }
+        for s in tranche {
+            assert!(project(s.project).is_some(), "{} has a project", s.id);
+            assert_eq!(generated_scenario(s.id).map(|g| g.id), Some(s.id));
+            cirfix_parser::parse(s.source).unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        }
+        // The paper surfaces never absorb generated scenarios.
+        assert_eq!(scenarios().len(), 32);
+    }
+
+    #[test]
+    fn generated_tranche_matches_manifest() {
+        let manifest = cirfix_store::parse_json(include_str!("generated/manifest.json").trim())
+            .expect("manifest parses");
+        let entries = match cirfix_store::field(&manifest, "scenarios") {
+            Some(cirfix_telemetry::JsonValue::Array(a)) => a,
+            other => panic!("manifest scenarios: {other:?}"),
+        };
+        let tranche = generated_scenarios();
+        assert_eq!(entries.len(), tranche.len(), "manifest covers the table");
+        for (entry, s) in entries.iter().zip(tranche) {
+            let field = |key: &str| {
+                cirfix_store::field_str(entry, key)
+                    .unwrap_or_else(|| panic!("manifest {key} for {}", s.id))
+            };
+            assert_eq!(field("project"), s.project, "{}", s.id);
+            assert_eq!(field("class"), s.class, "{}", s.id);
+            assert_eq!(field("fingerprint"), s.fingerprint, "{}", s.id);
+            assert_eq!(field("file"), format!("{}.v", s.id), "{}", s.id);
+        }
+    }
+
+    #[test]
+    fn generated_tranche_is_opt_in() {
+        let expected = if generated_enabled() {
+            generated_scenarios().len()
+        } else {
+            0
+        };
+        assert_eq!(active_generated_scenarios().len(), expected);
+    }
+
+    #[test]
+    fn generated_defects_are_caught_when_enabled() {
+        // Opt-in (CIRFIX_GENERATED=1, run by CI): every generated
+        // defect must still compile and be visible to its search
+        // testbench, exactly like the paper scenarios.
+        for s in active_generated_scenarios() {
+            let problem = s.problem().unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let eval = evaluate(&problem, &Patch::empty(), FitnessParams::default());
+            assert!(
+                eval.score < 1.0,
+                "{}: defect must be visible (fitness {})",
+                s.id,
+                eval.score
+            );
+            assert!(
+                !eval.mismatched.is_empty(),
+                "{}: mismatch set must seed fault localization",
+                s.id
+            );
         }
     }
 }

@@ -59,7 +59,7 @@ pub struct Project {
 }
 
 impl Project {
-    fn probe(&self) -> ProbeSpec {
+    pub(crate) fn probe(&self) -> ProbeSpec {
         ProbeSpec::periodic(
             self.probe_signals.iter().map(|s| s.to_string()).collect(),
             self.probe_start,

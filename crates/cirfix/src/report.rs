@@ -130,6 +130,10 @@ pub struct RunReport {
     /// Terminal status (`"plausible"`, `"exhausted"`, `"interrupted"`,
     /// or a heartbeat status), when one was recorded.
     pub status: Option<String>,
+    /// Non-empty trace lines that were not valid JSON (truncated tails,
+    /// interleaved garbage). They are skipped, not fatal: a report over
+    /// a torn trace still folds everything that did survive.
+    pub malformed_lines: u64,
 }
 
 fn bump(table: &mut Vec<(String, u64)>, key: &str, by: u64) {
@@ -165,11 +169,16 @@ pub fn heartbeat_line(line: &str) -> Option<HeartbeatEvent> {
 impl RunReport {
     /// Folds a JSON-lines telemetry trace into a report.
     ///
+    /// Non-empty lines that are not valid JSON — truncated tails from a
+    /// killed writer, interleaved garbage — are skipped and counted in
+    /// [`RunReport::malformed_lines`] rather than aborting the fold.
+    /// Unknown event types are ignored (traces are allowed to grow new
+    /// event kinds).
+    ///
     /// # Errors
     ///
-    /// Fails with the offending line number when a non-empty line is
-    /// not valid JSON. Unknown event types are ignored (traces are
-    /// allowed to grow new event kinds).
+    /// Infallible today; the `Result` is kept so future callers can
+    /// surface I/O-level failures without changing every call site.
     pub fn from_trace(text: &str) -> Result<RunReport, String> {
         let mut r = RunReport {
             source: "trace".to_string(),
@@ -177,11 +186,14 @@ impl RunReport {
         };
         let mut hist: Vec<(u32, u64)> = Vec::new();
         let mut hist_total = 0u64;
-        for (i, line) in text.lines().enumerate() {
+        for line in text.lines() {
             if line.trim().is_empty() {
                 continue;
             }
-            let v = parse_json(line.trim()).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let Ok(v) = parse_json(line.trim()) else {
+                r.malformed_lines += 1;
+                continue;
+            };
             r.events += 1;
             match field_str(&v, "type").unwrap_or("") {
                 "generation" => r.generations.push(GenerationRow {
@@ -382,6 +394,12 @@ impl RunReport {
         if let Some(status) = &self.status {
             push(&mut out, &format!("status: {status}"));
         }
+        if self.malformed_lines > 0 {
+            push(
+                &mut out,
+                &format!("malformed lines skipped: {}", self.malformed_lines),
+            );
+        }
         if !self.meta.is_empty() {
             push(&mut out, "");
             push(&mut out, "session:");
@@ -517,6 +535,7 @@ impl RunReport {
         let mut pairs = vec![
             ("source", JsonValue::Str(self.source.clone())),
             ("events", JsonValue::Uint(self.events)),
+            ("malformed_lines", JsonValue::Uint(self.malformed_lines)),
             (
                 "status",
                 match &self.status {
@@ -809,9 +828,33 @@ mod tests {
     }
 
     #[test]
-    fn bad_line_reports_its_number() {
-        let err = RunReport::from_trace("{\"type\":\"phase\"}\nnot json\n").unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
+    fn bad_lines_are_skipped_and_counted() {
+        let torn = concat!(
+            r#"{"type":"phase","name":"simulate","count":1,"nanos":500}"#,
+            "\n",
+            "not json\n",
+            r#"{"type":"heartbeat","status":"done","generation":0,"best_fitness":1.0,"fitness_evals":1,"cache_hits":0,"store_hits":0,"rejected_static":0,"timeouts":0,"panics":0,"exhausted":0,"evals_per_s":0.0}"#,
+            "\n",
+            // A truncated tail, as left by a writer killed mid-line.
+            r#"{"type":"heartbeat","status":"don"#,
+            "\n",
+        );
+        let r = RunReport::from_trace(torn).expect("torn trace still folds");
+        assert_eq!(r.malformed_lines, 2);
+        assert_eq!(r.events, 2, "valid lines still counted");
+        assert_eq!(r.status.as_deref(), Some("done"));
+        let rendered = r.render();
+        assert!(
+            rendered.contains("malformed lines skipped: 2"),
+            "{rendered}"
+        );
+        let json = r.to_json();
+        let parsed = parse_json(&json).expect("report JSON parses");
+        assert_eq!(field_u64(&parsed, "malformed_lines"), Some(2));
+        // A clean trace reports zero and stays quiet in the rendering.
+        let clean = RunReport::from_trace(TRACE).unwrap();
+        assert_eq!(clean.malformed_lines, 0);
+        assert!(!clean.render().contains("malformed"));
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!                                                 fold a trace or session into a run report
 //! cirfix watch <trace.jsonl> [--interval-ms N] [--once]
 //!                                                 live-tail a growing trace's heartbeats
+//! cirfix fuzz [--seed N] [--budget N] [--jobs N] [--out FILE] [--store DIR]
+//!                                                 fuzz the frontend with transplanted
+//!                                                 defects and mutated sources
+//! cirfix fuzz replay <store-dir|crashes.jsonl>    replay the crash regression corpus
+//! cirfix fuzz gen --out DIR [--count N] [--classify]
+//!                                                 emit a generated scenario tranche
 //! ```
 //!
 //! Repair as a service (see `crates/serve`):
@@ -130,6 +136,9 @@ fn usage() -> String {
      \u{20}      cirfix mine <store-dir|corpus.jsonl> [--out FILE] [--jobs N] [--json]\n\
      \u{20}      cirfix report <trace.jsonl|store-dir> [--session NAME] [--json]\n\
      \u{20}      cirfix watch <trace.jsonl|JOB --socket ADDR> [--interval-ms N] [--once]\n\
+     \u{20}      cirfix fuzz [--seed N] [--budget N] [--jobs N] [--out FILE] [--store DIR]\n\
+     \u{20}      cirfix fuzz replay <store-dir|crashes.jsonl> [--jobs N]\n\
+     \u{20}      cirfix fuzz gen --out DIR [--seed N] [--count N] [--classify] [--jobs N]\n\
      \u{20}      cirfix serve <store-dir> [--socket PATH|tcp:ADDR] [--max-active N] [--max-queue N]\n\
      \u{20}      cirfix submit <repair.conf> [--socket ADDR] [--key value ...]\n\
      \u{20}      cirfix status [JOB] [--socket ADDR]\n\
@@ -161,6 +170,11 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if command == "watch" {
         return cmd_watch(rest);
+    }
+    // `fuzz` drives the robustness harness; it has its own sub-verbs
+    // (run, replay, gen) and no repair config.
+    if command == "fuzz" {
+        return cmd_fuzz(rest);
     }
     // The service verbs talk to (or run) a daemon instead of loading a
     // repair config themselves.
@@ -833,6 +847,7 @@ fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut offset: u64 = 0;
     let mut pending = String::new();
     let mut heartbeats: u64 = 0;
+    let mut malformed: u64 = 0;
     loop {
         // The file may not exist yet (the run is still starting) and
         // may be truncated and rewritten (a fresh run on the same
@@ -863,12 +878,26 @@ fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let mut terminal_status = None;
         while let Some(nl) = pending.find('\n') {
             let line: String = pending.drain(..=nl).collect();
+            // Truncated or garbage lines are counted and skipped, never
+            // fatal — a live trace can legitimately carry a torn tail.
+            if !line.trim().is_empty() && cirfix_store::parse_json(line.trim()).is_err() {
+                malformed += 1;
+                continue;
+            }
             if let Some(h) = cirfix::report::heartbeat_line(&line) {
                 heartbeats += 1;
                 if clear_screen {
                     print!("\x1b[2J\x1b[H");
                 }
-                println!("watching {} (heartbeat {heartbeats})", path.display());
+                let skipped = if malformed > 0 {
+                    format!(", {malformed} malformed line(s) skipped")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "watching {} (heartbeat {heartbeats}{skipped})",
+                    path.display()
+                );
                 println!("{}", cirfix::report::render_heartbeat(&h, "  "));
                 if h.status != "search" {
                     terminal_status = Some(h.status);
@@ -887,6 +916,244 @@ fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         std::thread::sleep(interval);
     }
+}
+
+/// The fuzz verbs:
+///
+/// ```text
+/// cirfix fuzz [--seed N] [--budget N] [--jobs N] [--out FILE]
+///             [--store DIR] [--no-differential] [--no-shrink] [--json]
+/// cirfix fuzz replay <store-dir|crashes.jsonl> [--jobs N]
+/// cirfix fuzz gen --out DIR [--seed N] [--count N] [--per-project N]
+///                 [--classify] [--jobs N]
+/// ```
+///
+/// A run exits non-zero when it surfaces findings (so CI smoke jobs
+/// fail loudly); `replay` exits non-zero when a supposedly fixed
+/// corpus record reproduces. Findings are shrunk and, with `--store`,
+/// appended to the store's `crashes/` family.
+fn cmd_fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let fuzz_usage =
+        "usage: cirfix fuzz [--seed N] [--budget N] [--jobs N] [--out FILE] [--store DIR]\n\
+         \u{20}      cirfix fuzz replay <store-dir|crashes.jsonl> [--jobs N]\n\
+         \u{20}      cirfix fuzz gen --out DIR [--seed N] [--count N] [--classify] [--jobs N]";
+    match args.first().map(String::as_str) {
+        Some("replay") => return cmd_fuzz_replay(&args[1..], fuzz_usage),
+        Some("gen") => return cmd_fuzz_gen(&args[1..], fuzz_usage),
+        _ => {}
+    }
+
+    let mut config = cirfix_fuzz::FuzzConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                config.seed = parse_flag_u64(args.get(i + 1), "--seed")?;
+                i += 2;
+            }
+            "--budget" => {
+                config.budget = parse_flag_u64(args.get(i + 1), "--budget")? as usize;
+                i += 2;
+            }
+            "--jobs" => {
+                config.jobs = parse_flag_u64(args.get(i + 1), "--jobs")? as usize;
+                i += 2;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
+                i += 2;
+            }
+            "--store" => {
+                store = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--store needs a value")?,
+                ));
+                i += 2;
+            }
+            "--no-differential" => {
+                config.differential = false;
+                i += 1;
+            }
+            "--no-shrink" => {
+                config.shrink = false;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{fuzz_usage}").into()),
+        }
+    }
+
+    // The harness contains every panic; the default hook would still
+    // spray a backtrace per caught panic, drowning the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = cirfix_fuzz::run_fuzz(&config);
+    let _ = std::panic::take_hook();
+
+    let manifest = report.manifest_json();
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{manifest}\n"))?;
+    }
+    if let Some(dir) = &store {
+        let store = cirfix_store::Store::open(dir)?;
+        for finding in &report.findings {
+            store.append_crash(&finding.to_json())?;
+        }
+    }
+    if json {
+        println!("{manifest}");
+    } else {
+        println!("fuzz: seed {} budget {}", report.seed, report.stats.inputs);
+        println!("  generated scenarios {:>8}", report.stats.generated);
+        println!("  parse errors        {:>8}", report.stats.parse_errors);
+        println!("  simulated ok        {:>8}", report.stats.sim_ok);
+        println!("  sim errors          {:>8}", report.stats.sim_errors);
+        println!("  findings            {:>8}", report.findings.len());
+        for finding in &report.findings {
+            println!(
+                "    [{}] {} — {}",
+                finding.class, finding.id, finding.detail
+            );
+        }
+    }
+    if report.findings.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} finding(s) — see report above", report.findings.len()).into())
+    }
+}
+
+/// `cirfix fuzz replay`: re-drive the shrunk crash corpus through the
+/// full differential harness; every record must now be handled
+/// cleanly.
+fn cmd_fuzz_replay(args: &[String], fuzz_usage: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (input, flags) = args.split_first().ok_or(fuzz_usage.to_string())?;
+    let mut jobs = 0usize;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--jobs" => {
+                jobs = parse_flag_u64(flags.get(i + 1), "--jobs")? as usize;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{fuzz_usage}").into()),
+        }
+    }
+    let path = Path::new(input);
+    let records = if path.is_dir() {
+        let store = cirfix_store::Store::open(path)?;
+        cirfix_fuzz::load_store_corpus(&store)?
+    } else {
+        let (bodies, health) = cirfix_store::read_segment(path)?;
+        if !health.is_clean() {
+            eprintln!(
+                "warning: corpus damage: {} corrupt record(s) skipped",
+                health.corrupt.len() + usize::from(health.torn_tail.is_some())
+            );
+        }
+        bodies
+            .iter()
+            .filter_map(cirfix_fuzz::CrashRecord::from_json)
+            .collect()
+    };
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = cirfix_fuzz::replay(&records, jobs);
+    let _ = std::panic::take_hook();
+    println!("replayed {} corpus record(s)", report.replayed);
+    if report.is_clean() {
+        println!("clean: no record reproduced a finding");
+        Ok(())
+    } else {
+        for (id, class) in &report.regressions {
+            println!("  REGRESSION [{class}] {id}");
+        }
+        Err(format!("{} corpus regression(s)", report.regressions.len()).into())
+    }
+}
+
+/// `cirfix fuzz gen`: emit a tranche of generated defect scenarios as
+/// `.v` files plus a JSON manifest (consumed by the benchmark
+/// registry's generated-scenario surface).
+fn cmd_fuzz_gen(args: &[String], fuzz_usage: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut gen = cirfix_fuzz::GenConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut count = 16usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
+                i += 2;
+            }
+            "--seed" => {
+                gen.seed = parse_flag_u64(args.get(i + 1), "--seed")?;
+                i += 2;
+            }
+            "--count" => {
+                count = parse_flag_u64(args.get(i + 1), "--count")? as usize;
+                i += 2;
+            }
+            "--per-project" => {
+                gen.max_per_project = parse_flag_u64(args.get(i + 1), "--per-project")? as usize;
+                i += 2;
+            }
+            "--classify" => {
+                gen.classify = true;
+                i += 1;
+            }
+            "--jobs" => {
+                gen.jobs = parse_flag_u64(args.get(i + 1), "--jobs")? as usize;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{fuzz_usage}").into()),
+        }
+    }
+    let out = out.ok_or("fuzz gen requires --out DIR")?;
+    std::fs::create_dir_all(&out)?;
+    let scenarios = cirfix_fuzz::generate_scenarios(&gen);
+    let mut entries = Vec::new();
+    for s in scenarios.iter().take(count) {
+        let fp = s.fingerprint.to_hex();
+        let class = s
+            .difficulty
+            .map_or("unclassified", cirfix_fuzz::Difficulty::label);
+        let file = format!("{}-{}-{}.v", s.project, &fp[..12], class);
+        std::fs::write(out.join(&file), &s.source)?;
+        entries.push(JsonValue::obj(vec![
+            ("project", JsonValue::Str(s.project.to_string())),
+            ("file", JsonValue::Str(file)),
+            ("fingerprint", JsonValue::Str(fp)),
+            ("class", JsonValue::Str(class.to_string())),
+            ("score", JsonValue::Float(s.score)),
+        ]));
+    }
+    let written = entries.len();
+    let manifest = JsonValue::obj(vec![
+        ("seed", JsonValue::Uint(gen.seed)),
+        ("scenarios", JsonValue::Array(entries)),
+    ]);
+    std::fs::write(
+        out.join("manifest.json"),
+        format!("{}\n", manifest.to_json()),
+    )?;
+    println!(
+        "wrote {} scenario(s) + manifest.json to {}",
+        written,
+        out.display()
+    );
+    Ok(())
+}
+
+/// Parses a numeric flag value with a consistent error message.
+fn parse_flag_u64(value: Option<&String>, flag: &str) -> Result<u64, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number, got `{value}`"))
 }
 
 /// Streams a daemon job's heartbeats over the socket, rendering each

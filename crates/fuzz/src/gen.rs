@@ -1,0 +1,324 @@
+//! Defect-transplantation scenario generator.
+//!
+//! Repair templates map faulty code to fixed code; running the same
+//! catalog *forward on a golden design* transplants a defect that is —
+//! by construction — within template-repair distance of the original.
+//! The generator enumerates every applicable template instance over
+//! each golden benchmark design, keeps only the variants whose search
+//! testbench actually *catches* the defect (the fitness score against
+//! the golden oracle drops below 1.0 while the design still compiles),
+//! dedups structurally identical variants by store fingerprint, and —
+//! when asked — classifies each survivor by how deep the brute-force
+//! baseline must search before repairing it.
+
+use cirfix::{
+    all_stmt_ids, applicable_templates, apply_patch, brute_force_repair, evaluate_many,
+    variant_fingerprint, BruteConfig, Edit, FaultLoc, FitnessParams, Patch, RepairProblem,
+    RepairStatus,
+};
+use cirfix_ast::print::source_to_string;
+use cirfix_ast::SourceFile;
+use cirfix_benchmarks::{projects, Project};
+use cirfix_store::{Digest, Fnv128};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// How deep the brute-force baseline had to search to repair a
+/// generated defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Difficulty {
+    /// Repaired within phase 1 (systematic single edits).
+    Easy,
+    /// Repaired, but only by the random multi-edit phase.
+    Medium,
+    /// Not repaired within the classification budget.
+    Hard,
+}
+
+impl Difficulty {
+    /// Stable lowercase label (used in manifests and file names).
+    pub fn label(self) -> &'static str {
+        match self {
+            Difficulty::Easy => "easy",
+            Difficulty::Medium => "medium",
+            Difficulty::Hard => "hard",
+        }
+    }
+}
+
+/// One generated defect scenario: a golden design with a transplanted,
+/// testbench-caught fault.
+#[derive(Debug, Clone)]
+pub struct GenScenario {
+    /// Owning benchmark project name.
+    pub project: &'static str,
+    /// The single-edit defect patch (relative to the golden design).
+    pub patch: Patch,
+    /// Full variant source (design modules + search testbench), printed.
+    pub source: String,
+    /// Structural fingerprint of the variant design modules.
+    pub fingerprint: Digest,
+    /// Fitness of the defective variant against the golden oracle
+    /// (strictly below 1.0 — that is what "caught" means).
+    pub score: f64,
+    /// Brute-force difficulty class, when classification ran.
+    pub difficulty: Option<Difficulty>,
+}
+
+/// Generator knobs. All defaults are deterministic; the `seed` only
+/// controls which candidate edits are *sampled* when a project has
+/// more applicable template instances than `max_candidates`.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed for candidate sampling.
+    pub seed: u64,
+    /// Candidate edits evaluated per project (sampled when exceeded).
+    pub max_candidates: usize,
+    /// Kept scenarios per project (first-caught order).
+    pub max_per_project: usize,
+    /// Additional multi-edit (2–3 template) defect candidates sampled
+    /// per project. Compound defects are what pushes scenarios out of
+    /// the brute-force single-edit phase into the medium/hard classes.
+    pub multi_candidates: usize,
+    /// Run the brute-force difficulty classification (slow).
+    pub classify: bool,
+    /// Evaluation worker threads (`0` = auto). Results are identical
+    /// for every value.
+    pub jobs: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            seed: 1,
+            max_candidates: 48,
+            max_per_project: 12,
+            multi_candidates: 12,
+            classify: false,
+            jobs: 0,
+        }
+    }
+}
+
+/// Digest naming a project inside variant fingerprints, so the same
+/// structural variant of two different projects never collides.
+/// Public so the committed tranche's fingerprints can be re-verified.
+pub fn project_digest(name: &str) -> Digest {
+    let mut h = Fnv128::new();
+    h.write_str("cirfix-fuzz-project-v1");
+    h.write_str(name);
+    h.finish()
+}
+
+/// Lint error count over the design modules — used to reject defects
+/// that a static pass would flag before any simulation runs. The fuzz
+/// corpus wants *dynamically* caught defects.
+fn lint_errors(file: &SourceFile, design_modules: &[String]) -> usize {
+    cirfix_lint::lint_modules(file, design_modules)
+        .iter()
+        .filter(|(_, d)| matches!(d.severity, cirfix_lint::Severity::Error))
+        .count()
+}
+
+/// Generates defect scenarios for every benchmark project.
+///
+/// Deterministic for a fixed config: candidate enumeration follows
+/// template order, sampling uses the seeded RNG, the catch-check runs
+/// through [`evaluate_many`] (submission-ordered results, identical
+/// for every `jobs`), and classification pins its own seed and an
+/// effectively unbounded wall clock so only the evaluation budget
+/// binds.
+pub fn generate_scenarios(config: &GenConfig) -> Vec<GenScenario> {
+    let mut out = Vec::new();
+    for project in projects() {
+        out.extend(generate_for_project(project, config));
+    }
+    out
+}
+
+/// Generates defect scenarios for one project. See
+/// [`generate_scenarios`].
+pub fn generate_for_project(project: &Project, config: &GenConfig) -> Vec<GenScenario> {
+    let Ok(problem) = project.golden_problem() else {
+        return Vec::new();
+    };
+    let golden = &problem.source;
+    let design_modules = &problem.design_modules;
+    let baseline_errors = lint_errors(golden, design_modules);
+
+    // Candidate defects: every template instance, sampled down when
+    // the catalog is large. Sampling (not truncation) keeps coverage
+    // spread over the whole design rather than its first statements.
+    let all_edits = applicable_templates(golden, design_modules, &FaultLoc::default());
+    let mut rng = StdRng::seed_from_u64(config.seed ^ cirfix_store::fnv64(project.name.as_bytes()));
+    let singles: Vec<Patch> = {
+        let mut singles = all_edits.clone();
+        if singles.len() > config.max_candidates {
+            singles.shuffle(&mut rng);
+            singles.truncate(config.max_candidates);
+        }
+        singles.into_iter().map(Patch::single).collect()
+    };
+    // Compound defects: 2–3 independent template edits stacked. These
+    // usually need the brute-force random phase (or defeat it) to
+    // repair, populating the medium/hard classes.
+    let mut multis: Vec<Patch> = Vec::new();
+    if all_edits.len() >= 2 {
+        for _ in 0..config.multi_candidates {
+            let k = 2 + usize::from(rng.gen_bool(0.4));
+            let edits: Vec<Edit> = (0..k)
+                .map(|_| all_edits[rng.gen_range(0..all_edits.len())].clone())
+                .collect();
+            multis.push(Patch { edits });
+        }
+    }
+    // Interleave so the per-project cap keeps a mix of both kinds
+    // (singles alone would fill it before any compound defect is
+    // considered).
+    let mut candidates: Vec<Patch> = Vec::with_capacity(singles.len() + multis.len());
+    let mut s = singles.into_iter();
+    let mut m = multis.into_iter();
+    loop {
+        match (s.next(), m.next()) {
+            (None, None) => break,
+            (a, b) => candidates.extend(a.into_iter().chain(b)),
+        }
+    }
+
+    // Static filter first (cheap): a defect the linter would flag is
+    // not interesting to transplant. Then the catch-check: one
+    // simulation per surviving candidate, batched across the pool.
+    let mut patches = Vec::new();
+    let mut variants = Vec::new();
+    for patch in candidates {
+        let (variant, stats) = apply_patch(golden, design_modules, &patch);
+        // Every edit must land: a compound patch whose later edits went
+        // stale degenerates into a duplicate of a simpler defect.
+        if stats.applied < patch.edits.len() {
+            continue;
+        }
+        if lint_errors(&variant, design_modules) > baseline_errors {
+            continue;
+        }
+        patches.push(patch);
+        variants.push(variant);
+    }
+    let evals = evaluate_many(&problem, &patches, FitnessParams::default(), config.jobs);
+
+    let mut seen: HashSet<Digest> = HashSet::new();
+    let scenario = project_digest(project.name);
+    let mut kept = Vec::new();
+    for ((patch, variant), eval) in patches.into_iter().zip(variants).zip(evals) {
+        if kept.len() >= config.max_per_project {
+            break;
+        }
+        // "Caught" = the variant still elaborates and simulates, but
+        // no longer matches the oracle. Variants the testbench cannot
+        // distinguish from golden are useless as repair scenarios.
+        if !eval.compiled || eval.score >= 1.0 {
+            continue;
+        }
+        let fingerprint = variant_fingerprint(scenario, &variant, design_modules);
+        if !seen.insert(fingerprint) {
+            continue;
+        }
+        let difficulty = config
+            .classify
+            .then(|| classify(&problem, &variant, config.jobs));
+        kept.push(GenScenario {
+            project: project.name,
+            patch,
+            source: source_to_string(&variant),
+            fingerprint,
+            score: eval.score,
+            difficulty,
+        });
+    }
+    kept
+}
+
+/// Extra random-phase evaluations granted beyond phase 1 before a
+/// defect is declared [`Difficulty::Hard`].
+const CLASSIFY_EXTRA_EVALS: u64 = 2500;
+
+/// Classifies a variant by replaying the brute-force baseline against
+/// it: repaired within the systematic single-edit phase → easy; within
+/// the random multi-edit budget → medium; otherwise hard. The wall
+/// clock is set far beyond any real run so only `max_evals` binds and
+/// the class is machine-independent.
+fn classify(problem: &RepairProblem, variant: &SourceFile, jobs: usize) -> Difficulty {
+    let faulty = RepairProblem {
+        source: variant.clone(),
+        ..problem.clone()
+    };
+    let singles = applicable_templates(variant, &faulty.design_modules, &FaultLoc::default()).len()
+        as u64
+        + all_stmt_ids(variant, &faulty.design_modules).len() as u64;
+    let result = brute_force_repair(
+        &faulty,
+        BruteConfig {
+            timeout: Duration::from_secs(1 << 20),
+            max_evals: singles + CLASSIFY_EXTRA_EVALS,
+            seed: 7,
+            jobs,
+            ..BruteConfig::default()
+        },
+    );
+    match result.status {
+        RepairStatus::Plausible if result.fitness_evals <= singles => Difficulty::Easy,
+        RepairStatus::Plausible => Difficulty::Medium,
+        _ => Difficulty::Hard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GenConfig {
+        GenConfig {
+            max_candidates: 12,
+            max_per_project: 4,
+            ..GenConfig::default()
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_are_caught_and_deduped() {
+        let project = cirfix_benchmarks::project("decoder_3_to_8").expect("project exists");
+        let scenarios = generate_for_project(project, &small_config());
+        assert!(!scenarios.is_empty(), "decoder yields at least one defect");
+        let mut seen = HashSet::new();
+        for s in &scenarios {
+            assert!(s.score < 1.0, "defect is caught by the testbench");
+            assert!(seen.insert(s.fingerprint), "fingerprints are unique");
+            assert!(s.source.contains("module"), "source is printable");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_jobs() {
+        let project = cirfix_benchmarks::project("decoder_3_to_8").expect("project exists");
+        let runs: Vec<Vec<GenScenario>> = [1usize, 4]
+            .iter()
+            .map(|&jobs| {
+                generate_for_project(
+                    project,
+                    &GenConfig {
+                        jobs,
+                        ..small_config()
+                    },
+                )
+            })
+            .collect();
+        let keys = |v: &[GenScenario]| -> Vec<(Digest, String)> {
+            v.iter()
+                .map(|s| (s.fingerprint, s.source.clone()))
+                .collect()
+        };
+        assert_eq!(keys(&runs[0]), keys(&runs[1]));
+    }
+}

@@ -1,0 +1,198 @@
+//! Grammar-level input mutation: seeded byte/token corruption of the
+//! valid benchmark sources. These inputs exercise the frontend's error
+//! paths — most fail to parse (which is fine: a clean `ParseError` is
+//! the expected outcome), and the survivors probe elaboration and
+//! simulation with shapes no hand-written design would take.
+
+use crate::harness::{FuzzInput, InputOrigin};
+use cirfix_benchmarks::{projects, Project};
+use cirfix_sim::ProbeSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Verilog-ish tokens inserted whole, so mutations reach past the
+/// lexer into parser and elaboration territory instead of always
+/// dying on an illegal character.
+const TOKENS: &[&str] = &[
+    "begin",
+    "end",
+    "if",
+    "else",
+    "always",
+    "initial",
+    "assign",
+    "module",
+    "endmodule",
+    "posedge",
+    "negedge",
+    "wire",
+    "reg",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    "=",
+    "<=",
+    "@",
+    "#",
+    "~",
+    "^",
+    "&",
+    "|",
+    "!",
+    "?",
+    ":",
+    "1'b1",
+    "1'bx",
+    "8'hff",
+    "32'd0",
+    "$finish",
+    "$display",
+];
+
+/// SplitMix64 — derives one independent per-input seed from the master
+/// seed, so inputs can be generated in any order (or in parallel)
+/// without sharing RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds `count` mutated inputs from the benchmark sources,
+/// deterministically from `seed`. Input `i` of a given seed is always
+/// the same byte string.
+pub fn mutated_inputs(seed: u64, count: usize) -> Vec<FuzzInput> {
+    let pool = projects();
+    (0..count)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(splitmix64(
+                seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            ));
+            let project = &pool[rng.gen_range(0..pool.len())];
+            let source = mutate_source(project, pool, &mut rng);
+            FuzzInput {
+                id: format!("mutated-{i}"),
+                source,
+                top: project.top.to_string(),
+                probe: ProbeSpec::periodic(
+                    project
+                        .probe_signals
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    project.probe_start,
+                    project.probe_period,
+                ),
+                sim: project.sim_config(),
+                origin: InputOrigin::Mutated,
+            }
+        })
+        .collect()
+}
+
+/// Applies 1–4 random mutation operators to a project's full source.
+fn mutate_source(project: &Project, pool: &[Project], rng: &mut StdRng) -> String {
+    let mut bytes: Vec<u8> = format!("{}\n{}", project.design, project.testbench).into_bytes();
+    let ops = rng.gen_range(1usize..=4);
+    for _ in 0..ops {
+        apply_op(&mut bytes, pool, rng);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn apply_op(bytes: &mut Vec<u8>, pool: &[Project], rng: &mut StdRng) {
+    if bytes.is_empty() {
+        bytes.extend_from_slice(b"module m; endmodule");
+        return;
+    }
+    match rng.gen_range(0usize..6) {
+        // Flip one byte to a random printable character.
+        0 => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = rng.gen_range(0x20..0x7fu8);
+        }
+        // Delete a short span.
+        1 => {
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1usize..=16).min(bytes.len() - start);
+            bytes.drain(start..start + len);
+        }
+        // Duplicate a short span in place.
+        2 => {
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1usize..=16).min(bytes.len() - start);
+            let span: Vec<u8> = bytes[start..start + len].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, span);
+        }
+        // Insert a whole Verilog token.
+        3 => {
+            let token = TOKENS[rng.gen_range(0..TOKENS.len())];
+            let at = rng.gen_range(0..=bytes.len());
+            let mut ins = Vec::with_capacity(token.len() + 2);
+            ins.push(b' ');
+            ins.extend_from_slice(token.as_bytes());
+            ins.push(b' ');
+            bytes.splice(at..at, ins);
+        }
+        // Splice a random line from another project's design.
+        4 => {
+            let donor = &pool[rng.gen_range(0..pool.len())];
+            let lines: Vec<&str> = donor.design.lines().collect();
+            if !lines.is_empty() {
+                let line = lines[rng.gen_range(0..lines.len())];
+                let at = rng.gen_range(0..=bytes.len());
+                let mut ins = vec![b'\n'];
+                ins.extend_from_slice(line.as_bytes());
+                ins.push(b'\n');
+                bytes.splice(at..at, ins);
+            }
+        }
+        // Swap two lines.
+        _ => {
+            let text = String::from_utf8_lossy(bytes).into_owned();
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.len() >= 2 {
+                let a = rng.gen_range(0..lines.len());
+                let b = rng.gen_range(0..lines.len());
+                lines.swap(a, b);
+                *bytes = lines.join("\n").into_bytes();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutated_inputs_are_seed_deterministic() {
+        let a = mutated_inputs(42, 20);
+        let b = mutated_inputs(42, 20);
+        let c = mutated_inputs(43, 20);
+        let srcs =
+            |v: &[FuzzInput]| -> Vec<String> { v.iter().map(|i| i.source.clone()).collect() };
+        assert_eq!(srcs(&a), srcs(&b));
+        assert_ne!(srcs(&a), srcs(&c), "different seeds mutate differently");
+    }
+
+    #[test]
+    fn a_prefix_of_a_longer_run_matches_a_shorter_run() {
+        let long = mutated_inputs(7, 30);
+        let short = mutated_inputs(7, 10);
+        for (l, s) in long.iter().zip(&short) {
+            assert_eq!(
+                l.source, s.source,
+                "per-input seeds are independent of count"
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Seeded property tests for the shrinker: whatever the input and
+//! whatever the (deterministic) finding predicate, the shrunk
+//! reproducer must still trigger the original finding class and never
+//! grow.
+
+use cirfix_fuzz::shrink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random multi-line "source": a mix of filler lines and marker lines.
+fn random_source(rng: &mut StdRng) -> String {
+    let lines = rng.gen_range(1usize..=40);
+    (0..lines)
+        .map(|_| match rng.gen_range(0usize..5) {
+            0 => format!("MARK_{}", rng.gen_range(0u64..4)),
+            1 => "wire w;".to_string(),
+            2 => format!("assign x = {};", rng.gen_range(0u64..100)),
+            3 => String::new(),
+            _ => "// filler".to_string(),
+        })
+        .collect::<Vec<String>>()
+        .join("\n")
+}
+
+/// A family of synthetic finding predicates, mirroring the shapes real
+/// findings take: a single trigger, a conjunction, and a threshold.
+fn predicate(kind: usize) -> Box<dyn Fn(&str) -> bool> {
+    match kind {
+        0 => Box::new(|s: &str| s.contains("MARK_0")),
+        1 => Box::new(|s: &str| s.contains("MARK_1") && s.contains("MARK_2")),
+        _ => Box::new(|s: &str| s.lines().filter(|l| l.starts_with("MARK_")).count() >= 3),
+    }
+}
+
+#[test]
+fn shrunk_reproducers_still_trigger_the_original_finding() {
+    let mut rng = StdRng::seed_from_u64(0xC1F1);
+    let mut exercised = 0;
+    for _ in 0..200 {
+        let source = random_source(&mut rng);
+        let kind = rng.gen_range(0usize..3);
+        let pred = predicate(kind);
+        if !pred(&source) {
+            continue;
+        }
+        exercised += 1;
+        let shrunk = shrink(&source, pred.as_ref());
+        assert!(
+            pred(&shrunk),
+            "shrunk text no longer triggers predicate {kind}:\n--- original\n{source}\n--- shrunk\n{shrunk}"
+        );
+        assert!(
+            shrunk.len() <= source.len(),
+            "shrinking must never grow the input"
+        );
+    }
+    assert!(exercised >= 30, "property exercised on {exercised} inputs");
+}
+
+#[test]
+fn shrinking_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let source = random_source(&mut rng);
+        let pred = |s: &str| s.contains("MARK_0") || s.lines().count() >= 10;
+        if !pred(&source) {
+            continue;
+        }
+        let a = shrink(&source, &pred);
+        let b = shrink(&source, &pred);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Integrity checks for the generated tranche committed under
+//! `crates/benchmarks/src/generated/`: every scenario's fingerprint
+//! must recompute from its source, and every defect must still be
+//! caught by its search testbench. Together with the benchmarks
+//! crate's manifest cross-check, this pins the committed files to the
+//! generator that produced them.
+
+use cirfix::{evaluate, variant_fingerprint, FitnessParams, Patch};
+use cirfix_benchmarks::generated_scenarios;
+use cirfix_fuzz::gen::project_digest;
+
+#[test]
+fn tranche_fingerprints_recompute_from_sources() {
+    for s in generated_scenarios() {
+        let file = cirfix_parser::parse(s.source).unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let project = s.project_ref();
+        let fp = variant_fingerprint(
+            project_digest(s.project),
+            &file,
+            &project.design_module_names(),
+        );
+        assert_eq!(fp.to_hex(), s.fingerprint, "{}: fingerprint drift", s.id);
+    }
+}
+
+#[test]
+fn tranche_defects_are_caught_and_within_template_distance() {
+    // One scenario per difficulty class keeps this cheap while still
+    // exercising all three; the full sweep runs opt-in in the
+    // benchmarks crate under CIRFIX_GENERATED=1.
+    for class in ["easy", "medium", "hard"] {
+        let s = generated_scenarios()
+            .iter()
+            .find(|s| s.class == class)
+            .unwrap_or_else(|| panic!("tranche covers the {class} class"));
+        let problem = s.problem().unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let eval = evaluate(&problem, &Patch::empty(), FitnessParams::default());
+        assert!(
+            eval.score < 1.0,
+            "{}: defect must be caught (fitness {})",
+            s.id,
+            eval.score
+        );
+    }
+}

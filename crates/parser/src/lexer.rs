@@ -314,22 +314,23 @@ impl<'a> Lexer<'a> {
 
     fn next_token(&mut self, c: u8) -> Result<Token, LexError> {
         match c {
-            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.lex_ident()),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(Token::Ident(self.lex_name())),
             b'0'..=b'9' => self.lex_number(),
             b'\'' => self.lex_based(None),
             b'"' => self.lex_string(),
             b'$' => {
                 self.bump();
-                let Token::Ident(name) = self.lex_ident() else {
-                    unreachable!("lex_ident returns Ident");
-                };
+                let name = self.lex_name();
+                if name.is_empty() {
+                    return Err(self.error("expected identifier after `$`"));
+                }
                 Ok(Token::SysIdent(name))
             }
-            _ => self.lex_punct(),
+            _ => self.lex_punct(c),
         }
     }
 
-    fn lex_ident(&mut self) -> Token {
+    fn lex_name(&mut self) -> String {
         let mut name = String::new();
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
@@ -339,7 +340,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        Token::Ident(name)
+        name
     }
 
     fn lex_number(&mut self) -> Result<Token, LexError> {
@@ -429,8 +430,11 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_punct(&mut self) -> Result<Token, LexError> {
-        let c = self.bump().expect("caller checked");
+    /// `c` is the already-peeked byte at the current position; taking
+    /// it as a parameter keeps this panic-free (no "caller checked"
+    /// unwrap on a second read of the stream).
+    fn lex_punct(&mut self, c: u8) -> Result<Token, LexError> {
+        self.bump();
         let two = self.peek();
         let token = match (c, two) {
             (b'(', _) => Token::LParen,

@@ -42,14 +42,26 @@ pub fn parse_with_ids(source: &str, ids: &mut NodeIdGen) -> Result<SourceFile, P
         tokens,
         pos: 0,
         ids,
+        depth: 0,
     };
     parser.parse_source_file()
 }
+
+/// Maximum statement/expression nesting depth. The parser (and every
+/// recursive consumer downstream of it: printer, elaborator, linter)
+/// walks the tree on the call stack, so unbounded nesting in hostile
+/// input would abort with a stack overflow — which `catch_unwind`
+/// cannot contain. Sized so a maximally nested tree still fits a 2 MiB
+/// worker-thread stack in debug builds, yet no real design comes close
+/// (the benchmark suite nests under 16 levels).
+const MAX_DEPTH: u32 = 64;
 
 struct Parser<'a> {
     tokens: Vec<Spanned>,
     pos: usize,
     ids: &'a mut NodeIdGen,
+    /// Current statement/expression nesting depth (see [`MAX_DEPTH`]).
+    depth: u32,
 }
 
 const KEYWORDS: &[&str] = &[
@@ -109,6 +121,21 @@ impl Parser<'_> {
     fn error(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
         ParseError::new(message, line, col)
+    }
+
+    /// Runs `f` one nesting level deeper, failing cleanly once
+    /// [`MAX_DEPTH`] is reached instead of overflowing the stack.
+    fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("statement or expression nesting too deep"));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
     }
 
     fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
@@ -451,6 +478,10 @@ impl Parser<'_> {
     // -- statements ----------------------------------------------------------
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.nested(Self::parse_stmt_inner)
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             Token::Ident(kw) => match kw.as_str() {
                 "begin" => self.parse_block(),
@@ -769,6 +800,10 @@ impl Parser<'_> {
     }
 
     fn parse_lvalue(&mut self) -> Result<LValue, ParseError> {
+        self.nested(Self::parse_lvalue_inner)
+    }
+
+    fn parse_lvalue_inner(&mut self) -> Result<LValue, ParseError> {
         if self.eat(&Token::LBrace) {
             let id = self.ids.fresh();
             let mut parts = vec![self.parse_lvalue()?];
@@ -807,6 +842,10 @@ impl Parser<'_> {
     // -- expressions ---------------------------------------------------------
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.nested(Self::parse_expr_inner)
+    }
+
+    fn parse_expr_inner(&mut self) -> Result<Expr, ParseError> {
         let cond = self.parse_binary(0)?;
         if self.eat(&Token::Question) {
             let id = self.ids.fresh();
@@ -872,6 +911,10 @@ impl Parser<'_> {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        self.nested(Self::parse_unary_inner)
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr, ParseError> {
         let op = match self.peek() {
             Token::Bang => Some(UnaryOp::LogicNot),
             Token::Tilde => Some(UnaryOp::BitNot),

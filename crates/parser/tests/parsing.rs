@@ -392,3 +392,60 @@ fn figure_1_testbench_parses() {
     parse(src).unwrap();
     assert_round_trip(src);
 }
+
+#[test]
+fn deep_expression_nesting_errors_instead_of_overflowing() {
+    // 10k parens would overflow the call stack without the depth guard,
+    // aborting the process in a way catch_unwind cannot contain.
+    let deep = format!(
+        "module m; wire w; assign w = {}1{}; endmodule",
+        "(".repeat(10_000),
+        ")".repeat(10_000)
+    );
+    let err = parse(&deep).unwrap_err();
+    assert!(err.to_string().contains("nesting too deep"), "{err}");
+}
+
+#[test]
+fn deep_statement_nesting_errors_instead_of_overflowing() {
+    let deep = format!(
+        "module m; reg r; initial {} r = 1; {} endmodule",
+        "begin ".repeat(10_000),
+        "end ".repeat(10_000)
+    );
+    let err = parse(&deep).unwrap_err();
+    assert!(err.to_string().contains("nesting too deep"), "{err}");
+}
+
+#[test]
+fn deep_unary_chain_errors_instead_of_overflowing() {
+    let deep = format!(
+        "module m; wire w; assign w = {}1; endmodule",
+        "!".repeat(10_000)
+    );
+    assert!(parse(&deep).is_err());
+    let deep_lvalue = format!(
+        "module m; initial {}x{} = 1; endmodule",
+        "{".repeat(10_000),
+        "}".repeat(10_000)
+    );
+    assert!(parse(&deep_lvalue).is_err());
+}
+
+#[test]
+fn moderate_nesting_still_parses() {
+    // The guard must not reject designs with realistic nesting.
+    let src = format!(
+        "module m; wire w; assign w = {}1{}; endmodule",
+        "(".repeat(25),
+        ")".repeat(25)
+    );
+    parse(&src).unwrap();
+    assert_round_trip(&src);
+}
+
+#[test]
+fn bare_dollar_is_a_lex_error() {
+    let err = parse("module m; initial $ ; endmodule").unwrap_err();
+    assert!(err.to_string().contains("identifier after `$`"), "{err}");
+}
